@@ -1,0 +1,142 @@
+//! FPGA platform descriptors: the two boards the paper targets plus the
+//! comparison platforms of Table VII.
+
+/// An FPGA platform: on-chip memory, arithmetic resources, clock and DRAM.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FpgaPlatform {
+    /// Board / device name.
+    pub name: &'static str,
+    /// Number of BRAM18 blocks (a BRAM36 counts as two).
+    pub bram18_blocks: usize,
+    /// Bits per BRAM18 block (18 kib = 18 × 1024).
+    pub bram18_bits: usize,
+    /// DSP slices.
+    pub dsp: usize,
+    /// Logic LUTs.
+    pub lut: usize,
+    /// Flip-flops.
+    pub ff: usize,
+    /// Accelerator clock in MHz (as implemented in the paper, not the
+    /// device maximum).
+    pub freq_mhz: f64,
+    /// Effective DRAM bandwidth in Gbit/s available to the accelerator.
+    pub dram_gbps: f64,
+}
+
+impl FpgaPlatform {
+    /// Total BRAM capacity in megabits (decimal, as Figure 1 plots it).
+    pub fn bram_mbits(&self) -> f64 {
+        (self.bram18_blocks * self.bram18_bits) as f64 / 1.0e6
+    }
+
+    /// Clock period in nanoseconds.
+    pub fn clock_ns(&self) -> f64 {
+        1000.0 / self.freq_mhz
+    }
+
+    /// Cycles needed to move `bits` across the DRAM interface.
+    pub fn dram_cycles(&self, bits: u64) -> u64 {
+        let bits_per_cycle = self.dram_gbps * 1e9 / (self.freq_mhz * 1e6);
+        (bits as f64 / bits_per_cycle).ceil() as u64
+    }
+}
+
+/// Xilinx Zynq ZC706 (XC7Z045): the paper's VGG-16 platform.
+/// 1090 × 18 kb BRAM, 900 DSP, accelerator at 150 MHz.
+pub fn zc706() -> FpgaPlatform {
+    FpgaPlatform {
+        name: "Zynq ZC706",
+        bram18_blocks: 1090,
+        bram18_bits: 18 * 1024,
+        dsp: 900,
+        lut: 218_600,
+        ff: 437_200,
+        freq_mhz: 150.0,
+        dram_gbps: 34.0, // 64-bit DDR3-1066 effective
+    }
+}
+
+/// Xilinx Ultra96 (ZU3EG MPSoC): the paper's VDSR platform.
+/// 216 × 36 kb BRAM (= 432 BRAM18 ≈ 7.6 Mb), 360 DSP, 200 MHz.
+pub fn ultra96() -> FpgaPlatform {
+    FpgaPlatform {
+        name: "Ultra96 (ZU3EG)",
+        bram18_blocks: 432,
+        bram18_bits: 18 * 1024,
+        dsp: 360,
+        lut: 70_560,
+        ff: 141_120,
+        freq_mhz: 200.0,
+        dram_gbps: 17.0, // 32-bit LPDDR4 effective
+    }
+}
+
+/// Energy cost model: off-chip DRAM access is orders of magnitude more
+/// expensive per bit than on-chip SRAM (the paper's §II-A motivation,
+/// citing Han et al.).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// Picojoules per bit for DRAM access.
+    pub dram_pj_per_bit: f64,
+    /// Picojoules per bit for on-chip SRAM access.
+    pub sram_pj_per_bit: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        // 640 pJ / 32-bit DRAM word vs 5 pJ / 32-bit SRAM word
+        // (Horowitz ISSCC'14, the numbers Han et al. cite).
+        Self {
+            dram_pj_per_bit: 20.0,
+            sram_pj_per_bit: 0.15625,
+        }
+    }
+}
+
+impl EnergyModel {
+    /// Energy in millijoules for moving `bits` to/from DRAM.
+    pub fn dram_mj(&self, bits: u64) -> f64 {
+        bits as f64 * self.dram_pj_per_bit / 1e9
+    }
+
+    /// Energy in millijoules for moving `bits` within on-chip SRAM.
+    pub fn sram_mj(&self, bits: u64) -> f64 {
+        bits as f64 * self.sram_pj_per_bit / 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zc706_bram_matches_figure1() {
+        // 1090 x 18 kb = 20.09 Mbit (decimal; the paper quotes 19.1 Mib).
+        let p = zc706();
+        assert!((p.bram_mbits() - 20.09).abs() < 0.01);
+        let mib = (p.bram18_blocks * p.bram18_bits) as f64 / (1024.0 * 1024.0);
+        assert!((mib - 19.16).abs() < 0.05, "got {mib}");
+    }
+
+    #[test]
+    fn ultra96_bram_is_7_6_mbit() {
+        // §III-A quotes 7.6 Mb for the ZU3EG.
+        let p = ultra96();
+        let mib = (p.bram18_blocks * p.bram18_bits) as f64 / (1024.0 * 1024.0);
+        assert!((mib - 7.59).abs() < 0.05, "got {mib}");
+    }
+
+    #[test]
+    fn dram_cycles_scale_with_bits() {
+        let p = zc706();
+        assert!(p.dram_cycles(2_000_000) >= 2 * p.dram_cycles(1_000_000) - 1);
+        assert_eq!(p.dram_cycles(0), 0);
+    }
+
+    #[test]
+    fn dram_energy_dwarfs_sram_energy() {
+        let e = EnergyModel::default();
+        assert!(e.dram_pj_per_bit / e.sram_pj_per_bit > 100.0);
+        assert!(e.dram_mj(1_000_000) > e.sram_mj(1_000_000));
+    }
+}

@@ -1,0 +1,166 @@
+//! Depth-first block scheduling of a fusion group (Figure 10's computing
+//! flow): an explicit event trace — block loads, per-layer computes,
+//! splice-buffer writes, result stores — with live buffer-occupancy
+//! accounting. This is the dynamic counterpart of the static BRAM estimate
+//! in [`crate::fusion::FusedDesign::bram18`]: the trace proves that the
+//! schedule never holds more than two block buffers plus the extra buffer.
+
+use crate::baseline::ConvShape;
+
+/// One event of the block schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// Load an input block from DRAM (first group only).
+    LoadBlock {
+        /// Spatial block index.
+        block: usize,
+        /// Bits moved.
+        bits: u64,
+    },
+    /// Compute one layer for one block, ping-ponging the two intermediate
+    /// buffers.
+    Compute {
+        /// Layer index within the network.
+        layer: usize,
+        /// Spatial block index.
+        block: usize,
+        /// Output bits produced into the destination buffer.
+        out_bits: u64,
+    },
+    /// Append a finished block to the extra (splice) buffer at a group
+    /// boundary.
+    Splice {
+        /// Spatial block index.
+        block: usize,
+        /// Bits appended.
+        bits: u64,
+    },
+    /// Store a final output block to DRAM (last group only).
+    StoreBlock {
+        /// Spatial block index.
+        block: usize,
+        /// Bits moved.
+        bits: u64,
+    },
+}
+
+/// Result of scheduling: the event trace plus occupancy statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleTrace {
+    /// Ordered events.
+    pub events: Vec<Event>,
+    /// Peak bits simultaneously alive in the two intermediate buffers.
+    pub peak_intermediate_bits: u64,
+    /// Peak bits in the extra (splice) buffer.
+    pub peak_extra_bits: u64,
+    /// Total DRAM feature traffic in bits.
+    pub dram_bits: u64,
+}
+
+/// Schedules one fusion group of stride-1 layers over `blocks` spatial
+/// blocks, each block carrying `block_px` output pixels per layer.
+/// `first_group`/`last_group` control whether block I/O hits DRAM or the
+/// neighbouring groups' extra buffers.
+pub fn schedule_group(
+    layers: &[ConvShape],
+    blocks: usize,
+    block_px: usize,
+    bits: usize,
+    first_group: bool,
+    last_group: bool,
+) -> ScheduleTrace {
+    let mut events = Vec::new();
+    let mut peak_inter = 0u64;
+    let mut extra = 0u64;
+    let mut peak_extra = 0u64;
+    let mut dram = 0u64;
+    for b in 0..blocks {
+        let in_bits = (layers[0].n * block_px * bits) as u64;
+        if first_group {
+            events.push(Event::LoadBlock { block: b, bits: in_bits });
+            dram += in_bits;
+        }
+        let mut live = in_bits;
+        for (li, layer) in layers.iter().enumerate() {
+            let out_bits = (layer.m * block_px * bits) as u64;
+            // Input and output buffers alive simultaneously (ping-pong).
+            peak_inter = peak_inter.max(live + out_bits);
+            events.push(Event::Compute { layer: li, block: b, out_bits });
+            live = out_bits;
+        }
+        if last_group {
+            events.push(Event::StoreBlock { block: b, bits: live });
+            dram += live;
+        } else {
+            events.push(Event::Splice { block: b, bits: live });
+            extra += live;
+            peak_extra = peak_extra.max(extra);
+        }
+    }
+    ScheduleTrace {
+        events,
+        peak_intermediate_bits: peak_inter,
+        peak_extra_bits: peak_extra,
+        dram_bits: dram,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layers() -> Vec<ConvShape> {
+        vec![
+            ConvShape { m: 64, n: 3, r: 224, c: 224, k: 3, s: 1 },
+            ConvShape { m: 64, n: 64, r: 224, c: 224, k: 3, s: 1 },
+        ]
+    }
+
+    #[test]
+    fn first_group_loads_and_splices() {
+        let t = schedule_group(&layers(), 4, 28 * 28, 8, true, false);
+        let loads = t.events.iter().filter(|e| matches!(e, Event::LoadBlock { .. })).count();
+        let splices = t.events.iter().filter(|e| matches!(e, Event::Splice { .. })).count();
+        assert_eq!(loads, 4);
+        assert_eq!(splices, 4);
+        // DRAM traffic = input blocks only.
+        assert_eq!(t.dram_bits, 4 * (3 * 28 * 28 * 8) as u64);
+    }
+
+    #[test]
+    fn middle_group_touches_no_dram() {
+        let t = schedule_group(&layers(), 4, 14 * 14, 8, false, false);
+        assert_eq!(t.dram_bits, 0);
+        assert!(t.events.iter().all(|e| !matches!(e, Event::LoadBlock { .. })));
+    }
+
+    #[test]
+    fn peak_intermediate_is_two_block_buffers() {
+        let t = schedule_group(&layers(), 4, 28 * 28, 8, true, false);
+        // Largest adjacent pair: 64ch in + 64ch out.
+        assert_eq!(t.peak_intermediate_bits, (2 * 64 * 28 * 28 * 8) as u64);
+    }
+
+    #[test]
+    fn extra_buffer_accumulates_all_blocks() {
+        let t = schedule_group(&layers(), 4, 28 * 28, 8, true, false);
+        assert_eq!(t.peak_extra_bits, (4 * 64 * 28 * 28 * 8) as u64);
+    }
+
+    #[test]
+    fn last_group_stores_to_dram() {
+        let t = schedule_group(&layers(), 2, 14 * 14, 8, false, true);
+        assert_eq!(t.dram_bits, 2 * (64 * 14 * 14 * 8) as u64);
+        assert_eq!(t.peak_extra_bits, 0);
+    }
+
+    #[test]
+    fn event_order_is_depth_first() {
+        // All of block 0's computes precede any of block 1's.
+        let t = schedule_group(&layers(), 2, 14 * 14, 8, true, true);
+        let pos = |pred: &dyn Fn(&Event) -> bool| t.events.iter().position(|e| pred(e)).unwrap();
+        let b0_last = pos(&|e| matches!(e, Event::StoreBlock { block: 0, .. }));
+        let b1_first = pos(&|e| matches!(e, Event::LoadBlock { block: 1, .. }));
+        assert!(b0_last < b1_first);
+    }
+}

@@ -1,0 +1,287 @@
+//! The VDSR accelerator study (§III-C, Table IX): a DaDianNao-like
+//! baseline that tiles every layer through DRAM, versus the block-conv
+//! variant that fuses all 20 layers end-to-end so off-chip feature traffic
+//! collapses from tens of gigabits to two image transfers.
+
+use crate::memory::bram18_for_bits;
+use crate::platform::{EnergyModel, FpgaPlatform};
+
+/// Configuration of the VDSR accelerator (both variants).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VdsrConfig {
+    /// Input height (1080 in the paper).
+    pub h: usize,
+    /// Input width (1920).
+    pub w: usize,
+    /// Spatial tile height (27).
+    pub tile_h: usize,
+    /// Spatial tile width (48).
+    pub tile_w: usize,
+    /// Network depth (20 conv layers).
+    pub depth: usize,
+    /// Hidden width (64 channels).
+    pub channels: usize,
+    /// Activation bitwidth (8).
+    pub act_bits: usize,
+    /// Weight bitwidth (4).
+    pub weight_bits: usize,
+    /// PE count (8, one output channel each).
+    pub pes: usize,
+    /// MACs per PE (64, dot product along channels).
+    pub macs_per_pe: usize,
+}
+
+impl VdsrConfig {
+    /// The paper's configuration (§III-C1).
+    pub fn paper() -> Self {
+        Self {
+            h: 1080,
+            w: 1920,
+            tile_h: 27,
+            tile_w: 48,
+            depth: 20,
+            channels: 64,
+            act_bits: 8,
+            weight_bits: 4,
+            pes: 8,
+            macs_per_pe: 64,
+        }
+    }
+
+    /// Number of spatial tiles.
+    pub fn num_tiles(&self) -> usize {
+        self.h.div_ceil(self.tile_h) * self.w.div_ceil(self.tile_w)
+    }
+
+    /// Bits of one full 64-channel intermediate feature map.
+    pub fn intermediate_map_bits(&self) -> u64 {
+        (self.channels * self.h * self.w * self.act_bits) as u64
+    }
+
+    /// Total network weight bits (held on-chip in both variants).
+    pub fn weight_bits_total(&self) -> u64 {
+        // conv1: 3x3x1x64; 18 middle convs: 3x3x64x64; conv20: 3x3x64x1.
+        let mid = (self.depth - 2) as u64 * (9 * self.channels * self.channels) as u64;
+        let ends = 2 * (9 * self.channels) as u64;
+        (mid + ends) * self.weight_bits as u64
+    }
+}
+
+/// Evaluation of one VDSR accelerator variant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VdsrEval {
+    /// Off-chip feature-map transfer in bits.
+    pub transfer_bits: u64,
+    /// Estimated BRAM18 blocks.
+    pub bram18: usize,
+    /// Estimated DSP slices.
+    pub dsp: usize,
+    /// Estimated LUTs.
+    pub lut: usize,
+    /// Estimated flip-flops.
+    pub ff: usize,
+    /// Compute cycles for the full image.
+    pub compute_cycles: u64,
+    /// DRAM cycles for the transfers.
+    pub dram_cycles: u64,
+}
+
+impl VdsrEval {
+    /// Transfer size in megabits (the unit of Table IX).
+    pub fn transfer_mbits(&self) -> f64 {
+        self.transfer_bits as f64 / 1.0e6
+    }
+
+    /// DRAM energy for the feature-map transfers, in millijoules.
+    pub fn dram_energy_mj(&self, energy: &EnergyModel) -> f64 {
+        energy.dram_mj(self.transfer_bits)
+    }
+}
+
+/// Shared compute model: cycles = MACs / (PEs × MACs-per-PE). Identical
+/// for both variants (block convolution does not change arithmetic).
+fn compute_cycles(cfg: &VdsrConfig) -> u64 {
+    let macs_mid =
+        (cfg.depth - 2) as u64 * 9 * (cfg.channels * cfg.channels) as u64 * (cfg.h * cfg.w) as u64;
+    let macs_ends = 2u64 * 9 * cfg.channels as u64 * (cfg.h * cfg.w) as u64;
+    (macs_mid + macs_ends) / (cfg.pes * cfg.macs_per_pe) as u64
+}
+
+/// Resource model shared by both variants, calibrated against the paper's
+/// Vivado reports: the MAC array dominates DSP, control and the DMA engine
+/// dominate LUT/FF, and the data buffers dominate BRAM.
+fn resources(cfg: &VdsrConfig, data_buffer_bits: u64, ping_pong: bool) -> (usize, usize, usize, usize) {
+    let weight_brams = bram18_for_bits(cfg.weight_bits_total());
+    let factor = if ping_pong { 2 } else { 1 };
+    let data_brams = factor * bram18_for_bits(data_buffer_bits);
+    let bram = weight_brams + data_brams;
+    // 8 PEs x 64 4x8-bit MACs: two MACs share a DSP48 plus a LUT tail,
+    // with a handful of DSPs in the address/control path.
+    let dsp = cfg.pes * cfg.macs_per_pe / 2 + 9;
+    let lut = 62_000 + cfg.pes * 900 + if ping_pong { 148 } else { 0 };
+    let ff = 4_000 + cfg.pes * 110 + if ping_pong { 0 } else { 22 };
+    (bram, dsp, lut, ff)
+}
+
+/// The DaDianNao-like baseline (§III-C1): every layer's tiles round-trip
+/// through DRAM, with halo re-reads, and all data buffers are ping-pong
+/// pairs to hide the transfer latency.
+pub fn evaluate_baseline(cfg: &VdsrConfig, platform: &FpgaPlatform) -> VdsrEval {
+    let tiles = cfg.num_tiles() as u64;
+    let halo_tile_px = ((cfg.tile_h + 2) * (cfg.tile_w + 2)) as u64;
+    let tile_px = (cfg.tile_h * cfg.tile_w) as u64;
+
+    // Per intermediate boundary (outputs of conv1..conv_{depth-1}):
+    // write the map once, read it back with halo.
+    let boundaries = (cfg.depth - 1) as u64;
+    let write_bits = boundaries * cfg.channels as u64 * tiles * tile_px * cfg.act_bits as u64;
+    let read_bits = boundaries * cfg.channels as u64 * tiles * halo_tile_px * cfg.act_bits as u64;
+    // Plus the 1-channel input read (with halo) and output write.
+    let io_bits = tiles * (halo_tile_px + tile_px) * cfg.act_bits as u64;
+    let transfer = write_bits + read_bits + io_bits;
+
+    // Data buffers: input tile (64ch, halo) + output tile, ping-ponged.
+    let buffer_bits =
+        (cfg.channels as u64 * halo_tile_px + cfg.channels as u64 * tile_px) * cfg.act_bits as u64;
+    let (bram, dsp, lut, ff) = resources(cfg, buffer_bits, true);
+    VdsrEval {
+        transfer_bits: transfer,
+        bram18: bram,
+        dsp,
+        lut,
+        ff,
+        compute_cycles: compute_cycles(cfg),
+        dram_cycles: platform.dram_cycles(transfer),
+    }
+}
+
+/// The block-convolution variant (§III-C2): all 20 layers fuse end to end
+/// per tile; off-chip transfer happens only for the input image and the
+/// final output, and ping-pong buffering becomes unnecessary because the
+/// bandwidth requirement collapses.
+pub fn evaluate_blockconv(cfg: &VdsrConfig, platform: &FpgaPlatform) -> VdsrEval {
+    let tiles = cfg.num_tiles() as u64;
+    let tile_px = (cfg.tile_h * cfg.tile_w) as u64;
+    // Input read + output write, both single-channel, no halo (blocks are
+    // independent).
+    let transfer = 2 * tiles * tile_px * cfg.act_bits as u64;
+
+    // Data buffers: two alternating 64-channel block buffers (no
+    // ping-pong pairs on top — transfers are no longer latency-critical).
+    let buffer_bits = 2 * cfg.channels as u64 * tile_px * cfg.act_bits as u64;
+    let (bram, dsp, lut, ff) = resources(cfg, buffer_bits, false);
+    VdsrEval {
+        transfer_bits: transfer,
+        bram18: bram,
+        dsp,
+        lut,
+        ff,
+        compute_cycles: compute_cycles(cfg),
+        dram_cycles: platform.dram_cycles(transfer),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::ultra96;
+
+    #[test]
+    fn paper_config_tile_count() {
+        let cfg = VdsrConfig::paper();
+        assert_eq!(cfg.num_tiles(), 40 * 40);
+    }
+
+    #[test]
+    fn intermediate_map_is_126_mib() {
+        // §III-C1: 126.6 MB per intermediate layer.
+        let cfg = VdsrConfig::paper();
+        let mib = cfg.intermediate_map_bits() as f64 / 8.0 / (1024.0 * 1024.0);
+        assert!((mib - 126.6).abs() < 0.1, "got {mib}");
+    }
+
+    #[test]
+    fn baseline_transfer_is_tens_of_gigabits() {
+        // Table IX baseline: 36 481.64 Mbits. Our halo model lands in the
+        // same range (the exact figure depends on unstated halo details).
+        let eval = evaluate_baseline(&VdsrConfig::paper(), &ultra96());
+        let mbits = eval.transfer_mbits();
+        assert!(
+            (30_000.0..50_000.0).contains(&mbits),
+            "baseline transfer {mbits} Mbits"
+        );
+    }
+
+    #[test]
+    fn blockconv_transfer_is_two_images() {
+        // Table IX: 31.64 Mbits — input + output only (our exact model
+        // gives 2 x 1080x1920x8 = 33.18 Mbits).
+        let eval = evaluate_blockconv(&VdsrConfig::paper(), &ultra96());
+        let mbits = eval.transfer_mbits();
+        assert!((mbits - 33.18).abs() < 0.1, "got {mbits}");
+    }
+
+    #[test]
+    fn transfer_reduction_exceeds_99_9_percent() {
+        // §III-C3: "the amount of off-chip feature map transfer is
+        // drastically reduced by over 99.9%".
+        let cfg = VdsrConfig::paper();
+        let p = ultra96();
+        let base = evaluate_baseline(&cfg, &p);
+        let bconv = evaluate_blockconv(&cfg, &p);
+        let reduction = 1.0 - bconv.transfer_bits as f64 / base.transfer_bits as f64;
+        assert!(reduction > 0.999, "reduction {reduction}");
+    }
+
+    #[test]
+    fn blockconv_uses_less_bram_than_baseline() {
+        // Table IX: 352 -> 264 BRAMs (ping-pong removal).
+        let cfg = VdsrConfig::paper();
+        let p = ultra96();
+        let base = evaluate_baseline(&cfg, &p);
+        let bconv = evaluate_blockconv(&cfg, &p);
+        assert!(bconv.bram18 < base.bram18);
+        // Both fit the Ultra96.
+        assert!(base.bram18 <= p.bram18_blocks, "baseline {}", base.bram18);
+        assert!(bconv.bram18 <= p.bram18_blocks);
+    }
+
+    #[test]
+    fn dsp_count_matches_table9_scale() {
+        // Table IX reports 265/360 DSPs for both variants.
+        let eval = evaluate_blockconv(&VdsrConfig::paper(), &ultra96());
+        assert!((200..=360).contains(&eval.dsp), "dsp {}", eval.dsp);
+        let base = evaluate_baseline(&VdsrConfig::paper(), &ultra96());
+        assert_eq!(base.dsp, eval.dsp, "same PE array in both variants");
+    }
+
+    #[test]
+    fn compute_cycles_identical_across_variants() {
+        // Block convolution preserves FLOPs (§II-C).
+        let cfg = VdsrConfig::paper();
+        let p = ultra96();
+        assert_eq!(
+            evaluate_baseline(&cfg, &p).compute_cycles,
+            evaluate_blockconv(&cfg, &p).compute_cycles
+        );
+    }
+
+    #[test]
+    fn baseline_dram_cycles_dominate_blockconv() {
+        let cfg = VdsrConfig::paper();
+        let p = ultra96();
+        let base = evaluate_baseline(&cfg, &p);
+        let bconv = evaluate_blockconv(&cfg, &p);
+        assert!(base.dram_cycles > 100 * bconv.dram_cycles);
+    }
+
+    #[test]
+    fn energy_savings_track_transfer_savings() {
+        let cfg = VdsrConfig::paper();
+        let p = ultra96();
+        let e = EnergyModel::default();
+        let base = evaluate_baseline(&cfg, &p).dram_energy_mj(&e);
+        let bconv = evaluate_blockconv(&cfg, &p).dram_energy_mj(&e);
+        assert!(base / bconv > 1000.0);
+    }
+}

@@ -1,0 +1,126 @@
+//! Criterion kernel benchmarks: conventional vs block convolution (FLOP
+//! parity means comparable runtime), padding-mode overhead (paper §II-F:
+//! block padding costs are negligible), fused vs layer-wise chain
+//! execution, quantized convolution, and DSE speed.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bconv_accel::dse::explore_vgg16;
+use bconv_accel::fusion::vgg16_shapes;
+use bconv_accel::platform::zc706;
+use bconv_core::blocking::{BlockGrid, BlockingPattern};
+use bconv_core::fusion::{ChainOp, FusedChain};
+use bconv_core::BlockConv2d;
+use bconv_quant::qconv::QConv2d;
+use bconv_quant::QParams;
+use bconv_tensor::conv::{Conv2d, ConvGeom};
+use bconv_tensor::init::{he_conv2d, seeded_rng, uniform_tensor};
+use bconv_tensor::pad::PadMode;
+use bconv_tensor::Tensor;
+
+fn conv_fixture(c: usize, h: usize) -> (Conv2d, Tensor) {
+    let mut rng = seeded_rng(1);
+    let conv = he_conv2d(c, c, ConvGeom::same(3), 1, &mut rng).unwrap();
+    let input = uniform_tensor([1, c, h, h], -1.0, 1.0, &mut rng);
+    (conv, input)
+}
+
+fn bench_conv_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conv_kernels");
+    for (ch, res) in [(16usize, 32usize), (32, 56)] {
+        let (conv, input) = conv_fixture(ch, res);
+        group.bench_function(format!("dense_{ch}x{res}"), |b| {
+            b.iter(|| black_box(conv.forward(black_box(&input)).unwrap()))
+        });
+        let bconv = BlockConv2d::from_pattern(
+            conv.clone(),
+            res,
+            res,
+            BlockingPattern::hierarchical(2),
+            PadMode::Zero,
+        )
+        .unwrap();
+        group.bench_function(format!("block_h2_{ch}x{res}"), |b| {
+            b.iter(|| black_box(bconv.forward(black_box(&input)).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_padding_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("padding_modes");
+    let (conv, input) = conv_fixture(16, 32);
+    for mode in PadMode::ALL {
+        let bconv = BlockConv2d::from_pattern(
+            conv.clone(),
+            32,
+            32,
+            BlockingPattern::hierarchical(2),
+            mode,
+        )
+        .unwrap();
+        group.bench_function(mode.name(), |b| {
+            b.iter(|| black_box(bconv.forward(black_box(&input)).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fused_chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fused_chain");
+    let mut rng = seeded_rng(2);
+    let mk = |cin: usize, cout: usize, rng: &mut rand::rngs::StdRng| {
+        he_conv2d(cin, cout, ConvGeom::same(3), 1, rng).unwrap()
+    };
+    let ops = vec![
+        ChainOp::Conv(mk(8, 16, &mut rng)),
+        ChainOp::Relu,
+        ChainOp::Conv(mk(16, 16, &mut rng)),
+        ChainOp::Relu,
+        ChainOp::MaxPool { k: 2 },
+        ChainOp::Conv(mk(16, 16, &mut rng)),
+    ];
+    let grid = BlockGrid::from_pattern(32, 32, BlockingPattern::hierarchical(2)).unwrap();
+    let chain = FusedChain::plan(ops, grid, PadMode::Zero).unwrap();
+    let input = uniform_tensor([1, 8, 32, 32], -1.0, 1.0, &mut rng);
+    group.bench_function("fused", |b| {
+        b.iter(|| black_box(chain.run_fused(black_box(&input)).unwrap()))
+    });
+    group.bench_function("layerwise", |b| {
+        b.iter(|| black_box(chain.run_layerwise(black_box(&input)).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_quantized_conv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quantized_conv");
+    let (conv, input) = conv_fixture(16, 32);
+    let qconv = QConv2d::from_conv(&conv, 8).unwrap();
+    let act = QParams::from_abs_max(1.0, 8);
+    group.bench_function("float", |b| {
+        b.iter(|| black_box(conv.forward(black_box(&input)).unwrap()))
+    });
+    group.bench_function("int8", |b| {
+        b.iter(|| black_box(qconv.forward(black_box(&input), act).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_dse(c: &mut Criterion) {
+    let shapes = vgg16_shapes();
+    let platform = zc706();
+    c.bench_function("dse_explore_vgg16", |b| {
+        b.iter(|| black_box(explore_vgg16(&shapes, &platform, 8, 4).len()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_conv_kernels,
+    bench_padding_modes,
+    bench_fused_chain,
+    bench_quantized_conv,
+    bench_dse
+);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Figure 1: per-layer feature-map volumes of VGG-16 (224²) and VDSR
+//! (256²) at 16-bit activations, against the ZC706 and Ultra96 BRAM
+//! capacities.
+
+use bconv_accel::platform::{ultra96, zc706};
+use bconv_bench::{header, hline};
+use bconv_models::analysis::feature_map_series;
+use bconv_models::{vdsr::vdsr, vgg::vgg16};
+
+fn main() {
+    let zc = zc706();
+    let u96 = ultra96();
+    println!("Figure 1: volume of intermediate feature maps (16-bit activations)");
+    println!(
+        "On-chip BRAM: {} = {:.2} Mbits, {} = {:.2} Mbits",
+        zc.name,
+        zc.bram_mbits(),
+        u96.name,
+        u96.bram_mbits()
+    );
+
+    for net in [vgg16(224), vdsr(256, 256)] {
+        header(&format!("{} output feature maps (Mbits)", net.name));
+        hline(44);
+        let series = feature_map_series(&net, 16).expect("trace");
+        let mut total = 0.0;
+        for p in &series {
+            let over = if p.mbits > zc.bram_mbits() { " > ZC706" } else { "" };
+            println!("{:<12} {:>10.2}{over}", p.name, p.mbits);
+            total += p.mbits;
+        }
+        hline(44);
+        println!("{:<12} {:>10.2}", "total", total);
+    }
+}

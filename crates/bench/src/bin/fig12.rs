@@ -1,0 +1,48 @@
+//! Figure 12: design-space exploration of VGG-16 fusion configurations —
+//! inference latency vs BRAM consumption for (a) 16-bit / 2 PEs and
+//! (b) 8-bit / 4 PEs, with the ZC706 capacity line.
+
+use bconv_accel::dse::{explore_vgg16, feasible, pareto_front};
+use bconv_accel::fusion::{table6_configs, vgg16_shapes};
+use bconv_accel::platform::zc706;
+use bconv_bench::header;
+
+fn main() {
+    let shapes = vgg16_shapes();
+    let platform = zc706();
+    println!("Figure 12: DSE — latency vs BRAM (ZC706 line at {} BRAM18)", platform.bram18_blocks);
+
+    for (panel, bits, npe) in [("(a)", 16usize, 2usize), ("(b)", 8, 4)] {
+        header(&format!("panel {panel}: {bits}-bit, {npe} PEs"));
+        let points = explore_vgg16(&shapes, &platform, bits, npe);
+        let feas = feasible(&points, &platform);
+        println!(
+            "{} design points, {} feasible (left of the BRAM line)",
+            points.len(),
+            feas.len()
+        );
+        println!("Pareto front (BRAM18, latency ms, GOP/s):");
+        let mut front = pareto_front(&points);
+        front.sort_by_key(|p| p.eval.bram18);
+        for p in front {
+            let mark = if p.eval.bram18 <= platform.bram18_blocks { "" } else { "  [infeasible]" };
+            println!(
+                "  {:>5} BRAM  {:>7.1} ms  {:>7.1} GOP/s{mark}",
+                p.eval.bram18,
+                p.eval.latency_ms(&platform),
+                p.eval.gops(&platform)
+            );
+        }
+        // Named Table VI points on this panel.
+        for d in table6_configs().iter().filter(|d| d.bits == bits && d.npe == npe) {
+            let e = d.evaluate(&shapes, &platform);
+            println!(
+                "  point {}: {:>5} BRAM  {:>7.1} ms  {:>7.1} GOP/s",
+                d.name,
+                e.bram18,
+                e.latency_ms(&platform),
+                e.gops(&platform)
+            );
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Figure 5: top-1 accuracy of blocked networks vs blocking ratio under
+//! fixed (F) and hierarchical (H) blocking, for the VGG / ResNet /
+//! MobileNet analogues.
+//!
+//! The paper's two conclusions under test: accuracy falls as the blocking
+//! ratio rises, and fixed blocking beats hierarchical at equal ratios.
+
+use bconv_bench::{classifier_config, header, hline, EVAL_SAMPLES};
+use bconv_core::BlockingPattern;
+use bconv_tensor::pad::PadMode;
+use bconv_tensor::init::seeded_rng;
+use bconv_train::models::{NetStyle, SmallClassifier};
+use bconv_train::trainer::{eval_classifier, train_classifier, TrainConfig};
+
+fn main() {
+    header("Figure 5: accuracy vs blocking ratio (F = fixed, H = hierarchical)");
+    // Patterns ordered by increasing aggressiveness. F32 blocks only the
+    // 32-res layers; F16 also the 16-res ones; H2/H4 block everything.
+    let patterns: [(&str, Box<dyn Fn(usize) -> Option<(BlockingPattern, PadMode)>>); 5] = [
+        ("none", Box::new(|_| None)),
+        ("F32", Box::new(|res| (res >= 32).then_some((BlockingPattern::fixed(32), PadMode::Zero)))),
+        ("F16", Box::new(|res| (res >= 16).then_some((BlockingPattern::fixed(16), PadMode::Zero)))),
+        ("H2x2", Box::new(|_| Some((BlockingPattern::hierarchical(2), PadMode::Zero)))),
+        ("H4x4", Box::new(|res| (res >= 4).then_some((BlockingPattern::hierarchical(4), PadMode::Zero)))),
+    ];
+
+    hline(70);
+    println!(
+        "{:<14} {:<8} {:>16} {:>12}",
+        "network", "pattern", "blocking ratio", "top-1"
+    );
+    hline(70);
+    for style in [NetStyle::Vgg, NetStyle::ResNet, NetStyle::MobileNet] {
+        let cfg = if style == NetStyle::MobileNet {
+            TrainConfig { steps: 600, ..classifier_config() }
+        } else {
+            classifier_config()
+        };
+        for (name, rule) in &patterns {
+            let mut net = SmallClassifier::new(style, 8, 4, &mut seeded_rng(11)).expect("net");
+            let ratio = net.blocking_ratio(rule.as_ref());
+            net.apply_blocking(rule.as_ref());
+            let exp = format!("fig5-{style:?}");
+            train_classifier(&mut net, &exp, &cfg).expect("train");
+            let acc = eval_classifier(&mut net, &exp, EVAL_SAMPLES).expect("eval");
+            println!(
+                "{:<14} {:<8} {:>15.1}% {:>11.1}%",
+                style.name(),
+                name,
+                ratio * 100.0,
+                acc * 100.0
+            );
+        }
+        hline(70);
+    }
+    println!("paper: accuracy decreases with blocking ratio; F consistently beats H");
+}

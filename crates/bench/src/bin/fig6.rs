@@ -1,0 +1,42 @@
+//! Figure 6: impact of the block-padding mode (zero / replicate / reflect)
+//! on classification accuracy under fixed blocking.
+
+use bconv_bench::{classifier_config, header, hline, EVAL_SAMPLES};
+use bconv_core::BlockingPattern;
+use bconv_tensor::init::seeded_rng;
+use bconv_tensor::pad::PadMode;
+use bconv_train::models::{NetStyle, SmallClassifier};
+use bconv_train::trainer::{eval_classifier, train_classifier, TrainConfig};
+
+fn main() {
+    header("Figure 6: block padding mode vs accuracy (F16 fixed blocking)");
+    hline(58);
+    print!("{:<16}", "network");
+    for mode in PadMode::ALL {
+        print!("{:>12}", mode.name());
+    }
+    println!();
+    hline(58);
+    for style in [NetStyle::Vgg, NetStyle::ResNet, NetStyle::MobileNet] {
+        let cfg = if style == NetStyle::MobileNet {
+            TrainConfig { steps: 600, ..classifier_config() }
+        } else {
+            classifier_config()
+        };
+        print!("{:<16}", style.name());
+        for mode in PadMode::ALL {
+            let mut net =
+                SmallClassifier::new(style, 8, 4, &mut seeded_rng(31)).expect("net");
+            net.apply_blocking(&move |res| {
+                (res >= 16).then_some((BlockingPattern::fixed(16), mode))
+            });
+            let exp = format!("fig6-{style:?}");
+            train_classifier(&mut net, &exp, &cfg).expect("train");
+            let acc = eval_classifier(&mut net, &exp, EVAL_SAMPLES).expect("eval");
+            print!("{:>11.1}%", acc * 100.0);
+        }
+        println!();
+    }
+    hline(58);
+    println!("paper: no single best mode — zero wins on some nets, replicate on others");
+}

@@ -1,0 +1,59 @@
+//! Figure 7: 8-bit quantization of baseline and F-blocked networks, with
+//! both training-aware quantization (fake-quantized weights during
+//! training) and post-training quantization (quantize a float-trained
+//! model's weights).
+
+use bconv_bench::{classifier_config, header, hline, EVAL_SAMPLES};
+use bconv_tensor::init::seeded_rng;
+use bconv_train::models::{fixed_rule, NetStyle, SmallClassifier};
+use bconv_train::trainer::{eval_classifier, train_classifier, TrainConfig};
+
+fn train_and_eval(style: NetStyle, blocked: bool, qat: bool, ptq: bool) -> f64 {
+    let cfg = if style == NetStyle::MobileNet {
+        TrainConfig { steps: 600, ..classifier_config() }
+    } else {
+        classifier_config()
+    };
+    let mut net = SmallClassifier::new(style, 8, 4, &mut seeded_rng(33)).expect("net");
+    if blocked {
+        net.apply_blocking(&fixed_rule(16));
+    }
+    if qat {
+        net.set_fake_quant(Some(8));
+    }
+    let exp = format!("fig7-{style:?}-{blocked}");
+    train_classifier(&mut net, &exp, &cfg).expect("train");
+    if ptq {
+        // Post-training: quantize the float-trained weights at inference.
+        net.set_fake_quant(Some(8));
+    }
+    eval_classifier(&mut net, &exp, EVAL_SAMPLES).expect("eval")
+}
+
+fn main() {
+    header("Figure 7: 8-bit quantization (baseline vs F16-blocked)");
+    hline(86);
+    println!(
+        "{:<16} {:>12} {:>12} {:>14} {:>14} {:>12}",
+        "network", "float base", "float BConv", "QAT base", "QAT BConv", "PTQ BConv"
+    );
+    hline(86);
+    for style in [NetStyle::Vgg, NetStyle::ResNet, NetStyle::MobileNet] {
+        let float_base = train_and_eval(style, false, false, false);
+        let float_blocked = train_and_eval(style, true, false, false);
+        let qat_base = train_and_eval(style, false, true, false);
+        let qat_blocked = train_and_eval(style, true, true, false);
+        let ptq_blocked = train_and_eval(style, true, false, true);
+        println!(
+            "{:<16} {:>11.1}% {:>11.1}% {:>13.1}% {:>13.1}% {:>11.1}%",
+            style.name(),
+            float_base * 100.0,
+            float_blocked * 100.0,
+            qat_base * 100.0,
+            qat_blocked * 100.0,
+            ptq_blocked * 100.0
+        );
+    }
+    hline(86);
+    println!("paper: with QAT, 8-bit blocked networks match or beat non-blocked ones");
+}

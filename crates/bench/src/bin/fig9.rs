@@ -1,0 +1,37 @@
+//! Figure 9: per-layer feature-map sizes (Mbits) of MobileNet-V1,
+//! ResNet-18 and ResNet-50 at 224² input, marking the first layer of each
+//! residual block (the layers that need an extra on-chip input copy,
+//! §III-A).
+
+use bconv_accel::platform::ultra96;
+use bconv_bench::{header, hline};
+use bconv_models::analysis::{feature_map_series, fusion_depth};
+use bconv_models::mobilenet::mobilenet_v1;
+use bconv_models::resnet::{resnet18, resnet50};
+
+fn main() {
+    let budget = ultra96().bram_mbits();
+    println!("Figure 9: feature map size per conv layer (16-bit), ZU3EG budget {budget:.1} Mbits");
+    for net in [
+        mobilenet_v1(224, false),
+        resnet18(224, false),
+        resnet50(224, false),
+    ] {
+        header(&net.name.clone());
+        hline(52);
+        let series = feature_map_series(&net, 16).expect("trace");
+        for p in &series {
+            let mark = if p.residual_first { " *residual-first" } else { "" };
+            println!("{:<24} {:>8.2}{mark}", p.name, p.mbits);
+        }
+        let depth = fusion_depth(&net, 16, budget).expect("trace");
+        match depth {
+            Some(d) => println!(
+                "fusion depth for {budget:.1} Mbits budget: fuse first {} layers ({})",
+                d + 1,
+                series[d].name
+            ),
+            None => println!("no fusion depth fits {budget:.1} Mbits"),
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Table II: non-square blocking on the ResNet analogue — the paper's
+//! F28×56, H4×1 and H1×4 become F16×32, H4×1 and H1×4 at our 32² scale.
+
+use bconv_bench::{classifier_config, header, hline, EVAL_SAMPLES};
+use bconv_core::BlockingPattern;
+use bconv_tensor::init::seeded_rng;
+use bconv_tensor::pad::PadMode;
+use bconv_train::models::{NetStyle, SmallClassifier};
+use bconv_train::trainer::{eval_classifier, train_classifier};
+
+fn main() {
+    header("Table II: non-square blocking on ResNet (small analogue)");
+    let configs: [(&str, Option<BlockingPattern>); 4] = [
+        ("baseline", None),
+        ("F16x32", Some(BlockingPattern::Fixed { th: 16, tw: 32 })),
+        ("H4x1", Some(BlockingPattern::Hierarchical { gh: 4, gw: 1 })),
+        ("H1x4", Some(BlockingPattern::Hierarchical { gh: 1, gw: 4 })),
+    ];
+    hline(40);
+    println!("{:<12} {:>12}", "config", "top-1");
+    hline(40);
+    let cfg = classifier_config();
+    for (name, pattern) in configs {
+        let mut net = SmallClassifier::new(NetStyle::ResNet, 8, 4, &mut seeded_rng(21))
+            .expect("net");
+        if let Some(p) = pattern {
+            net.apply_blocking(&move |res| {
+                let fits = match p {
+                    BlockingPattern::Fixed { th, tw } => res >= th.min(tw),
+                    BlockingPattern::Hierarchical { gh, gw } => res >= gh.max(gw),
+                };
+                fits.then_some((p, PadMode::Zero))
+            });
+        }
+        train_classifier(&mut net, "table2", &cfg).expect("train");
+        let acc = eval_classifier(&mut net, "table2", EVAL_SAMPLES).expect("eval");
+        println!("{:<12} {:>11.1}%", name, acc * 100.0);
+    }
+    hline(40);
+    println!("paper: all three non-square configurations stay at or above the baseline");
+}

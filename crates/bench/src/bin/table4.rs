@@ -1,0 +1,73 @@
+//! Table IV: PSNR of the VDSR analogue on the synthetic super-resolution
+//! task — baseline, H2×2 hierarchical, fixed irregular blocking, and
+//! blocking depths 2 and 4 — at scale factors ×2/×3/×4.
+//!
+//! Scaled mapping (DESIGN.md §2): 24×24 patches instead of 41×41, F16
+//! irregular (16+8 splits) instead of F28 (28+13), a 6-layer width-12 net
+//! instead of the 20-layer width-64 VDSR.
+
+use bconv_bench::{header, hline, vdsr_config, SR_PATCH};
+use bconv_core::plan::NetworkPlan;
+use bconv_core::BlockingPattern;
+use bconv_tensor::init::seeded_rng;
+use bconv_tensor::pad::PadMode;
+use bconv_train::layers::Blocking;
+use bconv_train::models::SmallVdsr;
+use bconv_train::trainer::{eval_vdsr_psnr, train_vdsr};
+
+const DEPTH: usize = 6;
+const WIDTH: usize = 12;
+
+fn build(config: &str) -> SmallVdsr {
+    let mut net = SmallVdsr::new(DEPTH, WIDTH, &mut seeded_rng(51)).expect("net");
+    let h22 = BlockingPattern::hierarchical(2);
+    match config {
+        "baseline" => {}
+        "H2x2" => net.apply_plan(
+            NetworkPlan::by_blocking_depth(DEPTH, h22, usize::MAX).per_layer(),
+            PadMode::Zero,
+        ),
+        "fixed-irregular" => {
+            // F16 on a 24px patch -> 16+8 irregular splits on every layer.
+            let b = Blocking::Pattern(BlockingPattern::fixed(16), PadMode::Zero);
+            net.apply_blocking(&vec![b; DEPTH]);
+        }
+        "depth2" => net.apply_plan(
+            NetworkPlan::by_blocking_depth(DEPTH, h22, 2).per_layer(),
+            PadMode::Zero,
+        ),
+        "depth4" => net.apply_plan(
+            NetworkPlan::by_blocking_depth(DEPTH, h22, 4).per_layer(),
+            PadMode::Zero,
+        ),
+        other => panic!("unknown config {other}"),
+    }
+    net
+}
+
+fn main() {
+    header("Table IV: PSNR (dB) of VDSR (small analogue) on synthetic SR");
+    let configs = ["baseline", "H2x2", "fixed-irregular", "depth2", "depth4"];
+    hline(76);
+    print!("{:<8}", "scale");
+    for c in configs {
+        print!("{c:>14}");
+    }
+    println!();
+    hline(76);
+    let cfg = vdsr_config();
+    for scale in [2usize, 3, 4] {
+        print!("x{scale:<7}");
+        for config in configs {
+            let mut net = build(config);
+            let exp = format!("table4-x{scale}");
+            train_vdsr(&mut net, &exp, scale, SR_PATCH, &cfg).expect("train");
+            let psnr = eval_vdsr_psnr(&mut net, &exp, scale, SR_PATCH, 32).expect("eval");
+            print!("{psnr:>14.2}");
+        }
+        println!();
+    }
+    hline(76);
+    println!("paper: PSNR loss under blocking <= 0.5 dB; fixed irregular >= H2x2;");
+    println!("       deeper fusion points (smaller blocking depth) recover PSNR");
+}

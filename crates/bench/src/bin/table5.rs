@@ -1,0 +1,47 @@
+//! Tables III and V: the detection benchmark configuration and the AP of
+//! the detector with and without a blocked backbone.
+//!
+//! Substitution (DESIGN.md §2): COCO SSD/FPN become a small SSD-style
+//! detector on the synthetic single-object task; the claim under test is a
+//! small AP drop when the backbone is blocked.
+
+use bconv_bench::{detector_config, header, hline, DET_EVAL_SAMPLES};
+use bconv_models::{fpn::fpn_resnet50, ssd::ssd300_vgg16};
+use bconv_tensor::init::seeded_rng;
+use bconv_train::models::{hierarchical_rule, SmallDetector};
+use bconv_train::trainer::{eval_detector, train_detector};
+
+fn main() {
+    // Table III: benchmark configuration, from the full-size descriptors.
+    header("Table III: detection benchmark configuration");
+    for (net, input) in [(ssd300_vgg16(), "300x300"), (fpn_resnet50(800, 1333), "1333x800")] {
+        let info = net.trace().expect("trace");
+        let convs = info.iter().filter(|l| l.is_conv).count();
+        let gmacs = info.iter().map(|l| l.macs).sum::<u64>() as f64 / 1e9;
+        println!("{:<16} input {input:<10} {convs} convs, {gmacs:.1} GMACs", net.name);
+    }
+
+    // Table V: AP with and without backbone blocking.
+    header("Table V: detection AP (synthetic single-object task)");
+    hline(64);
+    println!(
+        "{:<22} {:>8} {:>8} {:>8}",
+        "model", "AP", "AP@0.5", "AP@0.75"
+    );
+    hline(64);
+    let cfg = detector_config();
+    for (name, blocked) in [("SSD-small", false), ("SSD-small+BConv", true)] {
+        let mut det = SmallDetector::new(8, &mut seeded_rng(61)).expect("net");
+        if blocked {
+            det.apply_backbone_blocking(&hierarchical_rule(2));
+        }
+        train_detector(&mut det, "table5", &cfg).expect("train");
+        let ap = eval_detector(&mut det, "table5", DET_EVAL_SAMPLES).expect("eval");
+        println!(
+            "{:<22} {:>8.3} {:>8.3} {:>8.3}",
+            name, ap.ap, ap.ap50, ap.ap75
+        );
+    }
+    hline(64);
+    println!("paper: mAP drop of 1.0 (FPN) / 1.8 (SSD) points when the backbone is blocked");
+}

@@ -1,0 +1,60 @@
+//! Table VI: fused-layer configurations A–G for VGG-16 — grouping styles
+//! and per-layer blocking sizes `[Tr, Tc]` — with their simulated BRAM and
+//! latency.
+
+use bconv_accel::fusion::{table6_configs, vgg16_shapes};
+use bconv_accel::platform::zc706;
+use bconv_bench::hline;
+
+fn main() {
+    let shapes = vgg16_shapes();
+    let platform = zc706();
+    let configs = table6_configs();
+    let layer_names = [
+        "conv1-1", "conv1-2", "conv2-1", "conv2-2", "conv3-1", "conv3-2", "conv3-3", "conv4-1",
+        "conv4-2", "conv4-3", "conv5-1", "conv5-2", "conv5-3",
+    ];
+
+    println!("Table VI: fused-layer configurations of VGG-16");
+    print!("{:<10}", "");
+    for d in &configs {
+        print!("{:>12}", d.name);
+    }
+    println!();
+    print!("{:<10}", "groups");
+    for d in &configs {
+        let style: Vec<String> = d.group_sizes.iter().map(|g| g.to_string()).collect();
+        print!("{:>12}", style.join(","));
+    }
+    println!();
+    hline(10 + 12 * configs.len());
+    for (li, name) in layer_names.iter().enumerate() {
+        print!("{name:<10}");
+        for d in &configs {
+            let (tr, tc) = d.tiles[li];
+            print!("{:>12}", format!("[{tr},{tc}]"));
+        }
+        println!();
+    }
+    hline(10 + 12 * configs.len());
+    print!("{:<10}", "bits/PEs");
+    for d in &configs {
+        print!("{:>12}", format!("{}b/{}PE", d.bits, d.npe));
+    }
+    println!();
+    print!("{:<10}", "BRAM18");
+    for d in &configs {
+        print!("{:>12}", d.evaluate(&shapes, &platform).bram18);
+    }
+    println!("   (capacity {})", platform.bram18_blocks);
+    print!("{:<10}", "ms/image");
+    for d in &configs {
+        print!("{:>12.1}", d.evaluate(&shapes, &platform).latency_ms(&platform));
+    }
+    println!();
+    print!("{:<10}", "GOP/s");
+    for d in &configs {
+        print!("{:>12.1}", d.evaluate(&shapes, &platform).gops(&platform));
+    }
+    println!();
+}

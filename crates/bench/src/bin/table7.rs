@@ -1,0 +1,69 @@
+//! Table VII: comparison with published VGG-16 FPGA accelerators. The
+//! literature rows are the paper's printed values; the "Ours" rows show
+//! both the paper's reported numbers and our simulator's reproduction of
+//! design G.
+
+use bconv_accel::fusion::{table6_configs, vgg16_shapes};
+use bconv_accel::platform::zc706;
+use bconv_accel::report::{table7_paper_ours, table7_published_rows};
+use bconv_bench::hline;
+
+fn main() {
+    let shapes = vgg16_shapes();
+    let platform = zc706();
+
+    println!("Table VII: VGG-16 accelerator comparison");
+    hline(108);
+    println!(
+        "{:<22} {:<18} {:<12} {:>5} {:>11} {:>6} {:>10} {:>10} {:>10}",
+        "work", "platform", "precision", "MHz", "BRAMs", "DSPs", "GOP/s", "ms/image", "interm.xfer"
+    );
+    hline(108);
+    for r in table7_published_rows() {
+        println!(
+            "{:<22} {:<18} {:<12} {:>5} {:>11} {:>6} {:>10.2} {:>10.2} {:>10}",
+            r.work,
+            r.platform,
+            r.precision,
+            r.freq_mhz,
+            r.brams,
+            r.dsps,
+            r.gops,
+            r.latency_ms,
+            if r.intermediate_transfer { "yes" } else { "NO" }
+        );
+    }
+    let paper = table7_paper_ours();
+    println!(
+        "{:<22} {:<18} {:<12} {:>5} {:>11} {:>6} {:>10.2} {:>10.2} {:>10}",
+        paper.work,
+        paper.platform,
+        paper.precision,
+        paper.freq_mhz,
+        paper.brams,
+        paper.dsps,
+        paper.gops,
+        paper.latency_ms,
+        "NO"
+    );
+    // Our simulated reproduction: design G (8-bit, 4 PE on ZC706).
+    let g = &table6_configs()[6];
+    let e = g.evaluate(&shapes, &platform);
+    println!(
+        "{:<22} {:<18} {:<12} {:>5} {:>11} {:>6} {:>10.2} {:>10.2} {:>10}",
+        "Ours (simulated G)",
+        platform.name,
+        format!("{}b fixed", g.bits),
+        platform.freq_mhz as u32,
+        format!("{} used", e.bram18),
+        platform.dsp,
+        e.gops(&platform),
+        e.latency_ms(&platform),
+        "NO"
+    );
+    hline(108);
+    println!(
+        "feature-map off-chip traffic of simulated G: {:.1} Mbits (input + output only)",
+        e.feature_traffic_bits as f64 / 1e6
+    );
+}

@@ -1,0 +1,65 @@
+//! Tables VIII and IX: the VDSR architecture, and the VDSR accelerator's
+//! resource utilisation and off-chip feature-map transfer size — baseline
+//! vs block-convolution variant on the Ultra96.
+
+use bconv_accel::platform::{ultra96, EnergyModel};
+use bconv_accel::vdsr_accel::{evaluate_baseline, evaluate_blockconv, VdsrConfig};
+use bconv_bench::{header, hline};
+use bconv_models::vdsr::vdsr;
+
+fn main() {
+    // Table VIII: architecture.
+    header("Table VIII: VDSR architecture (1080x1920 input)");
+    let net = vdsr(1080, 1920);
+    let info = net.trace().expect("trace");
+    hline(64);
+    for l in info.iter().filter(|l| l.is_conv) {
+        println!(
+            "{:<10} 3x3x{}x{}   input {}x{}x{}",
+            l.name, l.in_shape.c, l.out_shape.c, l.in_shape.h, l.in_shape.w, l.in_shape.c
+        );
+    }
+    println!("eltwise-sum with the network input");
+
+    // Table IX: accelerator comparison.
+    let cfg = VdsrConfig::paper();
+    let platform = ultra96();
+    let base = evaluate_baseline(&cfg, &platform);
+    let bconv = evaluate_blockconv(&cfg, &platform);
+
+    header("Table IX: VDSR accelerator on Ultra96 (8-bit act / 4-bit wt, 27x48 tiles)");
+    hline(86);
+    println!(
+        "{:<18} {:>12} {:>12} {:>10} {:>10} {:>18}",
+        "variant", "BRAM18", "LUT", "FF", "DSP", "transfer Mbits"
+    );
+    hline(86);
+    for (name, e) in [("baseline", &base), ("baseline+BConv", &bconv)] {
+        println!(
+            "{:<18} {:>7}/{:<4} {:>12} {:>10} {:>6}/{:<3} {:>18.2}",
+            name,
+            e.bram18,
+            platform.bram18_blocks,
+            e.lut,
+            e.ff,
+            e.dsp,
+            platform.dsp,
+            e.transfer_mbits()
+        );
+    }
+    hline(86);
+    println!(
+        "transfer reduction: {:.3}%  (paper: 36481.64 -> 31.64 Mbits, >99.9%)",
+        100.0 * (1.0 - bconv.transfer_bits as f64 / base.transfer_bits as f64)
+    );
+    let energy = EnergyModel::default();
+    println!(
+        "DRAM energy for feature maps: baseline {:.1} mJ -> BConv {:.3} mJ per image",
+        base.dram_energy_mj(&energy),
+        bconv.dram_energy_mj(&energy)
+    );
+    println!(
+        "DRAM transfer cycles: baseline {} -> BConv {} (compute {} cycles)",
+        base.dram_cycles, bconv.dram_cycles, base.compute_cycles
+    );
+}

@@ -1,0 +1,84 @@
+//! Shared helpers for the experiment harness binaries (one per paper table
+//! and figure — see DESIGN.md §4 for the full index) and the Criterion
+//! benches.
+
+use bconv_train::layers::SgdConfig;
+use bconv_train::trainer::TrainConfig;
+
+/// Prints a section header.
+pub fn header(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Prints a horizontal rule sized to `width`.
+pub fn hline(width: usize) {
+    println!("{}", "-".repeat(width));
+}
+
+/// Standard training configuration for the small classifiers
+/// (Tables I/II, Figures 5–7). Adam: the plain small networks need its
+/// per-parameter scaling to escape the uniform-prediction plateau reliably
+/// across seeds (30/30 in the calibration sweep vs ~60% with SGD).
+pub fn classifier_config() -> TrainConfig {
+    TrainConfig {
+        steps: 400,
+        batch: 16,
+        sgd: SgdConfig { lr: 0.005, adam: true, ..SgdConfig::default() },
+        lr_halve_every: 150,
+    }
+}
+
+/// Shorter fine-tuning configuration (the paper fine-tunes from the
+/// pre-trained baseline with unchanged hyperparameters, at a lower rate).
+pub fn finetune_config() -> TrainConfig {
+    TrainConfig {
+        steps: 200,
+        batch: 16,
+        sgd: SgdConfig { lr: 0.002, adam: true, ..SgdConfig::default() },
+        lr_halve_every: 80,
+    }
+}
+
+/// Training configuration for the small VDSR (Table IV).
+pub fn vdsr_config() -> TrainConfig {
+    TrainConfig {
+        steps: 300,
+        batch: 8,
+        sgd: SgdConfig { lr: 0.05, weight_decay: 1e-5, ..SgdConfig::default() },
+        lr_halve_every: 120,
+    }
+}
+
+/// Training configuration for the small detector (Table V, Figure 8).
+pub fn detector_config() -> TrainConfig {
+    TrainConfig {
+        steps: 400,
+        batch: 16,
+        sgd: SgdConfig { lr: 0.02, ..SgdConfig::default() },
+        lr_halve_every: 150,
+    }
+}
+
+/// Patch size for the super-resolution experiments: the paper trains on
+/// 41×41 Set5 patches; we use 24 so scales 2/3/4 divide exactly and the
+/// fixed-irregular split (F16 → 16+8) mirrors the paper's F28 → 28+13.
+pub const SR_PATCH: usize = 24;
+
+/// Evaluation sample counts for classification.
+pub const EVAL_SAMPLES: usize = 256;
+
+/// Number of held-out samples for detection evaluation.
+pub const DET_EVAL_SAMPLES: usize = 128;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn configs_are_sane() {
+        assert!(classifier_config().steps > finetune_config().steps);
+        assert_eq!(SR_PATCH % 2, 0);
+        assert_eq!(SR_PATCH % 3, 0);
+        assert_eq!(SR_PATCH % 4, 0);
+    }
+}

@@ -1,0 +1,373 @@
+//! The block convolution operator: split → block-pad → convolve → concat.
+//!
+//! Paper §II-C: the feature map is partitioned by a [`BlockGrid`]; each
+//! block is padded *locally* (so its computation depends on nothing outside
+//! the block) and convolved; the per-block outputs are concatenated.
+//! FLOPs are identical to the conventional convolution; only pixels whose
+//! receptive field crosses a block boundary can differ.
+
+use bconv_tensor::conv::Conv2d;
+use bconv_tensor::pad::{pad2d_asym, PadMode};
+use bconv_tensor::{Tensor, TensorError};
+
+use crate::blocking::{BlockGrid, BlockingPattern};
+use crate::padding_solver::{plan_axis, AxisPlan};
+
+/// A planned block convolution: a dense convolution plus a block grid, the
+/// per-block padding schedule derived from the paper's Equation 2, and a
+/// block-padding mode.
+#[derive(Debug, Clone)]
+pub struct BlockConv2d {
+    conv: Conv2d,
+    grid: BlockGrid,
+    rows: AxisPlan,
+    cols: AxisPlan,
+    pad_mode: PadMode,
+}
+
+impl BlockConv2d {
+    /// Plans a block convolution for inputs tiled by `grid`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidParameter`] when Equation 2 has no
+    /// solution for the grid (e.g. a strided kernel with misaligned
+    /// segments).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use bconv_core::{BlockConv2d, blocking::{BlockGrid, BlockingPattern}};
+    /// use bconv_tensor::{Tensor, PadMode, conv::{Conv2d, ConvGeom}};
+    ///
+    /// # fn main() -> Result<(), bconv_tensor::TensorError> {
+    /// // Figure 3: 8x8x3 input, 3x3x3 filter, 2x2 blocks.
+    /// let conv = Conv2d::identity_like(3, 3, ConvGeom::same(3))?;
+    /// let grid = BlockGrid::from_pattern(8, 8, bconv_core::blocking::BlockingPattern::hierarchical(2))?;
+    /// let bconv = BlockConv2d::plan(conv, grid, PadMode::Zero)?;
+    /// let input = Tensor::filled([1, 3, 8, 8], 1.0);
+    /// let out = bconv.forward(&input)?;
+    /// assert_eq!(out.shape().dims(), [1, 3, 8, 8]);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn plan(conv: Conv2d, grid: BlockGrid, pad_mode: PadMode) -> Result<Self, TensorError> {
+        let g = conv.geom();
+        let rows = plan_axis(grid.row_segments(), g.kernel, g.stride, g.padding)?;
+        let cols = plan_axis(grid.col_segments(), g.kernel, g.stride, g.padding)?;
+        Ok(Self {
+            conv,
+            grid,
+            rows,
+            cols,
+            pad_mode,
+        })
+    }
+
+    /// Plans a block convolution from a [`BlockingPattern`] on an `h × w`
+    /// input.
+    ///
+    /// # Errors
+    ///
+    /// See [`BlockConv2d::plan`].
+    pub fn from_pattern(
+        conv: Conv2d,
+        h: usize,
+        w: usize,
+        pattern: BlockingPattern,
+        pad_mode: PadMode,
+    ) -> Result<Self, TensorError> {
+        let grid = BlockGrid::from_pattern(h, w, pattern)?;
+        Self::plan(conv, grid, pad_mode)
+    }
+
+    /// The underlying dense convolution.
+    pub fn conv(&self) -> &Conv2d {
+        &self.conv
+    }
+
+    /// The block grid on the input.
+    pub fn grid(&self) -> &BlockGrid {
+        &self.grid
+    }
+
+    /// Block-padding mode.
+    pub fn pad_mode(&self) -> PadMode {
+        self.pad_mode
+    }
+
+    /// The grid induced on the output feature map.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for a successfully planned block convolution; kept
+    /// fallible for API uniformity with [`BlockGrid::from_segments`].
+    pub fn output_grid(&self) -> Result<BlockGrid, TensorError> {
+        let seg = |plan: &AxisPlan| {
+            let mut out = Vec::with_capacity(plan.blocks.len());
+            let mut cursor = 0;
+            for b in &plan.blocks {
+                out.push((cursor, b.out));
+                cursor += b.out;
+            }
+            out
+        };
+        let rows = seg(&self.rows);
+        let cols = seg(&self.cols);
+        let h = rows.iter().map(|&(_, s)| s).sum();
+        let w = cols.iter().map(|&(_, s)| s).sum();
+        BlockGrid::from_segments(h, w, rows, cols)
+    }
+
+    /// Convolves a single input block (already cropped out of the feature
+    /// map) at grid position `(row, col)`: applies the planned block
+    /// padding and the dense kernel.
+    ///
+    /// This is the primitive a fused multi-layer executor calls per block.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors if `block` does not match the planned block
+    /// size at `(row, col)`.
+    pub fn forward_block(
+        &self,
+        block: &Tensor,
+        row: usize,
+        col: usize,
+    ) -> Result<Tensor, TensorError> {
+        let rp = &self.rows.blocks[row];
+        let cp = &self.cols.blocks[col];
+        let [_, _, bh, bw] = block.shape().dims();
+        if bh != rp.size || bw != cp.size {
+            return Err(TensorError::shape_mismatch(
+                "BlockConv2d::forward_block",
+                format!("[{},{}]", rp.size, cp.size),
+                format!("[{bh},{bw}]"),
+            ));
+        }
+        let padded = pad2d_asym(block, rp.pad_lo, rp.pad_hi, cp.pad_lo, cp.pad_hi, self.pad_mode)?;
+        self.conv.forward_prepadded(&padded)
+    }
+
+    /// Full block convolution: split by the grid, convolve each block via
+    /// [`forward_block`](Self::forward_block), concatenate.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors if `input` does not match the planned grid.
+    pub fn forward(&self, input: &Tensor) -> Result<Tensor, TensorError> {
+        let [n, _, h, w] = input.shape().dims();
+        if h != self.grid.h() || w != self.grid.w() {
+            return Err(TensorError::shape_mismatch(
+                "BlockConv2d::forward input",
+                format!("[{},{}]", self.grid.h(), self.grid.w()),
+                format!("[{h},{w}]"),
+            ));
+        }
+        let out_grid = self.output_grid()?;
+        let mut out = Tensor::zeros([n, self.conv.c_out(), out_grid.h(), out_grid.w()]);
+        for row in 0..self.grid.num_rows() {
+            for col in 0..self.grid.num_cols() {
+                let b = self.grid.block(row, col);
+                let ob = out_grid.block(row, col);
+                let cropped = input.crop(b.h0, b.w0, b.bh, b.bw)?;
+                let conv_out = self.forward_block(&cropped, row, col)?;
+                out.paste(&conv_out, ob.h0, ob.w0)?;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Multiply–accumulate count of the whole block convolution — equal to
+    /// the conventional convolution's by construction (paper §II-C).
+    pub fn macs(&self) -> u64 {
+        let k = self.conv.geom().kernel as u64;
+        let per_out =
+            k * k * (self.conv.c_in() / self.conv.groups()) as u64 * self.conv.c_out() as u64;
+        let out_area: u64 = self
+            .rows
+            .blocks
+            .iter()
+            .flat_map(|r| self.cols.blocks.iter().map(move |c| (r.out * c.out) as u64))
+            .sum();
+        per_out * out_area
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bconv_tensor::conv::ConvGeom;
+    use bconv_tensor::init::{he_conv2d, seeded_rng, uniform_tensor};
+
+    fn random_conv(c_in: usize, c_out: usize, k: usize, seed: u64) -> Conv2d {
+        let mut rng = seeded_rng(seed);
+        he_conv2d(c_in, c_out, ConvGeom::same(k), 1, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn figure3_shape_and_op_count() {
+        // 8x8x3 input, 3x3x3 filter, 2x2 blocks: output 8x8, MACs equal.
+        let conv = random_conv(3, 1, 3, 1);
+        let dense_macs = conv.macs(8, 8).unwrap();
+        let bconv = BlockConv2d::from_pattern(
+            conv,
+            8,
+            8,
+            BlockingPattern::hierarchical(2),
+            PadMode::Zero,
+        )
+        .unwrap();
+        assert_eq!(bconv.macs(), dense_macs);
+        let input = uniform_tensor([1, 3, 8, 8], -1.0, 1.0, &mut seeded_rng(2));
+        let out = bconv.forward(&input).unwrap();
+        assert_eq!(out.shape().dims(), [1, 1, 8, 8]);
+    }
+
+    #[test]
+    fn interior_pixels_match_dense_convolution() {
+        // Pixels whose 3x3 receptive field stays inside one block are
+        // bit-identical to the conventional convolution.
+        let conv = random_conv(2, 2, 3, 3);
+        let input = uniform_tensor([1, 2, 8, 8], -1.0, 1.0, &mut seeded_rng(4));
+        let dense = conv.forward(&input).unwrap();
+        let bconv = BlockConv2d::from_pattern(
+            conv,
+            8,
+            8,
+            BlockingPattern::hierarchical(2),
+            PadMode::Zero,
+        )
+        .unwrap();
+        let blocked = bconv.forward(&input).unwrap();
+        // Interior of the top-left 4x4 block: rows/cols 1..3.
+        for c in 0..2 {
+            for h in 1..3 {
+                for w in 1..3 {
+                    assert!(
+                        (dense.at(0, c, h, w) - blocked.at(0, c, h, w)).abs() < 1e-5,
+                        "interior pixel ({c},{h},{w}) differs"
+                    );
+                }
+            }
+        }
+        // Boundary pixels generally differ (zero block padding vs real data).
+        let diff = dense.max_abs_diff(&blocked).unwrap();
+        assert!(diff > 0.0, "blocking should perturb boundary pixels");
+    }
+
+    #[test]
+    fn single_block_grid_is_exactly_dense_convolution() {
+        let conv = random_conv(3, 4, 3, 5);
+        let input = uniform_tensor([1, 3, 10, 10], -1.0, 1.0, &mut seeded_rng(6));
+        let dense = conv.forward(&input).unwrap();
+        let bconv =
+            BlockConv2d::plan(conv, BlockGrid::single(10, 10), PadMode::Zero).unwrap();
+        let blocked = bconv.forward(&input).unwrap();
+        assert!(dense.approx_eq(&blocked, 1e-5).unwrap());
+    }
+
+    #[test]
+    fn pointwise_block_conv_is_exactly_pointwise() {
+        // §II-C: "when the kernel size is 1, block convolution is exactly
+        // the pointwise convolution".
+        let mut rng = seeded_rng(7);
+        let conv = he_conv2d(4, 6, ConvGeom::new(1, 1, 0), 1, &mut rng).unwrap();
+        let input = uniform_tensor([1, 4, 8, 8], -1.0, 1.0, &mut rng);
+        let dense = conv.forward(&input).unwrap();
+        for pattern in [BlockingPattern::hierarchical(2), BlockingPattern::fixed(3)] {
+            let bconv =
+                BlockConv2d::from_pattern(conv.clone(), 8, 8, pattern, PadMode::Zero).unwrap();
+            let blocked = bconv.forward(&input).unwrap();
+            assert!(dense.approx_eq(&blocked, 1e-5).unwrap(), "pattern {pattern}");
+        }
+    }
+
+    #[test]
+    fn depthwise_block_conv_keeps_shape() {
+        let mut rng = seeded_rng(8);
+        let conv = he_conv2d(4, 4, ConvGeom::same(3), 4, &mut rng).unwrap();
+        let input = uniform_tensor([1, 4, 8, 8], -1.0, 1.0, &mut rng);
+        let bconv = BlockConv2d::from_pattern(
+            conv,
+            8,
+            8,
+            BlockingPattern::hierarchical(2),
+            PadMode::Zero,
+        )
+        .unwrap();
+        let out = bconv.forward(&input).unwrap();
+        assert_eq!(out.shape().dims(), [1, 4, 8, 8]);
+    }
+
+    #[test]
+    fn irregular_fixed_blocking_preserves_output_size() {
+        // 41x41 "same" conv under F28 -> 28/13 splits, output still 41x41.
+        let conv = random_conv(1, 1, 3, 9);
+        let input = uniform_tensor([1, 1, 41, 41], -1.0, 1.0, &mut seeded_rng(10));
+        let bconv =
+            BlockConv2d::from_pattern(conv, 41, 41, BlockingPattern::fixed(28), PadMode::Zero)
+                .unwrap();
+        let out = bconv.forward(&input).unwrap();
+        assert_eq!(out.shape().dims(), [1, 1, 41, 41]);
+    }
+
+    #[test]
+    fn replicate_and_reflect_block_padding_work() {
+        let conv = random_conv(2, 2, 3, 11);
+        let input = uniform_tensor([1, 2, 8, 8], -1.0, 1.0, &mut seeded_rng(12));
+        for mode in PadMode::ALL {
+            let bconv = BlockConv2d::from_pattern(
+                conv.clone(),
+                8,
+                8,
+                BlockingPattern::hierarchical(2),
+                mode,
+            )
+            .unwrap();
+            let out = bconv.forward(&input).unwrap();
+            assert_eq!(out.shape().dims(), [1, 2, 8, 8], "mode {mode:?}");
+        }
+    }
+
+    #[test]
+    fn wrong_input_size_is_an_error() {
+        let conv = random_conv(1, 1, 3, 13);
+        let bconv = BlockConv2d::from_pattern(
+            conv,
+            8,
+            8,
+            BlockingPattern::hierarchical(2),
+            PadMode::Zero,
+        )
+        .unwrap();
+        let input = Tensor::zeros([1, 1, 9, 8]);
+        assert!(bconv.forward(&input).is_err());
+    }
+
+    #[test]
+    fn forward_block_validates_block_shape() {
+        let conv = random_conv(1, 1, 3, 14);
+        let bconv = BlockConv2d::from_pattern(
+            conv,
+            8,
+            8,
+            BlockingPattern::hierarchical(2),
+            PadMode::Zero,
+        )
+        .unwrap();
+        let bad = Tensor::zeros([1, 1, 5, 4]);
+        assert!(bconv.forward_block(&bad, 0, 0).is_err());
+    }
+
+    #[test]
+    fn output_grid_tracks_block_outputs() {
+        let conv = random_conv(1, 1, 3, 15);
+        let bconv =
+            BlockConv2d::from_pattern(conv, 41, 41, BlockingPattern::fixed(28), PadMode::Zero)
+                .unwrap();
+        let og = bconv.output_grid().unwrap();
+        assert_eq!(og.h(), 41);
+        assert_eq!(og.row_segments(), &[(0, 28), (28, 13)]);
+    }
+}

@@ -1,0 +1,461 @@
+//! Spatial blocking patterns and the [`BlockGrid`] partition.
+//!
+//! The paper (§II-D, Figure 4) defines two patterns for multi-layer fusion:
+//!
+//! * **fixed blocking** — the block *size* is constant through layers; after
+//!   pooling, adjacent shrunken blocks merge into one full-size block, so
+//!   the number of blocks drops and the receptive field of a block grows;
+//! * **hierarchical blocking** — the block *count* is constant; the network
+//!   splits into independent spatial sub-networks.
+//!
+//! Rectangular (`F28×56`, `H1×4`) and irregular blocks (fixed 28 on a 41×41
+//! map → 28/13 splits, §II-F) are both supported.
+
+use std::fmt;
+
+use bconv_tensor::TensorError;
+
+/// A blocking pattern in the paper's notation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BlockingPattern {
+    /// `F(th×tw)` — constant block size `(th, tw)` through layers. The last
+    /// row/column of blocks may be smaller when the map size is not a
+    /// multiple of the block size (the paper's "irregular" fixed blocking).
+    Fixed {
+        /// Block height.
+        th: usize,
+        /// Block width.
+        tw: usize,
+    },
+    /// `H(gh×gw)` — constant block *count* `(gh, gw)`; block sizes shrink
+    /// as resolution drops. When the map is not divisible the leading
+    /// blocks take the extra pixels.
+    Hierarchical {
+        /// Number of block rows.
+        gh: usize,
+        /// Number of block columns.
+        gw: usize,
+    },
+}
+
+impl BlockingPattern {
+    /// Square fixed blocking `F(t×t)`.
+    pub fn fixed(t: usize) -> Self {
+        Self::Fixed { th: t, tw: t }
+    }
+
+    /// Square hierarchical blocking `H(g×g)`.
+    pub fn hierarchical(g: usize) -> Self {
+        Self::Hierarchical { gh: g, gw: g }
+    }
+}
+
+impl fmt::Display for BlockingPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Fixed { th, tw } if th == tw => write!(f, "F{th}"),
+            Self::Fixed { th, tw } => write!(f, "F{th}x{tw}"),
+            Self::Hierarchical { gh, gw } if gh == gw => write!(f, "H{gh}x{gh}"),
+            Self::Hierarchical { gh, gw } => write!(f, "H{gh}x{gw}"),
+        }
+    }
+}
+
+/// One spatial block: origin `(h0, w0)`, extent `(bh, bw)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Block {
+    /// Row of the top-left pixel.
+    pub h0: usize,
+    /// Column of the top-left pixel.
+    pub w0: usize,
+    /// Block height.
+    pub bh: usize,
+    /// Block width.
+    pub bw: usize,
+}
+
+impl Block {
+    /// Number of pixels in the block.
+    pub fn area(&self) -> usize {
+        self.bh * self.bw
+    }
+}
+
+/// A partition of an `h × w` feature map into non-overlapping blocks that
+/// exactly tile the map.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockGrid {
+    h: usize,
+    w: usize,
+    rows: Vec<(usize, usize)>,
+    cols: Vec<(usize, usize)>,
+}
+
+/// Splits `len` into segments of size `seg` with a smaller tail segment.
+fn fixed_segments(len: usize, seg: usize) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut start = 0;
+    while start < len {
+        let size = seg.min(len - start);
+        out.push((start, size));
+        start += size;
+    }
+    out
+}
+
+/// Splits `len` into `parts` segments as evenly as possible (leading
+/// segments take the remainder).
+fn even_segments(len: usize, parts: usize) -> Vec<(usize, usize)> {
+    let base = len / parts;
+    let extra = len % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let size = base + usize::from(i < extra);
+        out.push((start, size));
+        start += size;
+    }
+    out
+}
+
+impl BlockGrid {
+    /// Builds the grid a pattern induces on an `h × w` map.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidParameter`] if the pattern is
+    /// degenerate (zero block size/count) or a hierarchical pattern asks for
+    /// more blocks than pixels.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use bconv_core::blocking::{BlockGrid, BlockingPattern};
+    /// // Figure 3: an 8x8 map under 2x2 hierarchical blocking -> four 4x4 blocks.
+    /// let grid = BlockGrid::from_pattern(8, 8, BlockingPattern::hierarchical(2))?;
+    /// assert_eq!(grid.num_blocks(), 4);
+    /// assert!(grid.blocks().all(|b| b.bh == 4 && b.bw == 4));
+    /// # Ok::<(), bconv_tensor::TensorError>(())
+    /// ```
+    pub fn from_pattern(
+        h: usize,
+        w: usize,
+        pattern: BlockingPattern,
+    ) -> Result<Self, TensorError> {
+        if h == 0 || w == 0 {
+            return Err(TensorError::invalid("cannot block an empty feature map"));
+        }
+        let (rows, cols) = match pattern {
+            BlockingPattern::Fixed { th, tw } => {
+                if th == 0 || tw == 0 {
+                    return Err(TensorError::invalid("fixed block size must be non-zero"));
+                }
+                (fixed_segments(h, th), fixed_segments(w, tw))
+            }
+            BlockingPattern::Hierarchical { gh, gw } => {
+                if gh == 0 || gw == 0 {
+                    return Err(TensorError::invalid("block count must be non-zero"));
+                }
+                if gh > h || gw > w {
+                    return Err(TensorError::invalid(format!(
+                        "cannot split ({h},{w}) into ({gh},{gw}) blocks"
+                    )));
+                }
+                (even_segments(h, gh), even_segments(w, gw))
+            }
+        };
+        Ok(Self { h, w, rows, cols })
+    }
+
+    /// A grid with a single block covering the whole map (i.e. no blocking).
+    pub fn single(h: usize, w: usize) -> Self {
+        Self {
+            h,
+            w,
+            rows: vec![(0, h)],
+            cols: vec![(0, w)],
+        }
+    }
+
+    /// Builds a grid from explicit row/column segment lists.
+    ///
+    /// Segments must tile `[0, h)` and `[0, w)` contiguously. This is how
+    /// the paper's irregular 41×41 → {28, 13} fixed split (§II-F) and the
+    /// per-layer `[Tr, Tc]` configurations of Table VI are expressed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidParameter`] if segments do not tile
+    /// the map contiguously.
+    pub fn from_segments(
+        h: usize,
+        w: usize,
+        rows: Vec<(usize, usize)>,
+        cols: Vec<(usize, usize)>,
+    ) -> Result<Self, TensorError> {
+        for (axis, len, segs) in [("rows", h, &rows), ("cols", w, &cols)] {
+            let mut cursor = 0;
+            for &(start, size) in segs.iter() {
+                if start != cursor || size == 0 {
+                    return Err(TensorError::invalid(format!(
+                        "{axis} segments must tile [0,{len}) contiguously"
+                    )));
+                }
+                cursor += size;
+            }
+            if cursor != len {
+                return Err(TensorError::invalid(format!(
+                    "{axis} segments cover {cursor} of {len}"
+                )));
+            }
+        }
+        Ok(Self { h, w, rows, cols })
+    }
+
+    /// Feature-map height this grid tiles.
+    pub fn h(&self) -> usize {
+        self.h
+    }
+
+    /// Feature-map width this grid tiles.
+    pub fn w(&self) -> usize {
+        self.w
+    }
+
+    /// Number of block rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of block columns.
+    pub fn num_cols(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Total block count.
+    pub fn num_blocks(&self) -> usize {
+        self.rows.len() * self.cols.len()
+    }
+
+    /// Row segments as `(start, size)` pairs.
+    pub fn row_segments(&self) -> &[(usize, usize)] {
+        &self.rows
+    }
+
+    /// Column segments as `(start, size)` pairs.
+    pub fn col_segments(&self) -> &[(usize, usize)] {
+        &self.cols
+    }
+
+    /// The block at grid position `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row`/`col` are out of range.
+    pub fn block(&self, row: usize, col: usize) -> Block {
+        let (h0, bh) = self.rows[row];
+        let (w0, bw) = self.cols[col];
+        Block { h0, w0, bh, bw }
+    }
+
+    /// Iterates over blocks in row-major order.
+    pub fn blocks(&self) -> impl Iterator<Item = Block> + '_ {
+        self.rows.iter().flat_map(move |&(h0, bh)| {
+            self.cols.iter().map(move |&(w0, bw)| Block { h0, w0, bh, bw })
+        })
+    }
+
+    /// Largest block area in the grid — the quantity an accelerator's
+    /// intermediate buffer must be sized for.
+    pub fn max_block_area(&self) -> usize {
+        self.blocks().map(|b| b.area()).max().unwrap_or(0)
+    }
+
+    /// The grid induced on the output of a stride-`s` spatial reduction
+    /// (stride-s convolution or s×s pooling). Each segment shrinks by `s`;
+    /// this is exact when every segment start and size is divisible by `s`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidParameter`] if any segment boundary is
+    /// not aligned to `s` (the blocks would no longer be independent).
+    pub fn downscale(&self, s: usize) -> Result<Self, TensorError> {
+        if s == 0 {
+            return Err(TensorError::invalid("downscale stride must be non-zero"));
+        }
+        let scale = |segs: &[(usize, usize)]| -> Result<Vec<(usize, usize)>, TensorError> {
+            segs.iter()
+                .map(|&(start, size)| {
+                    if start % s != 0 || size % s != 0 {
+                        Err(TensorError::invalid(format!(
+                            "segment ({start},{size}) not divisible by stride {s}"
+                        )))
+                    } else {
+                        Ok((start / s, size / s))
+                    }
+                })
+                .collect()
+        };
+        Ok(Self {
+            h: self.h / s,
+            w: self.w / s,
+            rows: scale(&self.rows)?,
+            cols: scale(&self.cols)?,
+        })
+    }
+
+    /// Merges every `m × m` group of adjacent blocks into one — the
+    /// fixed-blocking "splice after pooling" step of Figure 4(a).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidParameter`] if the block rows/columns
+    /// are not divisible by `m`.
+    pub fn merge(&self, m: usize) -> Result<Self, TensorError> {
+        if m == 0 || self.rows.len() % m != 0 || self.cols.len() % m != 0 {
+            return Err(TensorError::invalid(format!(
+                "cannot merge {}x{} blocks in groups of {m}",
+                self.rows.len(),
+                self.cols.len()
+            )));
+        }
+        let merge_segs = |segs: &[(usize, usize)]| {
+            segs.chunks(m)
+                .map(|chunk| {
+                    let start = chunk[0].0;
+                    let size = chunk.iter().map(|&(_, s)| s).sum();
+                    (start, size)
+                })
+                .collect()
+        };
+        Ok(Self {
+            h: self.h,
+            w: self.w,
+            rows: merge_segs(&self.rows),
+            cols: merge_segs(&self.cols),
+        })
+    }
+}
+
+impl fmt::Display for BlockGrid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "BlockGrid({}x{} -> {}x{} blocks)",
+            self.h,
+            self.w,
+            self.rows.len(),
+            self.cols.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hierarchical_even_split() {
+        let g = BlockGrid::from_pattern(8, 8, BlockingPattern::hierarchical(2)).unwrap();
+        assert_eq!(g.num_blocks(), 4);
+        assert_eq!(g.block(1, 1), Block { h0: 4, w0: 4, bh: 4, bw: 4 });
+    }
+
+    #[test]
+    fn hierarchical_uneven_split_gives_leading_blocks_extra() {
+        // Paper §II-F: 41x41 under H2x2 -> "four blocks of the same size"
+        // is only possible as 21/20.
+        let g = BlockGrid::from_pattern(41, 41, BlockingPattern::hierarchical(2)).unwrap();
+        assert_eq!(g.row_segments(), &[(0, 21), (21, 20)]);
+    }
+
+    #[test]
+    fn fixed_irregular_split_matches_paper_vdsr_case() {
+        // Paper §II-F: fixed blocking partitions 41x41 into 28x28, 28x13,
+        // 13x28 and 13x13.
+        let g = BlockGrid::from_pattern(41, 41, BlockingPattern::fixed(28)).unwrap();
+        let sizes: Vec<(usize, usize)> = g.blocks().map(|b| (b.bh, b.bw)).collect();
+        assert_eq!(sizes, vec![(28, 28), (28, 13), (13, 28), (13, 13)]);
+    }
+
+    #[test]
+    fn rectangular_patterns() {
+        // F28x56 and H1x4 from Table II.
+        let g = BlockGrid::from_pattern(56, 56, BlockingPattern::Fixed { th: 28, tw: 56 }).unwrap();
+        assert_eq!(g.num_blocks(), 2);
+        let g = BlockGrid::from_pattern(56, 56, BlockingPattern::Hierarchical { gh: 1, gw: 4 })
+            .unwrap();
+        assert_eq!(g.num_rows(), 1);
+        assert_eq!(g.num_cols(), 4);
+    }
+
+    #[test]
+    fn blocks_tile_the_map_exactly() {
+        for pattern in [
+            BlockingPattern::fixed(5),
+            BlockingPattern::fixed(7),
+            BlockingPattern::hierarchical(3),
+            BlockingPattern::Hierarchical { gh: 2, gw: 5 },
+        ] {
+            let g = BlockGrid::from_pattern(17, 23, pattern).unwrap();
+            let covered: usize = g.blocks().map(|b| b.area()).sum();
+            assert_eq!(covered, 17 * 23, "pattern {pattern}");
+        }
+    }
+
+    #[test]
+    fn downscale_after_pooling() {
+        let g = BlockGrid::from_pattern(8, 8, BlockingPattern::hierarchical(2)).unwrap();
+        let d = g.downscale(2).unwrap();
+        assert_eq!(d.h(), 4);
+        assert_eq!(d.block(1, 1), Block { h0: 2, w0: 2, bh: 2, bw: 2 });
+        // Misaligned segments are rejected.
+        let odd = BlockGrid::from_pattern(9, 9, BlockingPattern::hierarchical(3)).unwrap();
+        assert!(odd.downscale(2).is_err());
+    }
+
+    #[test]
+    fn merge_implements_fixed_blocking_splice() {
+        // Figure 4(a): after pooling, 4 quarter-size blocks splice into one.
+        let g = BlockGrid::from_pattern(8, 8, BlockingPattern::fixed(4)).unwrap();
+        let pooled = g.downscale(2).unwrap(); // 4x4 map, 2x2 blocks of 2x2
+        let merged = pooled.merge(2).unwrap();
+        assert_eq!(merged.num_blocks(), 1);
+        assert_eq!(merged.block(0, 0), Block { h0: 0, w0: 0, bh: 4, bw: 4 });
+    }
+
+    #[test]
+    fn from_segments_validates_tiling() {
+        assert!(BlockGrid::from_segments(8, 8, vec![(0, 4), (4, 4)], vec![(0, 8)]).is_ok());
+        assert!(BlockGrid::from_segments(8, 8, vec![(0, 4), (5, 3)], vec![(0, 8)]).is_err());
+        assert!(BlockGrid::from_segments(8, 8, vec![(0, 4)], vec![(0, 8)]).is_err());
+    }
+
+    #[test]
+    fn display_uses_paper_notation() {
+        assert_eq!(BlockingPattern::fixed(28).to_string(), "F28");
+        assert_eq!(
+            BlockingPattern::Fixed { th: 28, tw: 56 }.to_string(),
+            "F28x56"
+        );
+        assert_eq!(BlockingPattern::hierarchical(4).to_string(), "H4x4");
+        assert_eq!(
+            BlockingPattern::Hierarchical { gh: 1, gw: 4 }.to_string(),
+            "H1x4"
+        );
+    }
+
+    #[test]
+    fn degenerate_patterns_rejected() {
+        assert!(BlockGrid::from_pattern(8, 8, BlockingPattern::fixed(0)).is_err());
+        assert!(BlockGrid::from_pattern(8, 8, BlockingPattern::hierarchical(0)).is_err());
+        assert!(BlockGrid::from_pattern(2, 2, BlockingPattern::hierarchical(3)).is_err());
+        assert!(BlockGrid::from_pattern(0, 8, BlockingPattern::fixed(2)).is_err());
+    }
+
+    #[test]
+    fn max_block_area_tracks_largest_block() {
+        let g = BlockGrid::from_pattern(41, 41, BlockingPattern::fixed(28)).unwrap();
+        assert_eq!(g.max_block_area(), 28 * 28);
+    }
+}

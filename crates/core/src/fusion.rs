@@ -1,0 +1,464 @@
+//! Block-wise multi-layer fusion (paper §II-B, §III).
+//!
+//! With block convolution the computation of several consecutive layers can
+//! be carried out *per block*: a block flows through conv → relu → pool →
+//! conv → ... entirely in on-chip-sized buffers, and only the first input
+//! and the final output ever cross the off-chip boundary. [`FusedChain`]
+//! models one such fusion group; [`FusedPipeline`] chains groups with an
+//! on-chip "extra buffer" concatenation between them (Figure 10's CONV4
+//! stage, where fixed blocking splices pooled blocks back together).
+
+use bconv_tensor::activation::relu_inplace;
+use bconv_tensor::conv::Conv2d;
+use bconv_tensor::pad::PadMode;
+use bconv_tensor::pool::max_pool2d;
+use bconv_tensor::{Tensor, TensorError};
+
+use crate::block_conv::BlockConv2d;
+use crate::blocking::BlockGrid;
+
+/// One operation in a fusion group.
+#[derive(Debug, Clone)]
+pub enum ChainOp {
+    /// A stride-1 convolution, executed as a block convolution.
+    Conv(Conv2d),
+    /// Element-wise ReLU.
+    Relu,
+    /// `k × k` max pooling with stride `k` (the paper's baselines replace
+    /// strided convolution with stride-1 convolution + pooling, §II-F).
+    MaxPool {
+        /// Pooling window and stride.
+        k: usize,
+    },
+}
+
+#[derive(Debug, Clone)]
+enum Stage {
+    Conv(BlockConv2d),
+    Relu,
+    Pool { k: usize },
+}
+
+/// Memory and traffic statistics of one execution, in **elements** (multiply
+/// by the bitwidth to get bits, as Figures 1/9 and Table IX do).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemStats {
+    /// Peak number of elements simultaneously alive in working buffers.
+    pub peak_working_elems: usize,
+    /// Elements transferred across the off-chip boundary (reads + writes of
+    /// feature maps; weights excluded).
+    pub offchip_elems: usize,
+}
+
+/// A fusion group: a chain of ops executed block-by-block under one grid.
+#[derive(Debug, Clone)]
+pub struct FusedChain {
+    stages: Vec<Stage>,
+    in_grid: BlockGrid,
+    out_grid: BlockGrid,
+}
+
+impl FusedChain {
+    /// Plans a fusion group for inputs tiled by `grid`.
+    ///
+    /// Convolutions must be stride-1 (strided layers are expressed as
+    /// conv + pool per the paper's baseline rewrite); pooling requires the
+    /// grid to stay aligned ([`BlockGrid::downscale`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidParameter`] when a stage cannot be
+    /// blocked under the running grid.
+    pub fn plan(
+        ops: Vec<ChainOp>,
+        grid: BlockGrid,
+        pad_mode: PadMode,
+    ) -> Result<Self, TensorError> {
+        let in_grid = grid.clone();
+        let mut cur = grid;
+        let mut stages = Vec::with_capacity(ops.len());
+        for op in ops {
+            match op {
+                ChainOp::Conv(conv) => {
+                    if conv.geom().stride != 1 {
+                        return Err(TensorError::invalid(
+                            "fused convolutions must be stride-1; express stride as conv + pool",
+                        ));
+                    }
+                    let bconv = BlockConv2d::plan(conv, cur.clone(), pad_mode)?;
+                    cur = bconv.output_grid()?;
+                    stages.push(Stage::Conv(bconv));
+                }
+                ChainOp::Relu => stages.push(Stage::Relu),
+                ChainOp::MaxPool { k } => {
+                    cur = cur.downscale(k)?;
+                    stages.push(Stage::Pool { k });
+                }
+            }
+        }
+        Ok(Self {
+            stages,
+            in_grid,
+            out_grid: cur,
+        })
+    }
+
+    /// Grid on the group's input.
+    pub fn in_grid(&self) -> &BlockGrid {
+        &self.in_grid
+    }
+
+    /// Grid on the group's output.
+    pub fn out_grid(&self) -> &BlockGrid {
+        &self.out_grid
+    }
+
+    /// Number of stages in the group.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// True if the group has no stages.
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// Output channel count given the input channel count.
+    pub fn out_channels(&self, c_in: usize) -> usize {
+        self.stages
+            .iter()
+            .fold(c_in, |c, s| match s {
+                Stage::Conv(b) => b.conv().c_out(),
+                _ => c,
+            })
+    }
+
+    fn run_block(
+        &self,
+        mut block: Tensor,
+        row: usize,
+        col: usize,
+        stats: &mut MemStats,
+    ) -> Result<Tensor, TensorError> {
+        for stage in &self.stages {
+            let next = match stage {
+                Stage::Conv(bconv) => bconv.forward_block(&block, row, col)?,
+                Stage::Relu => {
+                    relu_inplace(&mut block);
+                    continue;
+                }
+                Stage::Pool { k } => max_pool2d(&block, *k, *k)?,
+            };
+            // Input and output block buffers are alive simultaneously
+            // (the paper's ping-pong intermediate buffers, Figure 10).
+            stats.peak_working_elems = stats
+                .peak_working_elems
+                .max(block.shape().numel() + next.shape().numel());
+            block = next;
+        }
+        Ok(block)
+    }
+
+    /// Executes the group block-by-block (*fused* dataflow): only the input
+    /// and the group output cross the off-chip boundary.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors if `input` does not match the planned grid.
+    pub fn run_fused(&self, input: &Tensor) -> Result<(Tensor, MemStats), TensorError> {
+        let [n, c, h, w] = input.shape().dims();
+        if h != self.in_grid.h() || w != self.in_grid.w() {
+            return Err(TensorError::shape_mismatch(
+                "FusedChain::run_fused input",
+                format!("[{},{}]", self.in_grid.h(), self.in_grid.w()),
+                format!("[{h},{w}]"),
+            ));
+        }
+        let c_out = self.out_channels(c);
+        let mut out = Tensor::zeros([n, c_out, self.out_grid.h(), self.out_grid.w()]);
+        let mut stats = MemStats {
+            peak_working_elems: 0,
+            offchip_elems: input.shape().numel() + out.shape().numel(),
+        };
+        for row in 0..self.in_grid.num_rows() {
+            for col in 0..self.in_grid.num_cols() {
+                let b = self.in_grid.block(row, col);
+                let block = input.crop(b.h0, b.w0, b.bh, b.bw)?;
+                let result = self.run_block(block, row, col, &mut stats)?;
+                let ob = self.out_grid.block(row, col);
+                out.paste(&result, ob.h0, ob.w0)?;
+            }
+        }
+        Ok((out, stats))
+    }
+
+    /// Executes the group layer-by-layer on whole feature maps (the
+    /// conventional accelerator dataflow): every intermediate map is
+    /// written to and read back from off-chip memory.
+    ///
+    /// Numerically identical to [`run_fused`](Self::run_fused) — fusion
+    /// changes the schedule, not the mathematics.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors if `input` does not match the planned grid.
+    pub fn run_layerwise(&self, input: &Tensor) -> Result<(Tensor, MemStats), TensorError> {
+        let mut stats = MemStats {
+            peak_working_elems: 0,
+            offchip_elems: input.shape().numel(),
+        };
+        let mut cur = input.clone();
+        let last = self.stages.len().saturating_sub(1);
+        for (idx, stage) in self.stages.iter().enumerate() {
+            let next = match stage {
+                Stage::Conv(bconv) => bconv.forward(&cur)?,
+                Stage::Relu => {
+                    relu_inplace(&mut cur);
+                    continue;
+                }
+                Stage::Pool { k } => max_pool2d(&cur, *k, *k)?,
+            };
+            stats.peak_working_elems = stats
+                .peak_working_elems
+                .max(cur.shape().numel() + next.shape().numel());
+            // Intermediate maps make a DRAM round trip (write + read);
+            // the final output is written once.
+            stats.offchip_elems += if idx == last {
+                next.shape().numel()
+            } else {
+                2 * next.shape().numel()
+            };
+            cur = next;
+        }
+        Ok((cur, stats))
+    }
+}
+
+/// A pipeline of fusion groups. Between groups the (now smaller) feature
+/// map is concatenated in an on-chip extra buffer and re-gridded — the
+/// fixed-blocking splice of Figure 4(a)/Figure 10.
+#[derive(Debug, Clone)]
+pub struct FusedPipeline {
+    groups: Vec<FusedChain>,
+}
+
+impl FusedPipeline {
+    /// Builds a pipeline from planned groups, validating that each group's
+    /// output map feeds the next group's input map.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] on inconsistent group sizes.
+    pub fn new(groups: Vec<FusedChain>) -> Result<Self, TensorError> {
+        for pair in groups.windows(2) {
+            let (a, b) = (&pair[0], &pair[1]);
+            if a.out_grid().h() != b.in_grid().h() || a.out_grid().w() != b.in_grid().w() {
+                return Err(TensorError::shape_mismatch(
+                    "FusedPipeline group boundary",
+                    format!("[{},{}]", a.out_grid().h(), a.out_grid().w()),
+                    format!("[{},{}]", b.in_grid().h(), b.in_grid().w()),
+                ));
+            }
+        }
+        Ok(Self { groups })
+    }
+
+    /// The fusion groups.
+    pub fn groups(&self) -> &[FusedChain] {
+        &self.groups
+    }
+
+    /// Executes all groups fused; intermediate maps between groups stay in
+    /// the on-chip extra buffer, so off-chip traffic is still input + final
+    /// output only.
+    ///
+    /// # Errors
+    ///
+    /// Propagates per-group execution errors.
+    pub fn run_fused(&self, input: &Tensor) -> Result<(Tensor, MemStats), TensorError> {
+        let mut cur = input.clone();
+        let mut stats = MemStats {
+            peak_working_elems: 0,
+            offchip_elems: input.shape().numel(),
+        };
+        let last = self.groups.len().saturating_sub(1);
+        for (idx, group) in self.groups.iter().enumerate() {
+            let (next, gs) = group.run_fused(&cur)?;
+            // Group-boundary maps live in the on-chip extra buffer: they
+            // count toward peak working memory but not off-chip traffic.
+            stats.peak_working_elems = stats
+                .peak_working_elems
+                .max(gs.peak_working_elems + next.shape().numel());
+            if idx == last {
+                stats.offchip_elems += next.shape().numel();
+            }
+            cur = next;
+        }
+        Ok((cur, stats))
+    }
+
+    /// Executes all groups layer-by-layer (conventional dataflow).
+    ///
+    /// # Errors
+    ///
+    /// Propagates per-group execution errors.
+    pub fn run_layerwise(&self, input: &Tensor) -> Result<(Tensor, MemStats), TensorError> {
+        let mut cur = input.clone();
+        let mut stats = MemStats {
+            peak_working_elems: 0,
+            offchip_elems: input.shape().numel(),
+        };
+        let last = self.groups.len().saturating_sub(1);
+        for (idx, group) in self.groups.iter().enumerate() {
+            let (next, gs) = group.run_layerwise(&cur)?;
+            stats.peak_working_elems = stats.peak_working_elems.max(gs.peak_working_elems);
+            // Group outputs also round-trip through DRAM layer-wise.
+            stats.offchip_elems += gs.offchip_elems - cur.shape().numel()
+                - next.shape().numel()
+                + if idx == last {
+                    next.shape().numel()
+                } else {
+                    2 * next.shape().numel()
+                };
+            cur = next;
+        }
+        Ok((cur, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blocking::BlockingPattern;
+    use bconv_tensor::conv::ConvGeom;
+    use bconv_tensor::init::{he_conv2d, seeded_rng, uniform_tensor};
+
+    fn conv(c_in: usize, c_out: usize, seed: u64) -> Conv2d {
+        he_conv2d(c_in, c_out, ConvGeom::same(3), 1, &mut seeded_rng(seed)).unwrap()
+    }
+
+    fn three_layer_chain(grid: BlockGrid) -> FusedChain {
+        // The Figure 2(b) scenario: three consecutive 3x3 convolutions.
+        FusedChain::plan(
+            vec![
+                ChainOp::Conv(conv(2, 4, 1)),
+                ChainOp::Relu,
+                ChainOp::Conv(conv(4, 4, 2)),
+                ChainOp::Relu,
+                ChainOp::Conv(conv(4, 2, 3)),
+            ],
+            grid,
+            PadMode::Zero,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fused_equals_layerwise_exactly() {
+        let grid = BlockGrid::from_pattern(8, 8, BlockingPattern::hierarchical(2)).unwrap();
+        let chain = three_layer_chain(grid);
+        let input = uniform_tensor([1, 2, 8, 8], -1.0, 1.0, &mut seeded_rng(4));
+        let (fused, _) = chain.run_fused(&input).unwrap();
+        let (layerwise, _) = chain.run_layerwise(&input).unwrap();
+        assert!(fused.approx_eq(&layerwise, 1e-5).unwrap());
+    }
+
+    #[test]
+    fn fused_eliminates_intermediate_offchip_traffic() {
+        let grid = BlockGrid::from_pattern(8, 8, BlockingPattern::hierarchical(2)).unwrap();
+        let chain = three_layer_chain(grid);
+        let input = uniform_tensor([1, 2, 8, 8], -1.0, 1.0, &mut seeded_rng(5));
+        let (_, fs) = chain.run_fused(&input).unwrap();
+        let (_, ls) = chain.run_layerwise(&input).unwrap();
+        // Fused: input + output only.
+        assert_eq!(fs.offchip_elems, 2 * 8 * 8 + 2 * 8 * 8);
+        // Layer-wise: input + output + 2x both intermediates (4ch 8x8 each).
+        assert_eq!(ls.offchip_elems, 2 * 64 + 2 * 64 + 2 * (4 * 64) + 2 * (4 * 64));
+        assert!(fs.offchip_elems < ls.offchip_elems);
+    }
+
+    #[test]
+    fn fused_working_set_is_block_sized() {
+        let grid = BlockGrid::from_pattern(16, 16, BlockingPattern::hierarchical(4)).unwrap();
+        let chain = FusedChain::plan(
+            vec![ChainOp::Conv(conv(2, 2, 7)), ChainOp::Conv(conv(2, 2, 8))],
+            grid,
+            PadMode::Zero,
+        )
+        .unwrap();
+        let input = uniform_tensor([1, 2, 16, 16], -1.0, 1.0, &mut seeded_rng(9));
+        let (_, fs) = chain.run_fused(&input).unwrap();
+        let (_, ls) = chain.run_layerwise(&input).unwrap();
+        // Fused working set: two 4x4x2 block buffers = 64 elements,
+        // vs layer-wise two full 16x16x2 maps = 1024.
+        assert_eq!(fs.peak_working_elems, 2 * (2 * 4 * 4));
+        assert_eq!(ls.peak_working_elems, 2 * (2 * 16 * 16));
+    }
+
+    #[test]
+    fn pooling_inside_a_fused_group() {
+        let grid = BlockGrid::from_pattern(8, 8, BlockingPattern::hierarchical(2)).unwrap();
+        let chain = FusedChain::plan(
+            vec![
+                ChainOp::Conv(conv(1, 2, 11)),
+                ChainOp::Relu,
+                ChainOp::MaxPool { k: 2 },
+                ChainOp::Conv(conv(2, 1, 12)),
+            ],
+            grid,
+            PadMode::Zero,
+        )
+        .unwrap();
+        let input = uniform_tensor([1, 1, 8, 8], -1.0, 1.0, &mut seeded_rng(13));
+        let (fused, _) = chain.run_fused(&input).unwrap();
+        let (layerwise, _) = chain.run_layerwise(&input).unwrap();
+        assert_eq!(fused.shape().dims(), [1, 1, 4, 4]);
+        assert!(fused.approx_eq(&layerwise, 1e-5).unwrap());
+    }
+
+    #[test]
+    fn strided_conv_in_chain_is_rejected() {
+        let grid = BlockGrid::single(8, 8);
+        let mut rng = seeded_rng(14);
+        let strided = he_conv2d(1, 1, ConvGeom::new(3, 2, 1), 1, &mut rng).unwrap();
+        assert!(FusedChain::plan(vec![ChainOp::Conv(strided)], grid, PadMode::Zero).is_err());
+    }
+
+    #[test]
+    fn pipeline_regrids_between_groups() {
+        // Group 1: conv+pool under 4x4 blocks of an 16x16 map -> 8x8 map of
+        // 2x2 blocks; splice into a single block for group 2 (Figure 10).
+        let g1_grid = BlockGrid::from_pattern(16, 16, BlockingPattern::fixed(4)).unwrap();
+        let g1 = FusedChain::plan(
+            vec![ChainOp::Conv(conv(1, 2, 21)), ChainOp::MaxPool { k: 2 }],
+            g1_grid,
+            PadMode::Zero,
+        )
+        .unwrap();
+        let g2_grid = g1.out_grid().clone().merge(4).unwrap();
+        assert_eq!(g2_grid.num_blocks(), 1);
+        let g2 = FusedChain::plan(vec![ChainOp::Conv(conv(2, 1, 22))], g2_grid, PadMode::Zero)
+            .unwrap();
+        let pipeline = FusedPipeline::new(vec![g1, g2]).unwrap();
+        let input = uniform_tensor([1, 1, 16, 16], -1.0, 1.0, &mut seeded_rng(23));
+        let (fused, fs) = pipeline.run_fused(&input).unwrap();
+        let (layerwise, ls) = pipeline.run_layerwise(&input).unwrap();
+        assert!(fused.approx_eq(&layerwise, 1e-5).unwrap());
+        assert!(fs.offchip_elems < ls.offchip_elems);
+        // Fused pipeline off-chip = input + final output only.
+        assert_eq!(fs.offchip_elems, 16 * 16 + 8 * 8);
+    }
+
+    #[test]
+    fn pipeline_rejects_mismatched_groups() {
+        let g1 = FusedChain::plan(
+            vec![ChainOp::MaxPool { k: 2 }],
+            BlockGrid::single(8, 8),
+            PadMode::Zero,
+        )
+        .unwrap();
+        let g2 = FusedChain::plan(vec![ChainOp::Relu], BlockGrid::single(8, 8), PadMode::Zero)
+            .unwrap();
+        assert!(FusedPipeline::new(vec![g1, g2]).is_err());
+    }
+}

@@ -1,0 +1,174 @@
+//! Conventional **overlapped tiling** (Figure 2a) — the scheme block
+//! convolution replaces. Implemented both as an executable reference
+//! (tiles with halos, exact results) and as a cost model (halo re-read
+//! traffic, the cross-tile dependency that blocks multi-layer fusion).
+//!
+//! Comparing [`overlapped_conv2d`] with
+//! [`BlockConv2d`](crate::BlockConv2d) demonstrates the paper's §II-A
+//! observation: overlapped tiling computes the *exact* convolution but
+//! every tile depends on its neighbours' pixels, so consecutive layers
+//! cannot be fused without buffering whole feature maps.
+
+use bconv_tensor::conv::Conv2d;
+use bconv_tensor::pad::{pad2d, PadMode};
+use bconv_tensor::{Tensor, TensorError};
+
+use crate::blocking::BlockGrid;
+
+/// Traffic statistics of an overlapped-tiled convolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OverlapStats {
+    /// Input elements read, including halo re-reads.
+    pub input_elems_read: usize,
+    /// Input elements read by an ideal (non-overlapping) scheme.
+    pub input_elems_unique: usize,
+    /// Output elements written.
+    pub output_elems: usize,
+}
+
+impl OverlapStats {
+    /// Read amplification caused by halo overlap (≥ 1).
+    pub fn read_amplification(&self) -> f64 {
+        if self.input_elems_unique == 0 {
+            1.0
+        } else {
+            self.input_elems_read as f64 / self.input_elems_unique as f64
+        }
+    }
+}
+
+/// Convolution by overlapped spatial tiling: each output tile is computed
+/// from an input tile extended by the kernel halo, reading boundary pixels
+/// of the neighbouring tiles. Numerically identical to `conv.forward`.
+///
+/// Only stride-1 convolutions are supported (the configuration the paper
+/// tiles; strided layers are expressed as conv + pool).
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidParameter`] for strided convolutions or a
+/// grid that does not match the input size.
+pub fn overlapped_conv2d(
+    conv: &Conv2d,
+    input: &Tensor,
+    grid: &BlockGrid,
+) -> Result<(Tensor, OverlapStats), TensorError> {
+    let geom = conv.geom();
+    if geom.stride != 1 {
+        return Err(TensorError::invalid(
+            "overlapped tiling reference supports stride-1 only",
+        ));
+    }
+    let [n, c, h, w] = input.shape().dims();
+    if h != grid.h() || w != grid.w() {
+        return Err(TensorError::shape_mismatch(
+            "overlapped_conv2d input",
+            format!("[{},{}]", grid.h(), grid.w()),
+            format!("[{h},{w}]"),
+        ));
+    }
+    // Pad the whole map once (zero padding, as the dense conv would);
+    // tiles then read from the padded map with their halos.
+    let p = geom.padding;
+    let halo = geom.kernel - 1;
+    let padded = pad2d(input, p, p, PadMode::Zero)?;
+    let mut out = Tensor::zeros([n, conv.c_out(), h, w]);
+    let mut stats = OverlapStats {
+        input_elems_unique: n * c * h * w,
+        output_elems: n * conv.c_out() * h * w,
+        ..OverlapStats::default()
+    };
+    for block in grid.blocks() {
+        // Input tile with halo, in padded coordinates.
+        let in_h = block.bh + halo;
+        let in_w = block.bw + halo;
+        let tile = padded.crop(block.h0, block.w0, in_h, in_w)?;
+        stats.input_elems_read += tile.shape().numel();
+        let tile_out = conv.forward_prepadded(&tile)?;
+        out.paste(&tile_out, block.h0, block.w0)?;
+    }
+    Ok((out, stats))
+}
+
+/// Halo read-amplification of tiling an `h × w` map into `th × tw` tiles
+/// with a `k × k` stride-1 kernel, without executing anything — the
+/// analytic form used by the accelerator models.
+pub fn halo_read_amplification(h: usize, w: usize, th: usize, tw: usize, k: usize) -> f64 {
+    let halo = k - 1;
+    let tiles_h = h.div_ceil(th);
+    let tiles_w = w.div_ceil(tw);
+    let read = (tiles_h * tiles_w) as f64 * ((th + halo) * (tw + halo)) as f64;
+    read / (h * w) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blocking::BlockingPattern;
+    use bconv_tensor::conv::ConvGeom;
+    use bconv_tensor::init::{he_conv2d, seeded_rng, uniform_tensor};
+
+    #[test]
+    fn overlapped_tiling_is_exact() {
+        // Figure 2(a): overlapped tiling reproduces the dense convolution
+        // bit-for-bit — its problem is the dependency, not the numerics.
+        let mut rng = seeded_rng(1);
+        let conv = he_conv2d(3, 4, ConvGeom::same(3), 1, &mut rng).unwrap();
+        let input = uniform_tensor([1, 3, 16, 16], -1.0, 1.0, &mut rng);
+        let dense = conv.forward(&input).unwrap();
+        for pattern in [BlockingPattern::hierarchical(2), BlockingPattern::fixed(5)] {
+            let grid = BlockGrid::from_pattern(16, 16, pattern).unwrap();
+            let (tiled, _) = overlapped_conv2d(&conv, &input, &grid).unwrap();
+            assert!(tiled.approx_eq(&dense, 1e-5).unwrap(), "{pattern}");
+        }
+    }
+
+    #[test]
+    fn halo_reads_amplify_with_finer_tiling() {
+        let mut rng = seeded_rng(2);
+        let conv = he_conv2d(1, 1, ConvGeom::same(3), 1, &mut rng).unwrap();
+        let input = uniform_tensor([1, 1, 32, 32], -1.0, 1.0, &mut rng);
+        let coarse = BlockGrid::from_pattern(32, 32, BlockingPattern::hierarchical(2)).unwrap();
+        let fine = BlockGrid::from_pattern(32, 32, BlockingPattern::hierarchical(8)).unwrap();
+        let (_, sc) = overlapped_conv2d(&conv, &input, &coarse).unwrap();
+        let (_, sf) = overlapped_conv2d(&conv, &input, &fine).unwrap();
+        assert!(sf.read_amplification() > sc.read_amplification());
+        assert!(sc.read_amplification() > 1.0);
+    }
+
+    #[test]
+    fn block_conv_reads_have_no_amplification() {
+        // The contrast with block convolution: independent blocks read each
+        // input pixel exactly once.
+        let grid = BlockGrid::from_pattern(32, 32, BlockingPattern::hierarchical(4)).unwrap();
+        let unique: usize = grid.blocks().map(|b| b.area()).sum();
+        assert_eq!(unique, 32 * 32);
+    }
+
+    #[test]
+    fn analytic_amplification_matches_executed() {
+        let mut rng = seeded_rng(3);
+        let conv = he_conv2d(1, 1, ConvGeom::same(3), 1, &mut rng).unwrap();
+        let input = uniform_tensor([1, 1, 24, 24], -1.0, 1.0, &mut rng);
+        let grid = BlockGrid::from_pattern(24, 24, BlockingPattern::fixed(8)).unwrap();
+        let (_, stats) = overlapped_conv2d(&conv, &input, &grid).unwrap();
+        let analytic = halo_read_amplification(24, 24, 8, 8, 3);
+        assert!((stats.read_amplification() - analytic).abs() < 1e-9);
+    }
+
+    #[test]
+    fn vdsr_tile_amplification_matches_paper_model() {
+        // The 27x48 tiling of the VDSR baseline re-reads ~11.9% extra.
+        let amp = halo_read_amplification(1080, 1920, 27, 48, 3);
+        assert!((amp - (29.0 * 50.0) / (27.0 * 48.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn strided_conv_rejected() {
+        let mut rng = seeded_rng(4);
+        let conv = he_conv2d(1, 1, ConvGeom::new(3, 2, 1), 1, &mut rng).unwrap();
+        let input = uniform_tensor([1, 1, 8, 8], -1.0, 1.0, &mut rng);
+        let grid = BlockGrid::single(8, 8);
+        assert!(overlapped_conv2d(&conv, &input, &grid).is_err());
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-based tests of block convolution's core invariants.
+
+use bconv_core::analysis::{block_spatial_kernel_ops, spatial_kernel_ops};
+use bconv_core::blocking::{BlockGrid, BlockingPattern};
+use bconv_core::BlockConv2d;
+use bconv_tensor::conv::ConvGeom;
+use bconv_tensor::init::{he_conv2d, seeded_rng, uniform_tensor};
+use bconv_tensor::pad::PadMode;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Blocks of any valid grid tile the map exactly, with no overlap.
+    #[test]
+    fn grid_partitions_exactly(
+        h in 1usize..64,
+        w in 1usize..64,
+        th in 1usize..32,
+        tw in 1usize..32,
+    ) {
+        let grid = BlockGrid::from_pattern(h, w, BlockingPattern::Fixed { th, tw }).unwrap();
+        let mut covered = vec![false; h * w];
+        for b in grid.blocks() {
+            for hh in b.h0..b.h0 + b.bh {
+                for ww in b.w0..b.w0 + b.bw {
+                    prop_assert!(!covered[hh * w + ww], "block overlap at ({hh},{ww})");
+                    covered[hh * w + ww] = true;
+                }
+            }
+        }
+        prop_assert!(covered.iter().all(|&c| c));
+    }
+
+    /// Hierarchical grids always produce exactly gh*gw blocks.
+    #[test]
+    fn hierarchical_block_count(
+        h in 4usize..64,
+        w in 4usize..64,
+        gh in 1usize..4,
+        gw in 1usize..4,
+    ) {
+        let grid =
+            BlockGrid::from_pattern(h, w, BlockingPattern::Hierarchical { gh, gw }).unwrap();
+        prop_assert_eq!(grid.num_blocks(), gh * gw);
+    }
+
+    /// Block convolution preserves the output size of the "same"
+    /// convolution for arbitrary grids (Equation 2's defining property),
+    /// preserves FLOPs (Figure 3), and matches the dense convolution
+    /// exactly on block-interior pixels.
+    #[test]
+    fn block_conv_invariants(
+        h in 6usize..24,
+        w in 6usize..24,
+        gh in 1usize..3,
+        gw in 1usize..3,
+        c_in in 1usize..3,
+        c_out in 1usize..3,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = seeded_rng(seed);
+        let conv = he_conv2d(c_in, c_out, ConvGeom::same(3), 1, &mut rng).unwrap();
+        let input = uniform_tensor([1, c_in, h, w], -1.0, 1.0, &mut rng);
+        let dense = conv.forward(&input).unwrap();
+        let pattern = BlockingPattern::Hierarchical { gh, gw };
+        let bconv = BlockConv2d::from_pattern(conv, h, w, pattern, PadMode::Zero).unwrap();
+        let blocked = bconv.forward(&input).unwrap();
+
+        // 1. Output size unchanged.
+        prop_assert_eq!(blocked.shape().dims(), dense.shape().dims());
+
+        // 2. Spatial op count unchanged (Figure 3 parity).
+        prop_assert_eq!(
+            block_spatial_kernel_ops(&bconv).unwrap(),
+            spatial_kernel_ops(h, w, c_in)
+        );
+
+        // 3. Interior pixels bit-match the dense convolution.
+        let grid = bconv.output_grid().unwrap();
+        let interior = |pos: usize, len: usize, segs: &[(usize, usize)]| -> bool {
+            segs.iter().any(|&(start, size)| {
+                pos >= start
+                    && pos < start + size
+                    && (start == 0 || pos >= start + 1)
+                    && (start + size == len || pos + 1 < start + size)
+            })
+        };
+        for c in 0..c_out {
+            for hh in 0..h {
+                if !interior(hh, h, grid.row_segments()) {
+                    continue;
+                }
+                for ww in 0..w {
+                    if !interior(ww, w, grid.col_segments()) {
+                        continue;
+                    }
+                    let d = (dense.at(0, c, hh, ww) - blocked.at(0, c, hh, ww)).abs();
+                    prop_assert!(d < 1e-4, "interior pixel ({c},{hh},{ww}) diff {d}");
+                }
+            }
+        }
+    }
+
+    /// Pointwise (1x1) block convolution is *exactly* the dense pointwise
+    /// convolution for any pattern (paper §II-C).
+    #[test]
+    fn pointwise_exactness(
+        h in 2usize..20,
+        w in 2usize..20,
+        gh in 1usize..4,
+        gw in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(gh <= h && gw <= w);
+        let mut rng = seeded_rng(seed);
+        let conv = he_conv2d(2, 3, ConvGeom::new(1, 1, 0), 1, &mut rng).unwrap();
+        let input = uniform_tensor([1, 2, h, w], -1.0, 1.0, &mut rng);
+        let dense = conv.forward(&input).unwrap();
+        let pattern = BlockingPattern::Hierarchical { gh, gw };
+        let bconv = BlockConv2d::from_pattern(conv, h, w, pattern, PadMode::Zero).unwrap();
+        let blocked = bconv.forward(&input).unwrap();
+        prop_assert!(dense.approx_eq(&blocked, 1e-5).unwrap());
+    }
+}

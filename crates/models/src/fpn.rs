@@ -1,0 +1,190 @@
+//! Feature Pyramid Network on ResNet-50 (Lin et al.) — the paper's second
+//! detection workload (Tables III and V, Figure 8), at the paper's
+//! 1333 × 800 input resolution.
+//!
+//! The descriptor follows the standard FPN layout: backbone stages C2–C5,
+//! 1×1 lateral convolutions to 256 channels, nearest top-down merging
+//! (modelled with [`LayerKind::ResizeLike`] so odd sizes line up exactly as
+//! interpolation does), 3×3 smoothing convolutions producing P2–P5, and a
+//! shared RPN-style head (3×3 conv + 1×1 objectness + 1×1 regression) on
+//! every level.
+
+use crate::builder::{conv, maxpool, NetBuilder};
+use crate::layer::{From, LayerKind, Network};
+use crate::ActShape;
+
+fn bottleneck(
+    b: &mut NetBuilder,
+    name: &str,
+    c_in: usize,
+    c_mid: usize,
+    stride: usize,
+    input: usize,
+) -> usize {
+    let c_out = 4 * c_mid;
+    let c1 = b.push_from(
+        format!("{name}-conv1"),
+        conv(1, 1, 0, c_in, c_mid),
+        From::Layer(input),
+    );
+    b.mark_residual_first_at(c1);
+    b.push(format!("{name}-conv2"), conv(3, stride, 1, c_mid, c_mid));
+    let c3 = b.push(format!("{name}-conv3"), conv(1, 1, 0, c_mid, c_out));
+    let shortcut = if stride != 1 || c_in != c_out {
+        b.push_from(
+            format!("{name}-downsample"),
+            conv(1, stride, 0, c_in, c_out),
+            From::Layer(input),
+        )
+    } else {
+        input
+    };
+    b.push_from(
+        format!("{name}-add"),
+        LayerKind::Add { other: From::Layer(c3) },
+        From::Layer(shortcut),
+    )
+}
+
+/// FPN-ResNet-50 for `h × w` RGB inputs (the paper uses 1333 × 800,
+/// i.e. `h = 800`, `w = 1333`).
+pub fn fpn_resnet50(h: usize, w: usize) -> Network {
+    let mut b = NetBuilder::new("FPN-ResNet-50", ActShape { c: 3, h, w });
+    b.push("conv1", conv(7, 2, 3, 3, 64));
+    let mut cur = b.push("maxpool", maxpool(3, 2, 1));
+    let mut c_in = 64;
+    let mut stage_outputs = Vec::new();
+    for (stage, (c_mid, blocks)) in [(64usize, 3usize), (128, 4), (256, 6), (512, 3)]
+        .into_iter()
+        .enumerate()
+    {
+        for blk in 0..blocks {
+            let stride = if stage > 0 && blk == 0 { 2 } else { 1 };
+            cur = bottleneck(
+                &mut b,
+                &format!("layer{}-{}", stage + 1, blk + 1),
+                c_in,
+                c_mid,
+                stride,
+                cur,
+            );
+            c_in = 4 * c_mid;
+        }
+        stage_outputs.push(cur); // C2, C3, C4, C5
+    }
+
+    // Lateral 1x1 convolutions to 256 channels.
+    let lat_channels = [256usize, 512, 1024, 2048];
+    let laterals: Vec<usize> = stage_outputs
+        .iter()
+        .zip(lat_channels)
+        .enumerate()
+        .map(|(i, (&src, c))| {
+            b.push_from(
+                format!("lateral{}", i + 2),
+                conv(1, 1, 0, c, 256),
+                From::Layer(src),
+            )
+        })
+        .collect();
+
+    // Top-down pathway: P5 = lateral5; P_i = lateral_i + resize(P_{i+1}).
+    let mut merged = vec![0usize; 4];
+    merged[3] = laterals[3];
+    for i in (0..3).rev() {
+        let resized = b.push_from(
+            format!("topdown{}", i + 2),
+            LayerKind::ResizeLike { like: laterals[i] },
+            From::Layer(merged[i + 1]),
+        );
+        merged[i] = b.push_from(
+            format!("merge{}", i + 2),
+            LayerKind::Add { other: From::Layer(laterals[i]) },
+            From::Layer(resized),
+        );
+    }
+
+    // 3x3 smoothing producing P2..P5, plus the shared head per level.
+    for (i, &m) in merged.iter().enumerate() {
+        let p = b.push_from(
+            format!("p{}", i + 2),
+            conv(3, 1, 1, 256, 256),
+            From::Layer(m),
+        );
+        let rpn = b.push_from(
+            format!("rpn_conv_p{}", i + 2),
+            conv(3, 1, 1, 256, 256),
+            From::Layer(p),
+        );
+        b.push_from(
+            format!("rpn_cls_p{}", i + 2),
+            conv(1, 1, 0, 256, 3),
+            From::Layer(rpn),
+        );
+        b.push_from(
+            format!("rpn_reg_p{}", i + 2),
+            conv(1, 1, 0, 256, 12),
+            From::Layer(rpn),
+        );
+    }
+    b.build()
+}
+
+/// True for FPN head layers (the smoothing convs and RPN head), used by
+/// Figure 8's backbone-only vs backbone+heads comparison.
+pub fn is_head_layer(name: &str) -> bool {
+    name.starts_with("rpn_") || name.starts_with('p') && name[1..].chars().all(char::is_numeric)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_traces_at_paper_resolution() {
+        let net = fpn_resnet50(800, 1333);
+        let info = net.trace().unwrap();
+        assert!(!info.is_empty());
+    }
+
+    #[test]
+    fn pyramid_levels_have_expected_strides() {
+        let info = fpn_resnet50(800, 1333).trace().unwrap();
+        let find = |n: &str| info.iter().find(|l| l.name == n).unwrap().out_shape;
+        // C2 at stride 4: 800/4 = 200.
+        assert_eq!(find("lateral2").h, 200);
+        // C5 at stride 32: 800/32 = 25.
+        assert_eq!(find("lateral5").h, 25);
+        // All pyramid maps are 256-channel.
+        for p in ["p2", "p3", "p4", "p5"] {
+            assert_eq!(find(p).c, 256);
+        }
+    }
+
+    #[test]
+    fn topdown_resize_handles_odd_sizes() {
+        // 1333-wide input produces odd widths (334, 167, 84, 42); nearest
+        // x2 upsampling would mismatch (167*2 != 334 is fine, but 42*2 = 84
+        // and 84*2 = 168 != 167). ResizeLike must line them up.
+        let info = fpn_resnet50(800, 1333).trace().unwrap();
+        let find = |n: &str| info.iter().find(|l| l.name == n).unwrap().out_shape;
+        assert_eq!(find("topdown4").w, find("lateral4").w);
+        assert_eq!(find("topdown2").w, find("lateral2").w);
+    }
+
+    #[test]
+    fn heads_exist_on_every_level() {
+        let info = fpn_resnet50(800, 1333).trace().unwrap();
+        for lvl in 2..=5 {
+            assert!(info.iter().any(|l| l.name == format!("rpn_cls_p{lvl}")));
+        }
+    }
+
+    #[test]
+    fn head_classifier_detects_head_layers() {
+        assert!(is_head_layer("rpn_conv_p3"));
+        assert!(is_head_layer("p2"));
+        assert!(!is_head_layer("layer2-1-conv1"));
+        assert!(!is_head_layer("lateral3"));
+    }
+}

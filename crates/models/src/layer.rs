@@ -1,0 +1,413 @@
+//! Layer descriptors and shape propagation for whole-network analysis.
+//!
+//! These descriptors are *architectural*: they carry shapes and arithmetic
+//! counts, not weights. The paper's Figures 1 and 9 (feature-map volumes),
+//! Table I's blocking ratios and the accelerator models in `bconv-accel`
+//! are all derived from them.
+
+use std::fmt;
+
+use bconv_tensor::shape::conv_out_dim;
+use bconv_tensor::TensorError;
+
+/// Where a layer reads its input from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum From {
+    /// The network input image.
+    Input,
+    /// The previous layer's output.
+    Prev,
+    /// The output of an earlier layer by index.
+    Layer(usize),
+}
+
+/// The operator a layer applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LayerKind {
+    /// 2-D convolution.
+    Conv {
+        /// Square kernel size.
+        k: usize,
+        /// Stride.
+        s: usize,
+        /// Symmetric padding.
+        p: usize,
+        /// Input channels.
+        c_in: usize,
+        /// Output channels.
+        c_out: usize,
+        /// Groups (`c_in` for depthwise).
+        groups: usize,
+    },
+    /// Max pooling.
+    MaxPool {
+        /// Window.
+        k: usize,
+        /// Stride.
+        s: usize,
+        /// Symmetric padding.
+        p: usize,
+    },
+    /// Global average pooling to `1 × 1`.
+    GlobalAvgPool,
+    /// Fully-connected layer.
+    Fc {
+        /// Input features.
+        in_f: usize,
+        /// Output features.
+        out_f: usize,
+    },
+    /// Element-wise sum with the output of another layer (residual join).
+    Add {
+        /// The other summand.
+        other: From,
+    },
+    /// Bilinear resize to the spatial size of another layer's output
+    /// (FPN's top-down pathway).
+    ResizeLike {
+        /// The layer whose spatial size is matched.
+        like: usize,
+    },
+}
+
+/// A named layer with its input wiring.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Layer {
+    /// Layer name (paper naming, e.g. `conv1-1`).
+    pub name: String,
+    /// Operator.
+    pub kind: LayerKind,
+    /// Input source.
+    pub from: From,
+    /// True for the first convolution of a residual block — the layers
+    /// Figure 9 marks in yellow (they need an extra on-chip copy of the
+    /// block input, §III-A).
+    pub residual_first: bool,
+}
+
+impl Layer {
+    /// Creates a layer fed by the previous layer.
+    pub fn new(name: impl Into<String>, kind: LayerKind) -> Self {
+        Self {
+            name: name.into(),
+            kind,
+            from: From::Prev,
+            residual_first: false,
+        }
+    }
+
+    /// Creates a layer with explicit input wiring.
+    pub fn wired(name: impl Into<String>, kind: LayerKind, from: From) -> Self {
+        Self {
+            name: name.into(),
+            kind,
+            from,
+            residual_first: false,
+        }
+    }
+
+    /// Marks this layer as the first of a residual block.
+    pub fn residual_first(mut self) -> Self {
+        self.residual_first = true;
+        self
+    }
+}
+
+/// A `(channels, height, width)` activation shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ActShape {
+    /// Channels.
+    pub c: usize,
+    /// Height.
+    pub h: usize,
+    /// Width.
+    pub w: usize,
+}
+
+impl ActShape {
+    /// Element count.
+    pub fn numel(&self) -> usize {
+        self.c * self.h * self.w
+    }
+
+    /// Volume in bits at the given fixed-point width.
+    pub fn bits(&self, bitwidth: usize) -> u64 {
+        self.numel() as u64 * bitwidth as u64
+    }
+
+    /// Volume in megabits (the unit of Figures 1 and 9).
+    pub fn mbits(&self, bitwidth: usize) -> f64 {
+        self.bits(bitwidth) as f64 / 1.0e6
+    }
+}
+
+impl fmt::Display for ActShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}x{}", self.c, self.h, self.w)
+    }
+}
+
+/// A whole network: an input shape plus a layer list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Network {
+    /// Network name.
+    pub name: String,
+    /// Input activation shape.
+    pub input: ActShape,
+    /// Layers in topological order.
+    pub layers: Vec<Layer>,
+}
+
+/// Per-layer facts produced by shape propagation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerInfo {
+    /// Layer name.
+    pub name: String,
+    /// Input shape the layer computes on.
+    pub in_shape: ActShape,
+    /// Output shape.
+    pub out_shape: ActShape,
+    /// Multiply–accumulate count.
+    pub macs: u64,
+    /// Parameter count (weights + biases).
+    pub params: u64,
+    /// True for conv layers.
+    pub is_conv: bool,
+    /// True for the first layer of a residual block (Figure 9's marking).
+    pub residual_first: bool,
+}
+
+impl Network {
+    /// Propagates shapes through the network, returning per-layer facts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError`] if the architecture is inconsistent (channel
+    /// mismatches, infeasible geometry, forward references).
+    pub fn trace(&self) -> Result<Vec<LayerInfo>, TensorError> {
+        let mut shapes: Vec<ActShape> = Vec::with_capacity(self.layers.len());
+        let mut infos = Vec::with_capacity(self.layers.len());
+        for (idx, layer) in self.layers.iter().enumerate() {
+            let resolve = |f: From| -> Result<ActShape, TensorError> {
+                match f {
+                    From::Input => Ok(self.input),
+                    From::Prev => {
+                        if idx == 0 {
+                            Ok(self.input)
+                        } else {
+                            Ok(shapes[idx - 1])
+                        }
+                    }
+                    From::Layer(i) => {
+                        if i >= idx {
+                            Err(TensorError::invalid(format!(
+                                "layer {idx} ({}) references later layer {i}",
+                                layer.name
+                            )))
+                        } else {
+                            Ok(shapes[i])
+                        }
+                    }
+                }
+            };
+            let in_shape = resolve(layer.from)?;
+            let (out_shape, macs, params) = match layer.kind {
+                LayerKind::Conv {
+                    k,
+                    s,
+                    p,
+                    c_in,
+                    c_out,
+                    groups,
+                } => {
+                    if in_shape.c != c_in {
+                        return Err(TensorError::shape_mismatch(
+                            format!("{} input channels", layer.name),
+                            format!("{c_in}"),
+                            format!("{}", in_shape.c),
+                        ));
+                    }
+                    if groups == 0 || c_in % groups != 0 || c_out % groups != 0 {
+                        return Err(TensorError::invalid(format!(
+                            "{}: groups {groups} incompatible with channels {c_in}->{c_out}",
+                            layer.name
+                        )));
+                    }
+                    let oh = conv_out_dim(in_shape.h, k, s, p)?;
+                    let ow = conv_out_dim(in_shape.w, k, s, p)?;
+                    let out = ActShape { c: c_out, h: oh, w: ow };
+                    let macs = (k * k * (c_in / groups)) as u64
+                        * (oh * ow) as u64
+                        * c_out as u64;
+                    let params =
+                        (k * k * (c_in / groups) * c_out + c_out) as u64;
+                    (out, macs, params)
+                }
+                LayerKind::MaxPool { k, s, p } => {
+                    let oh = conv_out_dim(in_shape.h, k, s, p)?;
+                    let ow = conv_out_dim(in_shape.w, k, s, p)?;
+                    (ActShape { c: in_shape.c, h: oh, w: ow }, 0, 0)
+                }
+                LayerKind::GlobalAvgPool => {
+                    (ActShape { c: in_shape.c, h: 1, w: 1 }, 0, 0)
+                }
+                LayerKind::Fc { in_f, out_f } => {
+                    if in_shape.numel() != in_f {
+                        return Err(TensorError::shape_mismatch(
+                            format!("{} input features", layer.name),
+                            format!("{in_f}"),
+                            format!("{}", in_shape.numel()),
+                        ));
+                    }
+                    (
+                        ActShape { c: out_f, h: 1, w: 1 },
+                        (in_f * out_f) as u64,
+                        (in_f * out_f + out_f) as u64,
+                    )
+                }
+                LayerKind::Add { other } => {
+                    let o = resolve(other)?;
+                    if o != in_shape {
+                        return Err(TensorError::shape_mismatch(
+                            format!("{} residual shapes", layer.name),
+                            in_shape.to_string(),
+                            o.to_string(),
+                        ));
+                    }
+                    (in_shape, 0, 0)
+                }
+                LayerKind::ResizeLike { like } => {
+                    if like >= idx {
+                        return Err(TensorError::invalid(format!(
+                            "{}: resize target {like} not yet computed",
+                            layer.name
+                        )));
+                    }
+                    let target = shapes[like];
+                    (
+                        ActShape {
+                            c: in_shape.c,
+                            h: target.h,
+                            w: target.w,
+                        },
+                        0,
+                        0,
+                    )
+                }
+            };
+            shapes.push(out_shape);
+            infos.push(LayerInfo {
+                name: layer.name.clone(),
+                in_shape,
+                out_shape,
+                macs,
+                params,
+                is_conv: matches!(layer.kind, LayerKind::Conv { .. }),
+                residual_first: layer.residual_first,
+            });
+        }
+        Ok(infos)
+    }
+
+    /// Total multiply–accumulate count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Network::trace`] errors.
+    pub fn total_macs(&self) -> Result<u64, TensorError> {
+        Ok(self.trace()?.iter().map(|l| l.macs).sum())
+    }
+
+    /// Total operations (2 × MACs), the unit of the paper's GOP/s figures.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Network::trace`] errors.
+    pub fn total_ops(&self) -> Result<u64, TensorError> {
+        Ok(2 * self.total_macs()?)
+    }
+
+    /// Total parameter count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Network::trace`] errors.
+    pub fn total_params(&self) -> Result<u64, TensorError> {
+        Ok(self.trace()?.iter().map(|l| l.params).sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Network {
+        Network {
+            name: "tiny".into(),
+            input: ActShape { c: 3, h: 8, w: 8 },
+            layers: vec![
+                Layer::new(
+                    "conv1",
+                    LayerKind::Conv { k: 3, s: 1, p: 1, c_in: 3, c_out: 4, groups: 1 },
+                ),
+                Layer::new("pool1", LayerKind::MaxPool { k: 2, s: 2, p: 0 }),
+                Layer::new(
+                    "conv2",
+                    LayerKind::Conv { k: 3, s: 1, p: 1, c_in: 4, c_out: 4, groups: 1 },
+                ),
+                Layer::wired("res", LayerKind::Add { other: From::Layer(1) }, From::Prev),
+                Layer::new("gap", LayerKind::GlobalAvgPool),
+                Layer::new("fc", LayerKind::Fc { in_f: 4, out_f: 10 }),
+            ],
+        }
+    }
+
+    #[test]
+    fn shapes_propagate() {
+        let info = tiny().trace().unwrap();
+        assert_eq!(info[0].out_shape, ActShape { c: 4, h: 8, w: 8 });
+        assert_eq!(info[1].out_shape, ActShape { c: 4, h: 4, w: 4 });
+        assert_eq!(info[3].out_shape, ActShape { c: 4, h: 4, w: 4 });
+        assert_eq!(info[5].out_shape, ActShape { c: 10, h: 1, w: 1 });
+    }
+
+    #[test]
+    fn macs_and_params() {
+        let info = tiny().trace().unwrap();
+        // conv1: 3*3*3 taps * 64 positions * 4 out channels.
+        assert_eq!(info[0].macs, 27 * 64 * 4);
+        assert_eq!(info[0].params, (27 * 4 + 4) as u64);
+        // fc: 4*10.
+        assert_eq!(info[5].macs, 40);
+    }
+
+    #[test]
+    fn channel_mismatch_is_caught() {
+        let mut net = tiny();
+        net.layers[2].kind =
+            LayerKind::Conv { k: 3, s: 1, p: 1, c_in: 8, c_out: 4, groups: 1 };
+        assert!(net.trace().is_err());
+    }
+
+    #[test]
+    fn residual_shape_mismatch_is_caught() {
+        let mut net = tiny();
+        // Sum with the pre-pool map: shapes differ.
+        net.layers[3].kind = LayerKind::Add { other: From::Layer(0) };
+        assert!(net.trace().is_err());
+    }
+
+    #[test]
+    fn forward_reference_is_caught() {
+        let mut net = tiny();
+        net.layers[3].kind = LayerKind::Add { other: From::Layer(5) };
+        assert!(net.trace().is_err());
+    }
+
+    #[test]
+    fn mbits_uses_decimal_megabits() {
+        let s = ActShape { c: 64, h: 224, w: 224 };
+        // 64*224*224*16 bits = 51.38 Mbits — the "nearly 50Mbits" of §II-A.
+        assert!((s.mbits(16) - 51.380224).abs() < 1e-6);
+    }
+}

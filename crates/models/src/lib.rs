@@ -1,0 +1,41 @@
+//! Architecture descriptors of every network the block-convolution paper
+//! evaluates, plus the feature-map analyses behind Figures 1 and 9.
+//!
+//! | Network | Constructor | Paper role |
+//! |---|---|---|
+//! | VGG-16 | [`vgg::vgg16`] | Figure 1, Tables I/VI/VII, Figures 12–13 |
+//! | ResNet-18 | [`resnet::resnet18`] | Tables I/II, Figures 5–7, 9 |
+//! | ResNet-50 | [`resnet::resnet50`] | Table I, Figures 6–7, 9 |
+//! | MobileNet-V1 | [`mobilenet::mobilenet_v1`] | Table I, Figures 5–7, 9 |
+//! | VDSR | [`vdsr::vdsr`] | Figure 1, Tables IV/VIII/IX |
+//! | SSD300-VGG16 | [`ssd::ssd300_vgg16`] | Tables III/V |
+//! | FPN-ResNet-50 | [`fpn::fpn_resnet50`] | Tables III/V, Figure 8 |
+//!
+//! These are *architectural* models (shapes, MACs, parameters, wiring); the
+//! executable small-scale variants used for accuracy experiments live in
+//! `bconv-train`.
+//!
+//! # Example
+//!
+//! ```
+//! use bconv_models::{vgg::vgg16, analysis::peak_feature_map_mbits};
+//!
+//! # fn main() -> Result<(), bconv_tensor::TensorError> {
+//! // Figure 1's headline: VGG-16's first layer alone exceeds ZC706 BRAM.
+//! let peak = peak_feature_map_mbits(&vgg16(224), 16)?;
+//! assert!(peak > 50.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod analysis;
+pub mod builder;
+pub mod fpn;
+pub mod layer;
+pub mod mobilenet;
+pub mod resnet;
+pub mod ssd;
+pub mod vdsr;
+pub mod vgg;
+
+pub use layer::{ActShape, Layer, LayerInfo, LayerKind, Network};

@@ -1,0 +1,107 @@
+//! MobileNet-V1 (Howard et al.) — the paper's compact-model workload,
+//! exercising block convolution on depthwise convolutions (§II-E, Figure 9a).
+
+use crate::builder::{conv, dwconv, maxpool, NetBuilder};
+use crate::layer::{LayerKind, Network};
+use crate::ActShape;
+
+/// MobileNet-V1 (width multiplier 1.0) for `resolution²` RGB inputs.
+///
+/// `stride_as_pool` applies the paper's §II-F baseline rewrite (stride-2
+/// layers become stride-1 + 2×2 max pooling).
+pub fn mobilenet_v1(resolution: usize, stride_as_pool: bool) -> Network {
+    let mut b = NetBuilder::new(
+        "MobileNet-V1",
+        ActShape { c: 3, h: resolution, w: resolution },
+    );
+    let push_stride = |b: &mut NetBuilder, name: String, k: usize, s: usize, p: usize,
+                           c_in: usize, c_out: usize, depthwise: bool| {
+        let kind = if depthwise {
+            dwconv(k, if s > 1 && stride_as_pool { 1 } else { s }, p, c_in)
+        } else {
+            conv(k, if s > 1 && stride_as_pool { 1 } else { s }, p, c_in, c_out)
+        };
+        b.push(name.clone(), kind);
+        if s > 1 && stride_as_pool {
+            b.push(format!("{name}-pool"), maxpool(s, s, 0));
+        }
+    };
+
+    // (stride of the depthwise conv, output channels of the pointwise conv)
+    let spec: [(usize, usize); 13] = [
+        (1, 64),
+        (2, 128),
+        (1, 128),
+        (2, 256),
+        (1, 256),
+        (2, 512),
+        (1, 512),
+        (1, 512),
+        (1, 512),
+        (1, 512),
+        (1, 512),
+        (2, 1024),
+        (1, 1024),
+    ];
+    push_stride(&mut b, "conv1".into(), 3, 2, 1, 3, 32, false);
+    let mut c_in = 32;
+    for (i, (s, c_out)) in spec.into_iter().enumerate() {
+        push_stride(&mut b, format!("conv{}_dw", i + 2), 3, s, 1, c_in, c_in, true);
+        push_stride(&mut b, format!("conv{}_pw", i + 2), 1, 1, 0, c_in, c_out, false);
+        c_in = c_out;
+    }
+    b.push("gap", LayerKind::GlobalAvgPool);
+    b.push("fc", LayerKind::Fc { in_f: 1024, out_f: 1000 });
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mobilenet_has_27_convs() {
+        // conv1 + 13 depthwise + 13 pointwise.
+        let info = mobilenet_v1(224, false).trace().unwrap();
+        assert_eq!(info.iter().filter(|l| l.is_conv).count(), 27);
+    }
+
+    #[test]
+    fn macs_are_0_57g() {
+        let gmacs = mobilenet_v1(224, false).total_macs().unwrap() as f64 / 1e9;
+        assert!((gmacs - 0.57).abs() < 0.05, "got {gmacs}");
+    }
+
+    #[test]
+    fn blocking_ratio_at_f28_matches_table1() {
+        // Table I: MobileNet-V1 blocking ratio 44.44% = 12/27 under F28,
+        // counting conv compute resolutions after the stride rewrite.
+        let info = mobilenet_v1(224, true).trace().unwrap();
+        let convs: Vec<usize> = info
+            .iter()
+            .filter(|l| l.is_conv)
+            .map(|l| l.in_shape.h)
+            .collect();
+        assert_eq!(convs.len(), 27);
+        let blocked = convs.iter().filter(|&&r| r >= 28).count();
+        assert_eq!(blocked, 12);
+        assert!((blocked as f64 / 27.0 * 100.0 - 44.44).abs() < 0.01);
+    }
+
+    #[test]
+    fn final_shape_is_1000_classes() {
+        let info = mobilenet_v1(224, false).trace().unwrap();
+        assert_eq!(info.last().unwrap().out_shape.c, 1000);
+    }
+
+    #[test]
+    fn conv1_2_is_the_7_6mb_bottleneck() {
+        // §III-A: "For MobileNet-V1, layer conv1_2 is the main bottleneck"
+        // against the ZU3EG's 7.6 Mb budget. conv2_dw output @ 16 bit:
+        // 32x112x112x16 = 6.4 Mbits; conv1 output same. The largest early
+        // map is conv2_pw: 64x112x112 @16 = 12.8 Mbits.
+        let info = mobilenet_v1(224, false).trace().unwrap();
+        let conv2_pw = info.iter().find(|l| l.name == "conv2_pw").unwrap();
+        assert!(conv2_pw.out_shape.mbits(16) > 7.6);
+    }
+}

@@ -1,0 +1,251 @@
+//! ResNet-18 and ResNet-50 (He et al.) with the paper's optional
+//! stride-to-pooling baseline rewrite (§II-F: "we modify the convolutional
+//! layers with stride s to those with stride 1 followed by an s×s max
+//! pooling layer").
+
+use crate::builder::{conv, maxpool, NetBuilder};
+use crate::layer::{From, LayerKind, Network};
+use crate::ActShape;
+
+/// Pushes a possibly-strided conv; under the rewrite, emits a stride-1 conv
+/// followed by an `s×s` max pool. Returns the index of the layer producing
+/// the conv's output.
+fn push_conv(
+    b: &mut NetBuilder,
+    name: &str,
+    k: usize,
+    s: usize,
+    p: usize,
+    c_in: usize,
+    c_out: usize,
+    stride_as_pool: bool,
+) -> usize {
+    if s > 1 && stride_as_pool {
+        b.push(name.to_string(), conv(k, 1, p, c_in, c_out));
+        b.push(format!("{name}-pool"), maxpool(s, s, 0))
+    } else {
+        b.push(name.to_string(), conv(k, s, p, c_in, c_out))
+    }
+}
+
+/// A ResNet *basic* block (two 3×3 convs), returning the index of its
+/// output (the residual sum).
+#[allow(clippy::too_many_arguments)]
+fn basic_block(
+    b: &mut NetBuilder,
+    name: &str,
+    c_in: usize,
+    c_out: usize,
+    stride: usize,
+    input: usize,
+    stride_as_pool: bool,
+) -> usize {
+    let conv1 = push_conv(b, &format!("{name}-conv1"), 3, stride, 1, c_in, c_out, stride_as_pool);
+    // Figure 9 marks the first conv of each residual block.
+    let first_idx = if stride > 1 && stride_as_pool { conv1 - 1 } else { conv1 };
+    let _ = first_idx;
+    let conv2 = b.push(format!("{name}-conv2"), conv(3, 1, 1, c_out, c_out));
+    let shortcut = if stride != 1 || c_in != c_out {
+        let ds = push_conv(
+            b,
+            &format!("{name}-downsample"),
+            1,
+            stride,
+            0,
+            c_in,
+            c_out,
+            stride_as_pool,
+        );
+        // The downsample branch reads the block input, not the main path.
+        let wire_target = if stride > 1 && stride_as_pool { ds - 1 } else { ds };
+        rewire(b, wire_target, input);
+        ds
+    } else {
+        input
+    };
+    let add = b.push_from(
+        format!("{name}-add"),
+        LayerKind::Add { other: From::Layer(conv2) },
+        From::Layer(shortcut),
+    );
+    add
+}
+
+/// A ResNet *bottleneck* block (1×1 → 3×3 → 1×1, expansion 4), stride on
+/// the 3×3 (the torchvision v1.5 convention). Returns the output index.
+#[allow(clippy::too_many_arguments)]
+fn bottleneck_block(
+    b: &mut NetBuilder,
+    name: &str,
+    c_in: usize,
+    c_mid: usize,
+    stride: usize,
+    input: usize,
+    stride_as_pool: bool,
+) -> usize {
+    let c_out = 4 * c_mid;
+    b.push(format!("{name}-conv1"), conv(1, 1, 0, c_in, c_mid));
+    push_conv(b, &format!("{name}-conv2"), 3, stride, 1, c_mid, c_mid, stride_as_pool);
+    let conv3 = b.push(format!("{name}-conv3"), conv(1, 1, 0, c_mid, c_out));
+    let shortcut = if stride != 1 || c_in != c_out {
+        let ds = push_conv(
+            b,
+            &format!("{name}-downsample"),
+            1,
+            stride,
+            0,
+            c_in,
+            c_out,
+            stride_as_pool,
+        );
+        let wire_target = if stride > 1 && stride_as_pool { ds - 1 } else { ds };
+        rewire(b, wire_target, input);
+        ds
+    } else {
+        input
+    };
+    b.push_from(
+        format!("{name}-add"),
+        LayerKind::Add { other: From::Layer(conv3) },
+        From::Layer(shortcut),
+    )
+}
+
+/// Rewires layer `idx` to read from layer `from` (builder-internal surgery
+/// for shortcut branches).
+fn rewire(b: &mut NetBuilder, idx: usize, from: usize) {
+    // NetBuilder has no random-access mutator; emulate with a rebuild of
+    // the `from` field via the public API would be clumsy, so we expose a
+    // tiny crate-internal hook instead.
+    b.set_from(idx, From::Layer(from));
+}
+
+fn stem(b: &mut NetBuilder, stride_as_pool: bool) -> usize {
+    push_conv(b, "conv1", 7, 2, 3, 3, 64, stride_as_pool);
+    b.push("maxpool", maxpool(3, 2, 1))
+}
+
+/// ResNet-18 for `resolution²` RGB inputs.
+///
+/// `stride_as_pool` applies the paper's baseline rewrite.
+pub fn resnet18(resolution: usize, stride_as_pool: bool) -> Network {
+    let mut b = NetBuilder::new(
+        "ResNet-18",
+        ActShape { c: 3, h: resolution, w: resolution },
+    );
+    let mut cur = stem(&mut b, stride_as_pool);
+    let mut c_in = 64;
+    for (stage, (c_out, blocks)) in [(64usize, 2usize), (128, 2), (256, 2), (512, 2)]
+        .into_iter()
+        .enumerate()
+    {
+        for blk in 0..blocks {
+            let stride = if stage > 0 && blk == 0 { 2 } else { 1 };
+            let name = format!("layer{}-{}", stage + 1, blk + 1);
+            let start = b.next_index();
+            cur = basic_block(&mut b, &name, c_in, c_out, stride, cur, stride_as_pool);
+            b.mark_residual_first_at(start);
+            c_in = c_out;
+        }
+    }
+    b.push_from("gap", LayerKind::GlobalAvgPool, From::Layer(cur));
+    b.push("fc", LayerKind::Fc { in_f: 512, out_f: 1000 });
+    b.build()
+}
+
+/// ResNet-50 for `resolution²` RGB inputs.
+///
+/// `stride_as_pool` applies the paper's baseline rewrite.
+pub fn resnet50(resolution: usize, stride_as_pool: bool) -> Network {
+    let mut b = NetBuilder::new(
+        "ResNet-50",
+        ActShape { c: 3, h: resolution, w: resolution },
+    );
+    let mut cur = stem(&mut b, stride_as_pool);
+    let mut c_in = 64;
+    for (stage, (c_mid, blocks)) in [(64usize, 3usize), (128, 4), (256, 6), (512, 3)]
+        .into_iter()
+        .enumerate()
+    {
+        for blk in 0..blocks {
+            let stride = if stage > 0 && blk == 0 { 2 } else { 1 };
+            let name = format!("layer{}-{}", stage + 1, blk + 1);
+            let start = b.next_index();
+            cur = bottleneck_block(&mut b, &name, c_in, c_mid, stride, cur, stride_as_pool);
+            b.mark_residual_first_at(start);
+            c_in = 4 * c_mid;
+        }
+    }
+    b.push_from("gap", LayerKind::GlobalAvgPool, From::Layer(cur));
+    b.push("fc", LayerKind::Fc { in_f: 2048, out_f: 1000 });
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet18_conv_count() {
+        // conv1 + 8 basic blocks x 2 convs + 3 downsample 1x1 convs = 20.
+        let info = resnet18(224, false).trace().unwrap();
+        assert_eq!(info.iter().filter(|l| l.is_conv).count(), 20);
+        assert_eq!(info.last().unwrap().out_shape.c, 1000);
+    }
+
+    #[test]
+    fn resnet18_macs_are_1_8g() {
+        let gmacs = resnet18(224, false).total_macs().unwrap() as f64 / 1e9;
+        assert!((gmacs - 1.82).abs() < 0.1, "got {gmacs}");
+    }
+
+    #[test]
+    fn resnet50_conv_count_and_macs() {
+        // conv1 + 16 bottlenecks x 3 + 4 downsamples = 53.
+        let info = resnet50(224, false).trace().unwrap();
+        assert_eq!(info.iter().filter(|l| l.is_conv).count(), 53);
+        let gmacs = resnet50(224, false).total_macs().unwrap() as f64 / 1e9;
+        assert!((gmacs - 4.1).abs() < 0.3, "got {gmacs}");
+    }
+
+    #[test]
+    fn stride_as_pool_rewrite_preserves_final_shape() {
+        for (a, b) in [
+            (resnet18(224, false), resnet18(224, true)),
+            (resnet50(224, false), resnet50(224, true)),
+        ] {
+            let ia = a.trace().unwrap();
+            let ib = b.trace().unwrap();
+            assert_eq!(
+                ia.last().unwrap().out_shape,
+                ib.last().unwrap().out_shape
+            );
+            // The rewrite strictly increases compute (convs at higher res).
+            assert!(b.total_macs().unwrap() > a.total_macs().unwrap());
+        }
+    }
+
+    #[test]
+    fn rewrite_raises_conv_compute_resolution() {
+        let info = resnet18(224, true).trace().unwrap();
+        // conv1 now computes at 224 instead of 112.
+        let conv1 = info.iter().find(|l| l.name == "conv1").unwrap();
+        assert_eq!(conv1.out_shape.h, 224);
+    }
+
+    #[test]
+    fn residual_first_layers_are_marked() {
+        let info = resnet18(224, false).trace().unwrap();
+        let marked = info.iter().filter(|l| l.residual_first).count();
+        assert_eq!(marked, 8); // 8 basic blocks
+    }
+
+    #[test]
+    fn stage_resolutions() {
+        let info = resnet18(224, false).trace().unwrap();
+        let l1 = info.iter().find(|l| l.name == "layer1-1-conv1").unwrap();
+        assert_eq!(l1.in_shape.h, 56);
+        let l4 = info.iter().find(|l| l.name == "layer4-2-conv1").unwrap();
+        assert_eq!(l4.in_shape.h, 7);
+    }
+}

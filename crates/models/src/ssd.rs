@@ -1,0 +1,131 @@
+//! SSD300 with a VGG-16 backbone (Liu et al.) — the paper's first object
+//! detection workload (Tables III and V).
+//!
+//! The descriptor follows the standard SSD300 layout: VGG-16 through
+//! `conv5_3` (with ceil-mode `pool3` expressed as padding 1 and `pool5`
+//! as 3×3 stride-1), `fc6`/`fc7` converted to convolutions, four extra
+//! feature stages, and per-source localisation/confidence heads. The
+//! atrous convolution of `fc6` is modelled as a plain 3×3 (identical
+//! shapes and within 1% of the MAC count, which is what the analyses use).
+
+use crate::builder::{conv, maxpool, NetBuilder};
+use crate::layer::{From, Network};
+use crate::ActShape;
+
+/// Number of COCO classes (80 + background) used by the conf heads.
+pub const COCO_CLASSES: usize = 81;
+
+/// SSD300-VGG16 for `300 × 300` RGB inputs.
+pub fn ssd300_vgg16() -> Network {
+    let mut b = NetBuilder::new("SSD300-VGG16", ActShape { c: 3, h: 300, w: 300 });
+
+    // VGG-16 backbone through conv4_3 / conv5_3.
+    b.push("conv1_1", conv(3, 1, 1, 3, 64));
+    b.push("conv1_2", conv(3, 1, 1, 64, 64));
+    b.push("pool1", maxpool(2, 2, 0)); // 150
+    b.push("conv2_1", conv(3, 1, 1, 64, 128));
+    b.push("conv2_2", conv(3, 1, 1, 128, 128));
+    b.push("pool2", maxpool(2, 2, 0)); // 75
+    b.push("conv3_1", conv(3, 1, 1, 128, 256));
+    b.push("conv3_2", conv(3, 1, 1, 256, 256));
+    b.push("conv3_3", conv(3, 1, 1, 256, 256));
+    b.push("pool3", maxpool(2, 2, 1)); // ceil-mode: 75 -> 38
+    b.push("conv4_1", conv(3, 1, 1, 256, 512));
+    b.push("conv4_2", conv(3, 1, 1, 512, 512));
+    let conv4_3 = b.push("conv4_3", conv(3, 1, 1, 512, 512)); // 38x38 source
+    b.push("pool4", maxpool(2, 2, 0)); // 19
+    b.push("conv5_1", conv(3, 1, 1, 512, 512));
+    b.push("conv5_2", conv(3, 1, 1, 512, 512));
+    b.push("conv5_3", conv(3, 1, 1, 512, 512));
+    b.push("pool5", maxpool(3, 1, 1)); // 19, stride 1
+    b.push("fc6", conv(3, 1, 1, 512, 1024)); // atrous in the original
+    let fc7 = b.push("fc7", conv(1, 1, 0, 1024, 1024)); // 19x19 source
+
+    // Extra feature layers.
+    b.push("conv8_1", conv(1, 1, 0, 1024, 256));
+    let conv8_2 = b.push("conv8_2", conv(3, 2, 1, 256, 512)); // 10x10
+    b.push("conv9_1", conv(1, 1, 0, 512, 128));
+    let conv9_2 = b.push("conv9_2", conv(3, 2, 1, 128, 256)); // 5x5
+    b.push("conv10_1", conv(1, 1, 0, 256, 128));
+    let conv10_2 = b.push("conv10_2", conv(3, 1, 0, 128, 256)); // 3x3
+    b.push("conv11_1", conv(1, 1, 0, 256, 128));
+    let conv11_2 = b.push("conv11_2", conv(3, 1, 0, 128, 256)); // 1x1
+
+    // Detection heads: (source layer index, channels, anchors per cell).
+    let sources = [
+        (conv4_3, 512usize, 4usize),
+        (fc7, 1024, 6),
+        (conv8_2, 512, 6),
+        (conv9_2, 256, 6),
+        (conv10_2, 256, 4),
+        (conv11_2, 256, 4),
+    ];
+    for (i, (src, c, anchors)) in sources.into_iter().enumerate() {
+        b.push_from(
+            format!("loc_head{i}"),
+            conv(3, 1, 1, c, 4 * anchors),
+            From::Layer(src),
+        );
+        b.push_from(
+            format!("conf_head{i}"),
+            conv(3, 1, 1, c, COCO_CLASSES * anchors),
+            From::Layer(src),
+        );
+    }
+    b.build()
+}
+
+/// Names of the detection-head layers (used when computing the
+/// "backbone-only" vs "backbone+heads" blocking split of Figure 8).
+pub fn is_head_layer(name: &str) -> bool {
+    name.starts_with("loc_head") || name.starts_with("conf_head")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn source_resolutions_match_ssd300() {
+        let net = ssd300_vgg16();
+        let info = net.trace().unwrap();
+        let find = |n: &str| info.iter().find(|l| l.name == n).unwrap().out_shape;
+        assert_eq!((find("conv4_3").h, find("conv4_3").w), (38, 38));
+        assert_eq!(find("fc7").h, 19);
+        assert_eq!(find("conv8_2").h, 10);
+        assert_eq!(find("conv9_2").h, 5);
+        assert_eq!(find("conv10_2").h, 3);
+        assert_eq!(find("conv11_2").h, 1);
+    }
+
+    #[test]
+    fn heads_read_their_sources() {
+        let info = ssd300_vgg16().trace().unwrap();
+        let loc0 = info.iter().find(|l| l.name == "loc_head0").unwrap();
+        assert_eq!(loc0.in_shape.c, 512);
+        assert_eq!(loc0.out_shape.c, 16); // 4 coords x 4 anchors
+        let conf1 = info.iter().find(|l| l.name == "conf_head1").unwrap();
+        assert_eq!(conf1.out_shape.c, COCO_CLASSES * 6);
+    }
+
+    #[test]
+    fn head_resolution_is_much_smaller_than_input() {
+        // §II-F: "the resolution of the detection heads is much smaller
+        // than the input resolution" — largest head source is 38x38 vs 300.
+        let info = ssd300_vgg16().trace().unwrap();
+        let max_head_res = info
+            .iter()
+            .filter(|l| is_head_layer(&l.name))
+            .map(|l| l.in_shape.h)
+            .max()
+            .unwrap();
+        assert_eq!(max_head_res, 38);
+    }
+
+    #[test]
+    fn macs_are_around_31g() {
+        // SSD300-VGG16 is ~31 GMACs on COCO (81 classes).
+        let gmacs = ssd300_vgg16().total_macs().unwrap() as f64 / 1e9;
+        assert!((15.0..40.0).contains(&gmacs), "got {gmacs}");
+    }
+}

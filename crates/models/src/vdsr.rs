@@ -1,0 +1,92 @@
+//! VDSR (Kim et al.) — the paper's super-resolution workload (Table IV,
+//! Table VIII, Table IX). Twenty 3×3 stride-1 convolutions at constant
+//! resolution plus a global residual connection to the input.
+
+use crate::builder::{conv, NetBuilder};
+use crate::layer::{From, LayerKind, Network};
+use crate::ActShape;
+
+/// Depth of the standard VDSR (Table VIII).
+pub const VDSR_DEPTH: usize = 20;
+
+/// VDSR for a single-channel `h × w` input (Table VIII: 1080×1920 for the
+/// accelerator study; 256×256 for Figure 1; 41×41 for Set5 training).
+pub fn vdsr(h: usize, w: usize) -> Network {
+    vdsr_with_depth(h, w, VDSR_DEPTH, 64)
+}
+
+/// VDSR variant with configurable depth and width (the reduced nets used by
+/// the synthetic training experiments keep the same topology).
+///
+/// # Panics
+///
+/// Panics if `depth < 2` (VDSR needs at least an input and output conv).
+pub fn vdsr_with_depth(h: usize, w: usize, depth: usize, width: usize) -> Network {
+    assert!(depth >= 2, "VDSR needs at least 2 layers");
+    let mut b = NetBuilder::new("VDSR", ActShape { c: 1, h, w });
+    b.push("conv1", conv(3, 1, 1, 1, width));
+    for i in 1..depth - 1 {
+        b.push(format!("conv{}", i + 1), conv(3, 1, 1, width, width));
+    }
+    let last = b.push(format!("conv{depth}"), conv(3, 1, 1, width, 1));
+    b.push_from(
+        "residual-add",
+        LayerKind::Add { other: From::Input },
+        From::Layer(last),
+    );
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vdsr_matches_table8_architecture() {
+        // Table VIII: conv 3x3x1x64, 18x conv 3x3x64x64, conv 3x3x64x1,
+        // eltwise sum; input 1080x1920x1.
+        let info = vdsr(1080, 1920).trace().unwrap();
+        let convs: Vec<_> = info.iter().filter(|l| l.is_conv).collect();
+        assert_eq!(convs.len(), 20);
+        assert_eq!(convs[0].in_shape.c, 1);
+        assert_eq!(convs[0].out_shape.c, 64);
+        assert_eq!(convs[19].out_shape.c, 1);
+        for c in &convs[1..19] {
+            assert_eq!((c.in_shape.c, c.out_shape.c), (64, 64));
+        }
+        // Resolution never drops.
+        assert!(info.iter().all(|l| l.out_shape.h == 1080 && l.out_shape.w == 1920));
+    }
+
+    #[test]
+    fn intermediate_maps_are_126mb_each() {
+        // §III-C1: "the volume of intermediate feature maps in each layer
+        // is 126.6 MB" — 64 maps of 1080x1920 bytes at 8-bit activations.
+        let info = vdsr(1080, 1920).trace().unwrap();
+        let bytes = info[0].out_shape.bits(8) as f64 / 8.0 / 1e6;
+        assert!((bytes - 132.7).abs() < 1.0, "got {bytes} MB (decimal)");
+        // In binary mebibytes, 126.6 MiB as the paper counts it:
+        let mib = info[0].out_shape.bits(8) as f64 / 8.0 / (1024.0 * 1024.0);
+        assert!((mib - 126.6).abs() < 0.1, "got {mib} MiB");
+    }
+
+    #[test]
+    fn residual_add_checks_shapes() {
+        let net = vdsr(64, 64);
+        assert!(net.trace().is_ok());
+    }
+
+    #[test]
+    fn reduced_depth_variant() {
+        let net = vdsr_with_depth(41, 41, 8, 16);
+        let info = net.trace().unwrap();
+        assert_eq!(info.iter().filter(|l| l.is_conv).count(), 8);
+        assert_eq!(info.last().unwrap().out_shape.c, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 layers")]
+    fn depth_one_panics() {
+        let _ = vdsr_with_depth(8, 8, 1, 8);
+    }
+}

@@ -1,0 +1,86 @@
+//! VGG-16 (Simonyan & Zisserman) — the paper's primary classification and
+//! accelerator workload (Figure 1, Tables I, VI, VII, Figures 12–13).
+
+use crate::builder::{conv, maxpool, NetBuilder};
+use crate::layer::{LayerKind, Network};
+use crate::ActShape;
+
+/// VGG-16 for `resolution × resolution` RGB inputs (224 for ImageNet).
+///
+/// Thirteen 3×3 convolutions in five groups separated by 2×2 max pooling,
+/// followed by three fully-connected layers. VGG-16 has no strided
+/// convolutions, so the paper's stride-to-pooling baseline rewrite leaves
+/// it unchanged.
+pub fn vgg16(resolution: usize) -> Network {
+    let mut b = NetBuilder::new(
+        "VGG-16",
+        ActShape { c: 3, h: resolution, w: resolution },
+    );
+    let groups: [(usize, usize); 5] = [(2, 64), (2, 128), (3, 256), (3, 512), (3, 512)];
+    let mut c_in = 3;
+    for (gi, (n_convs, c_out)) in groups.into_iter().enumerate() {
+        for ci in 0..n_convs {
+            b.push(
+                format!("conv{}-{}", gi + 1, ci + 1),
+                conv(3, 1, 1, c_in, c_out),
+            );
+            c_in = c_out;
+        }
+        b.push(format!("pool{}", gi + 1), maxpool(2, 2, 0));
+    }
+    let spatial = resolution / 32;
+    b.push(
+        "fc6",
+        LayerKind::Fc { in_f: 512 * spatial * spatial, out_f: 4096 },
+    );
+    b.push("fc7", LayerKind::Fc { in_f: 4096, out_f: 4096 });
+    b.push("fc8", LayerKind::Fc { in_f: 4096, out_f: 1000 });
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vgg16_has_13_convs_and_3_fcs() {
+        let net = vgg16(224);
+        let info = net.trace().unwrap();
+        let convs = info.iter().filter(|l| l.is_conv).count();
+        assert_eq!(convs, 13);
+        assert_eq!(info.last().unwrap().out_shape.c, 1000);
+    }
+
+    #[test]
+    fn first_layer_output_is_nearly_50_mbits_at_16_bit() {
+        // §II-A: "the output data size of VGG-16's first layer is nearly
+        // 50Mbits" (64x224x224 @ 16 bit = 51.4 Mbits).
+        let info = vgg16(224).trace().unwrap();
+        let mbits = info[0].out_shape.mbits(16);
+        assert!((mbits - 51.38).abs() < 0.01, "got {mbits}");
+    }
+
+    #[test]
+    fn total_ops_match_published_30_8_gops() {
+        // Table VII: 374.98 GOP/s at 82.03 ms/image -> ~30.76 GOP/image.
+        let gops = vgg16(224).total_ops().unwrap() as f64 / 1e9;
+        assert!((gops - 30.95).abs() < 0.3, "got {gops}");
+    }
+
+    #[test]
+    fn conv_resolutions_follow_the_five_stages() {
+        let info = vgg16(224).trace().unwrap();
+        let res: Vec<usize> = info
+            .iter()
+            .filter(|l| l.is_conv)
+            .map(|l| l.in_shape.h)
+            .collect();
+        assert_eq!(res, vec![224, 224, 112, 112, 56, 56, 56, 28, 28, 28, 14, 14, 14]);
+    }
+
+    #[test]
+    fn parameter_count_is_138m() {
+        let params = vgg16(224).total_params().unwrap() as f64 / 1e6;
+        assert!((params - 138.3).abs() < 1.0, "got {params}");
+    }
+}

@@ -1,0 +1,208 @@
+//! Symmetric fixed-point quantization for the block-convolution
+//! reproduction.
+//!
+//! The paper uses fixed-point arithmetic throughout its hardware designs
+//! (16/8-bit activations for the VGG-16 accelerator, 8-bit activations and
+//! 4-bit weights for the VDSR accelerator) and evaluates 8-bit quantization
+//! of blocked networks in Figure 7, both post-training (PTQ) and
+//! training-aware (QAT). This crate provides:
+//!
+//! * [`QParams`] — per-tensor symmetric scale for a given bitwidth;
+//! * [`QTensor`] / [`quantize`] / [`dequantize`] — integer tensors;
+//! * [`fake_quant`] — the QAT forward hook (quantize–dequantize round trip);
+//! * [`calibrate::Calibrator`] — absolute-max range calibration for PTQ;
+//! * [`qconv`] — integer convolution simulation with i64 accumulators,
+//!   verifying quantized inference end to end.
+//!
+//! # Example
+//!
+//! ```
+//! use bconv_quant::{QParams, fake_quant};
+//! use bconv_tensor::Tensor;
+//!
+//! let t = Tensor::from_fn(1, 1, 4, |_, _, w| w as f32 - 1.5);
+//! let q = QParams::from_abs_max(1.5, 8);
+//! let fq = fake_quant(&t, q);
+//! // Round-trip error is bounded by half a quantization step.
+//! assert!(t.max_abs_diff(&fq).unwrap() <= q.step() / 2.0 + 1e-6);
+//! ```
+
+pub mod calibrate;
+pub mod qconv;
+
+use bconv_tensor::{Tensor, TensorError};
+
+/// Per-tensor symmetric quantization parameters: values in
+/// `[-abs_max, abs_max]` map linearly to `[-qmax, qmax]` integers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QParams {
+    scale: f32,
+    bits: u8,
+}
+
+impl QParams {
+    /// Parameters covering `[-abs_max, abs_max]` at `bits` width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is not in `2..=16` or `abs_max` is not positive
+    /// and finite.
+    pub fn from_abs_max(abs_max: f32, bits: u8) -> Self {
+        assert!((2..=16).contains(&bits), "bits must be in 2..=16");
+        assert!(
+            abs_max.is_finite() && abs_max > 0.0,
+            "abs_max must be positive and finite"
+        );
+        let qmax = ((1i32 << (bits - 1)) - 1) as f32;
+        Self {
+            scale: abs_max / qmax,
+            bits,
+        }
+    }
+
+    /// Scale (the value of one integer step).
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// Bitwidth.
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Largest representable integer magnitude.
+    pub fn qmax(&self) -> i32 {
+        (1i32 << (self.bits - 1)) - 1
+    }
+
+    /// The quantization step size (== scale).
+    pub fn step(&self) -> f32 {
+        self.scale
+    }
+
+    /// Quantizes one value (round-to-nearest, saturating).
+    pub fn quantize_value(&self, v: f32) -> i32 {
+        let q = (v / self.scale).round() as i64;
+        q.clamp(-(self.qmax() as i64), self.qmax() as i64) as i32
+    }
+
+    /// Dequantizes one integer.
+    pub fn dequantize_value(&self, q: i32) -> f32 {
+        q as f32 * self.scale
+    }
+}
+
+/// An integer tensor with its quantization parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QTensor {
+    /// Quantized values, row-major NCHW, same layout as the source tensor.
+    pub data: Vec<i32>,
+    /// Shape dims `[n, c, h, w]` of the source tensor.
+    pub dims: [usize; 4],
+    /// Quantization parameters.
+    pub params: QParams,
+}
+
+/// Quantizes a tensor with the given parameters.
+pub fn quantize(t: &Tensor, params: QParams) -> QTensor {
+    QTensor {
+        data: t.data().iter().map(|&v| params.quantize_value(v)).collect(),
+        dims: t.shape().dims(),
+        params,
+    }
+}
+
+/// Dequantizes back to floating point.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if the stored dims are
+/// inconsistent with the data length (cannot happen for values produced by
+/// [`quantize`]).
+pub fn dequantize(q: &QTensor) -> Result<Tensor, TensorError> {
+    Tensor::from_vec(
+        q.dims,
+        q.data
+            .iter()
+            .map(|&v| q.params.dequantize_value(v))
+            .collect(),
+    )
+}
+
+/// Quantize–dequantize round trip: the "fake quantization" used in
+/// training-aware quantization's forward pass.
+pub fn fake_quant(t: &Tensor, params: QParams) -> Tensor {
+    t.map(|v| params.dequantize_value(params.quantize_value(v)))
+}
+
+/// Convenience: fake-quantize with the tensor's own absolute maximum as the
+/// range (per-tensor dynamic quantization).
+pub fn fake_quant_dynamic(t: &Tensor, bits: u8) -> Tensor {
+    let abs_max = t.data().iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+    if abs_max == 0.0 {
+        return t.clone();
+    }
+    fake_quant(t, QParams::from_abs_max(abs_max, bits))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantize_roundtrip_error_is_half_step() {
+        let q = QParams::from_abs_max(1.0, 8);
+        for v in [-1.0f32, -0.5, 0.0, 0.123, 0.999] {
+            let rt = q.dequantize_value(q.quantize_value(v));
+            assert!((rt - v).abs() <= q.step() / 2.0 + 1e-7, "v={v}, rt={rt}");
+        }
+    }
+
+    #[test]
+    fn saturation_clamps_out_of_range() {
+        let q = QParams::from_abs_max(1.0, 8);
+        assert_eq!(q.quantize_value(10.0), 127);
+        assert_eq!(q.quantize_value(-10.0), -127);
+    }
+
+    #[test]
+    fn bitwidths_give_expected_qmax() {
+        assert_eq!(QParams::from_abs_max(1.0, 8).qmax(), 127);
+        assert_eq!(QParams::from_abs_max(1.0, 16).qmax(), 32767);
+        assert_eq!(QParams::from_abs_max(1.0, 4).qmax(), 7);
+    }
+
+    #[test]
+    fn lower_bitwidth_means_larger_error() {
+        let t = Tensor::from_fn(1, 4, 4, |c, h, w| ((c * 16 + h * 4 + w) as f32).sin());
+        let e8 = t.max_abs_diff(&fake_quant_dynamic(&t, 8)).unwrap();
+        let e4 = t.max_abs_diff(&fake_quant_dynamic(&t, 4)).unwrap();
+        assert!(e4 > e8);
+    }
+
+    #[test]
+    fn fake_quant_of_zero_tensor_is_identity() {
+        let t = Tensor::zeros([1, 1, 2, 2]);
+        assert_eq!(fake_quant_dynamic(&t, 8), t);
+    }
+
+    #[test]
+    fn quantize_dequantize_tensor_roundtrip() {
+        let t = Tensor::from_fn(2, 3, 3, |c, h, w| (c + h + w) as f32 / 10.0 - 0.3);
+        let q = quantize(&t, QParams::from_abs_max(1.0, 8));
+        let back = dequantize(&q).unwrap();
+        assert!(t.max_abs_diff(&back).unwrap() <= 1.0 / 127.0 / 2.0 + 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "bits must be in 2..=16")]
+    fn bits_out_of_range_panics() {
+        let _ = QParams::from_abs_max(1.0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "abs_max must be positive")]
+    fn non_positive_abs_max_panics() {
+        let _ = QParams::from_abs_max(0.0, 8);
+    }
+}

@@ -1,0 +1,185 @@
+//! Integer convolution simulation: quantized weights and activations with
+//! wide (i64) accumulators, mirroring the MAC datapath of the paper's
+//! accelerators (16/8-bit for VGG-16, 8-bit activations × 4-bit weights for
+//! VDSR).
+
+use bconv_tensor::conv::Conv2d;
+use bconv_tensor::pad::{pad2d, PadMode};
+use bconv_tensor::shape::conv_out_dim;
+use bconv_tensor::{Tensor, TensorError};
+
+use crate::{quantize, QParams};
+
+/// A convolution with quantized weights, executing in integer arithmetic.
+#[derive(Debug, Clone)]
+pub struct QConv2d {
+    weight_q: Vec<i32>,
+    weight_dims: [usize; 4],
+    bias: Vec<f32>,
+    weight_params: QParams,
+    geom: bconv_tensor::conv::ConvGeom,
+    groups: usize,
+}
+
+impl QConv2d {
+    /// Quantizes a float convolution's weights at `weight_bits`.
+    ///
+    /// Returns `None` if the weights are all zero (no meaningful scale).
+    pub fn from_conv(conv: &Conv2d, weight_bits: u8) -> Option<Self> {
+        let abs_max = conv
+            .weight()
+            .data()
+            .iter()
+            .fold(0.0f32, |m, &v| m.max(v.abs()));
+        if abs_max == 0.0 {
+            return None;
+        }
+        let weight_params = QParams::from_abs_max(abs_max, weight_bits);
+        let weight_q = quantize(conv.weight(), weight_params);
+        Some(Self {
+            weight_q: weight_q.data,
+            weight_dims: conv.weight().shape().dims(),
+            bias: conv.bias().to_vec(),
+            weight_params,
+            geom: conv.geom(),
+            groups: conv.groups(),
+        })
+    }
+
+    /// Weight quantization parameters.
+    pub fn weight_params(&self) -> QParams {
+        self.weight_params
+    }
+
+    /// Runs the convolution on a float input, quantizing activations at
+    /// `act_params` and accumulating in i64, then rescaling to float.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors if the input channel count does not match.
+    pub fn forward(&self, input: &Tensor, act_params: QParams) -> Result<Tensor, TensorError> {
+        let padded = pad2d(input, self.geom.padding, self.geom.padding, PadMode::Zero)?;
+        let [n, c_in, ph, pw] = padded.shape().dims();
+        let [c_out, cin_per_group, k, _] = self.weight_dims;
+        if c_in != cin_per_group * self.groups {
+            return Err(TensorError::shape_mismatch(
+                "QConv2d input channels",
+                format!("{}", cin_per_group * self.groups),
+                format!("{c_in}"),
+            ));
+        }
+        let s = self.geom.stride;
+        let oh = conv_out_dim(ph, k, s, 0)?;
+        let ow = conv_out_dim(pw, k, s, 0)?;
+        let cout_per_group = c_out / self.groups;
+
+        // Quantize activations once.
+        let act_q = quantize(&padded, act_params);
+        let out_scale = self.weight_params.scale() * act_params.scale();
+
+        let mut out = Tensor::zeros([n, c_out, oh, ow]);
+        let idx_in = |ni: usize, c: usize, h: usize, w: usize| ((ni * c_in + c) * ph + h) * pw + w;
+        let idx_w =
+            |m: usize, c: usize, kh: usize, kw: usize| ((m * cin_per_group + c) * k + kh) * k + kw;
+
+        for ni in 0..n {
+            for g in 0..self.groups {
+                for mo in 0..cout_per_group {
+                    let m = g * cout_per_group + mo;
+                    for ohi in 0..oh {
+                        for owi in 0..ow {
+                            let mut acc: i64 = 0;
+                            for ci in 0..cin_per_group {
+                                let c = g * cin_per_group + ci;
+                                for khi in 0..k {
+                                    for kwi in 0..k {
+                                        let a =
+                                            act_q.data[idx_in(ni, c, ohi * s + khi, owi * s + kwi)];
+                                        let w = self.weight_q[idx_w(m, ci, khi, kwi)];
+                                        acc += a as i64 * w as i64;
+                                    }
+                                }
+                            }
+                            *out.at_mut(ni, m, ohi, owi) = acc as f32 * out_scale + self.bias[m];
+                        }
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bconv_tensor::conv::ConvGeom;
+    use bconv_tensor::init::{he_conv2d, seeded_rng, uniform_tensor};
+
+    #[test]
+    fn int8_conv_tracks_float_conv() {
+        let mut rng = seeded_rng(1);
+        let conv = he_conv2d(3, 4, ConvGeom::same(3), 1, &mut rng).unwrap();
+        let input = uniform_tensor([1, 3, 8, 8], -1.0, 1.0, &mut rng);
+        let float_out = conv.forward(&input).unwrap();
+        let qconv = QConv2d::from_conv(&conv, 8).unwrap();
+        let q_out = qconv
+            .forward(&input, QParams::from_abs_max(1.0, 8))
+            .unwrap();
+        let err = float_out.max_abs_diff(&q_out).unwrap();
+        let ref_mag = float_out.data().iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        assert!(err / ref_mag < 0.05, "relative error {}", err / ref_mag);
+    }
+
+    #[test]
+    fn wider_bitwidth_reduces_error() {
+        let mut rng = seeded_rng(2);
+        let conv = he_conv2d(2, 2, ConvGeom::same(3), 1, &mut rng).unwrap();
+        let input = uniform_tensor([1, 2, 8, 8], -1.0, 1.0, &mut rng);
+        let float_out = conv.forward(&input).unwrap();
+        let act = QParams::from_abs_max(1.0, 8);
+        let e4 = float_out
+            .max_abs_diff(&QConv2d::from_conv(&conv, 4).unwrap().forward(&input, act).unwrap())
+            .unwrap();
+        let e8 = float_out
+            .max_abs_diff(&QConv2d::from_conv(&conv, 8).unwrap().forward(&input, act).unwrap())
+            .unwrap();
+        let e16 = float_out
+            .max_abs_diff(&QConv2d::from_conv(&conv, 16).unwrap().forward(&input, act).unwrap())
+            .unwrap();
+        assert!(e4 > e8, "4-bit {e4} should exceed 8-bit {e8}");
+        assert!(e8 > e16, "8-bit {e8} should exceed 16-bit {e16}");
+    }
+
+    #[test]
+    fn vdsr_style_4bit_weights_8bit_acts() {
+        // The VDSR accelerator quantizes weights to 4 bits and activations
+        // to 8 bits (§III-C1); the integer path must stay usable.
+        let mut rng = seeded_rng(3);
+        let conv = he_conv2d(4, 4, ConvGeom::same(3), 1, &mut rng).unwrap();
+        let input = uniform_tensor([1, 4, 8, 8], 0.0, 1.0, &mut rng);
+        let float_out = conv.forward(&input).unwrap();
+        let q_out = QConv2d::from_conv(&conv, 4)
+            .unwrap()
+            .forward(&input, QParams::from_abs_max(1.0, 8))
+            .unwrap();
+        let err = float_out.max_abs_diff(&q_out).unwrap();
+        let ref_mag = float_out.data().iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        assert!(err / ref_mag < 0.25, "relative error {}", err / ref_mag);
+    }
+
+    #[test]
+    fn zero_weights_yield_none() {
+        let conv = Conv2d::zeros(1, 1, ConvGeom::same(3)).unwrap();
+        assert!(QConv2d::from_conv(&conv, 8).is_none());
+    }
+
+    #[test]
+    fn channel_mismatch_is_an_error() {
+        let mut rng = seeded_rng(4);
+        let conv = he_conv2d(3, 4, ConvGeom::same(3), 1, &mut rng).unwrap();
+        let qconv = QConv2d::from_conv(&conv, 8).unwrap();
+        let input = Tensor::zeros([1, 2, 8, 8]);
+        assert!(qconv.forward(&input, QParams::from_abs_max(1.0, 8)).is_err());
+    }
+}

@@ -1,0 +1,133 @@
+//! Element-wise tensor arithmetic.
+//!
+//! Element-wise summation is one of the operations the paper lists as
+//! "naturally splittable in the spatial dimension" (§II-E) — the residual
+//! add of ResNet works unchanged under block convolution.
+
+use crate::{Tensor, TensorError};
+
+/// Element-wise sum `a + b`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+///
+/// # Examples
+///
+/// ```
+/// use bconv_tensor::{Tensor, elementwise::add};
+/// let a = Tensor::filled([1, 1, 2, 2], 1.0);
+/// let b = Tensor::filled([1, 1, 2, 2], 2.0);
+/// assert_eq!(add(&a, &b)?.data(), &[3.0; 4]);
+/// # Ok::<(), bconv_tensor::TensorError>(())
+/// ```
+pub fn add(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    if a.shape() != b.shape() {
+        return Err(TensorError::shape_mismatch(
+            "elementwise::add",
+            a.shape().to_string(),
+            b.shape().to_string(),
+        ));
+    }
+    let mut out = a.clone();
+    for (o, v) in out.data_mut().iter_mut().zip(b.data()) {
+        *o += v;
+    }
+    Ok(out)
+}
+
+/// In-place element-wise accumulate `a += b`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+pub fn add_inplace(a: &mut Tensor, b: &Tensor) -> Result<(), TensorError> {
+    if a.shape() != b.shape() {
+        return Err(TensorError::shape_mismatch(
+            "elementwise::add_inplace",
+            a.shape().to_string(),
+            b.shape().to_string(),
+        ));
+    }
+    for (o, v) in a.data_mut().iter_mut().zip(b.data()) {
+        *o += v;
+    }
+    Ok(())
+}
+
+/// Element-wise difference `a - b`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+pub fn sub(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    if a.shape() != b.shape() {
+        return Err(TensorError::shape_mismatch(
+            "elementwise::sub",
+            a.shape().to_string(),
+            b.shape().to_string(),
+        ));
+    }
+    let mut out = a.clone();
+    for (o, v) in out.data_mut().iter_mut().zip(b.data()) {
+        *o -= v;
+    }
+    Ok(out)
+}
+
+/// Scales every element by `s`.
+pub fn scale(a: &Tensor, s: f32) -> Tensor {
+    a.map(|v| v * s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_sub_are_inverse() {
+        let a = Tensor::from_fn(1, 2, 2, |_, h, w| (h * 2 + w) as f32);
+        let b = Tensor::filled([1, 1, 2, 2], 3.0);
+        let roundtrip = sub(&add(&a, &b).unwrap(), &b).unwrap();
+        assert!(roundtrip.approx_eq(&a, 1e-6).unwrap());
+    }
+
+    #[test]
+    fn add_inplace_matches_add() {
+        let a = Tensor::from_fn(1, 2, 2, |_, h, w| (h + w) as f32);
+        let b = Tensor::filled([1, 1, 2, 2], 0.5);
+        let expected = add(&a, &b).unwrap();
+        let mut inplace = a.clone();
+        add_inplace(&mut inplace, &b).unwrap();
+        assert_eq!(inplace, expected);
+    }
+
+    #[test]
+    fn shape_mismatch_errors() {
+        let a = Tensor::zeros([1, 1, 2, 2]);
+        let b = Tensor::zeros([1, 1, 2, 3]);
+        assert!(add(&a, &b).is_err());
+        assert!(sub(&a, &b).is_err());
+    }
+
+    #[test]
+    fn scale_multiplies_every_element() {
+        let a = Tensor::filled([1, 1, 2, 2], 2.0);
+        assert_eq!(scale(&a, 2.5).data(), &[5.0; 4]);
+    }
+
+    #[test]
+    fn residual_add_commutes_with_block_split() {
+        // Element-wise sum is naturally splittable (paper §II-E): summing
+        // then cropping equals cropping then summing.
+        let a = Tensor::from_fn(1, 6, 6, |_, h, w| (h * 6 + w) as f32);
+        let b = Tensor::from_fn(1, 6, 6, |_, h, w| ((h + w) % 3) as f32);
+        let whole = add(&a, &b).unwrap().crop(0, 3, 3, 3).unwrap();
+        let split = add(
+            &a.crop(0, 3, 3, 3).unwrap(),
+            &b.crop(0, 3, 3, 3).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(whole, split);
+    }
+}

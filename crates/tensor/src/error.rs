@@ -1,0 +1,95 @@
+//! Error type shared by all tensor operations.
+
+use std::fmt;
+
+/// Error returned by fallible tensor operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two shapes that must agree do not.
+    ShapeMismatch {
+        /// Human-readable description of the operation that failed.
+        context: String,
+        /// The shape that was expected.
+        expected: String,
+        /// The shape that was provided.
+        actual: String,
+    },
+    /// A parameter value is invalid (zero stride, kernel larger than padded
+    /// input, channel count not divisible by groups, ...).
+    InvalidParameter {
+        /// Human-readable description of the offending parameter.
+        context: String,
+    },
+    /// A spatial region (crop/paste) falls outside the tensor bounds.
+    OutOfBounds {
+        /// Human-readable description of the offending access.
+        context: String,
+    },
+}
+
+impl TensorError {
+    /// Convenience constructor for [`TensorError::ShapeMismatch`].
+    pub fn shape_mismatch(
+        context: impl Into<String>,
+        expected: impl Into<String>,
+        actual: impl Into<String>,
+    ) -> Self {
+        Self::ShapeMismatch {
+            context: context.into(),
+            expected: expected.into(),
+            actual: actual.into(),
+        }
+    }
+
+    /// Convenience constructor for [`TensorError::InvalidParameter`].
+    pub fn invalid(context: impl Into<String>) -> Self {
+        Self::InvalidParameter {
+            context: context.into(),
+        }
+    }
+
+    /// Convenience constructor for [`TensorError::OutOfBounds`].
+    pub fn out_of_bounds(context: impl Into<String>) -> Self {
+        Self::OutOfBounds {
+            context: context.into(),
+        }
+    }
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ShapeMismatch {
+                context,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "shape mismatch in {context}: expected {expected}, got {actual}"
+            ),
+            Self::InvalidParameter { context } => write!(f, "invalid parameter: {context}"),
+            Self::OutOfBounds { context } => write!(f, "out of bounds: {context}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let err = TensorError::shape_mismatch("conv2d input", "[1,3,8,8]", "[1,4,8,8]");
+        let text = err.to_string();
+        assert!(text.contains("conv2d input"));
+        assert!(text.contains("[1,3,8,8]"));
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

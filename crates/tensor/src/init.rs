@@ -1,0 +1,120 @@
+//! Seeded, deterministic weight initialisation.
+//!
+//! Every experiment binary in this reproduction uses fixed seeds so tables
+//! and figures are bit-for-bit reproducible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::conv::{Conv2d, ConvGeom};
+use crate::linear::Linear;
+use crate::{Tensor, TensorError};
+
+/// Returns a normally-distributed sample via Box–Muller from two uniforms,
+/// avoiding a dependency on `rand_distr`.
+fn normal(rng: &mut StdRng) -> f32 {
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+/// Fills a tensor with `N(0, std^2)` samples.
+pub fn fill_normal(t: &mut Tensor, std: f32, rng: &mut StdRng) {
+    for v in t.data_mut() {
+        *v = normal(rng) * std;
+    }
+}
+
+/// He (Kaiming) normal initialisation for a convolution:
+/// `std = sqrt(2 / fan_in)` with `fan_in = k*k*c_in/groups`.
+///
+/// # Errors
+///
+/// Propagates constructor errors from [`Conv2d::new`].
+pub fn he_conv2d(
+    c_in: usize,
+    c_out: usize,
+    geom: ConvGeom,
+    groups: usize,
+    rng: &mut StdRng,
+) -> Result<Conv2d, TensorError> {
+    let cin_per_group = c_in / groups.max(1);
+    let fan_in = (geom.kernel * geom.kernel * cin_per_group).max(1);
+    let std = (2.0 / fan_in as f32).sqrt();
+    let mut weight = Tensor::zeros([c_out, cin_per_group, geom.kernel, geom.kernel]);
+    fill_normal(&mut weight, std, rng);
+    Conv2d::new(weight, vec![0.0; c_out], geom, groups)
+}
+
+/// He normal initialisation for a linear layer.
+///
+/// # Errors
+///
+/// Propagates constructor errors from [`Linear::new`].
+pub fn he_linear(
+    in_features: usize,
+    out_features: usize,
+    rng: &mut StdRng,
+) -> Result<Linear, TensorError> {
+    let std = (2.0 / in_features.max(1) as f32).sqrt();
+    let weight = (0..in_features * out_features)
+        .map(|_| normal(rng) * std)
+        .collect();
+    Linear::new(in_features, out_features, weight, vec![0.0; out_features])
+}
+
+/// Uniform random tensor in `[lo, hi)`, for synthetic inputs.
+pub fn uniform_tensor(dims: [usize; 4], lo: f32, hi: f32, rng: &mut StdRng) -> Tensor {
+    let mut t = Tensor::zeros(dims);
+    for v in t.data_mut() {
+        *v = rng.gen_range(lo..hi);
+    }
+    t
+}
+
+/// Convenience: a deterministically-seeded RNG.
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_weights() {
+        let mut r1 = seeded_rng(42);
+        let mut r2 = seeded_rng(42);
+        let c1 = he_conv2d(3, 8, ConvGeom::same(3), 1, &mut r1).unwrap();
+        let c2 = he_conv2d(3, 8, ConvGeom::same(3), 1, &mut r2).unwrap();
+        assert_eq!(c1.weight().data(), c2.weight().data());
+    }
+
+    #[test]
+    fn different_seed_different_weights() {
+        let mut r1 = seeded_rng(1);
+        let mut r2 = seeded_rng(2);
+        let c1 = he_conv2d(3, 8, ConvGeom::same(3), 1, &mut r1).unwrap();
+        let c2 = he_conv2d(3, 8, ConvGeom::same(3), 1, &mut r2).unwrap();
+        assert_ne!(c1.weight().data(), c2.weight().data());
+    }
+
+    #[test]
+    fn he_std_is_plausible() {
+        let mut rng = seeded_rng(7);
+        let conv = he_conv2d(64, 64, ConvGeom::same(3), 1, &mut rng).unwrap();
+        let data = conv.weight().data();
+        let mean: f32 = data.iter().sum::<f32>() / data.len() as f32;
+        let var: f32 = data.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>()
+            / data.len() as f32;
+        let expected = 2.0 / (3.0 * 3.0 * 64.0);
+        assert!((var - expected).abs() / expected < 0.15, "var={var}");
+    }
+
+    #[test]
+    fn uniform_tensor_respects_bounds() {
+        let mut rng = seeded_rng(3);
+        let t = uniform_tensor([1, 2, 4, 4], -1.0, 1.0, &mut rng);
+        assert!(t.data().iter().all(|&v| (-1.0..1.0).contains(&v)));
+    }
+}

@@ -1,0 +1,172 @@
+//! Fully-connected (linear) layer for classifier heads.
+
+use crate::{Tensor, TensorError};
+
+/// A fully-connected layer `y = W x + b` with `W: [out, in]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Linear {
+    weight: Vec<f32>,
+    bias: Vec<f32>,
+    in_features: usize,
+    out_features: usize,
+}
+
+impl Linear {
+    /// Creates a linear layer from a row-major `[out, in]` weight matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `weight.len()` is not
+    /// `out_features * in_features` or `bias.len() != out_features`.
+    pub fn new(
+        in_features: usize,
+        out_features: usize,
+        weight: Vec<f32>,
+        bias: Vec<f32>,
+    ) -> Result<Self, TensorError> {
+        if weight.len() != in_features * out_features {
+            return Err(TensorError::shape_mismatch(
+                "Linear weight",
+                format!("{} elements", in_features * out_features),
+                format!("{} elements", weight.len()),
+            ));
+        }
+        if bias.len() != out_features {
+            return Err(TensorError::shape_mismatch(
+                "Linear bias",
+                format!("{out_features}"),
+                format!("{}", bias.len()),
+            ));
+        }
+        Ok(Self {
+            weight,
+            bias,
+            in_features,
+            out_features,
+        })
+    }
+
+    /// Zero-initialised layer.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice; kept fallible for constructor uniformity.
+    pub fn zeros(in_features: usize, out_features: usize) -> Result<Self, TensorError> {
+        Self::new(
+            in_features,
+            out_features,
+            vec![0.0; in_features * out_features],
+            vec![0.0; out_features],
+        )
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// Row-major `[out, in]` weights.
+    pub fn weight(&self) -> &[f32] {
+        &self.weight
+    }
+
+    /// Mutable weights (used by the training crate).
+    pub fn weight_mut(&mut self) -> &mut [f32] {
+        &mut self.weight
+    }
+
+    /// Bias vector.
+    pub fn bias(&self) -> &[f32] {
+        &self.bias
+    }
+
+    /// Mutable bias (used by the training crate).
+    pub fn bias_mut(&mut self) -> &mut [f32] {
+        &mut self.bias
+    }
+
+    /// Applies the layer to a flattened input: the `(c, h, w)` dims of each
+    /// batch element are flattened to `in_features`; output is
+    /// `[n, out_features, 1, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `c*h*w != in_features`.
+    pub fn forward(&self, input: &Tensor) -> Result<Tensor, TensorError> {
+        let [n, c, h, w] = input.shape().dims();
+        let flat = c * h * w;
+        if flat != self.in_features {
+            return Err(TensorError::shape_mismatch(
+                "Linear input",
+                format!("{} features", self.in_features),
+                format!("{flat} features"),
+            ));
+        }
+        let mut out = Tensor::zeros([n, self.out_features, 1, 1]);
+        for ni in 0..n {
+            let x = &input.data()[ni * flat..(ni + 1) * flat];
+            for o in 0..self.out_features {
+                let row = &self.weight[o * flat..(o + 1) * flat];
+                let mut acc = self.bias[o];
+                for (wv, xv) in row.iter().zip(x) {
+                    acc += wv * xv;
+                }
+                *out.at_mut(ni, o, 0, 0) = acc;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Multiply–accumulate count per batch element.
+    pub fn macs(&self) -> u64 {
+        (self.in_features * self.out_features) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_is_matrix_vector_product() {
+        // W = [[1, 2], [3, 4]], b = [0.5, -0.5], x = [1, 1].
+        let lin = Linear::new(2, 2, vec![1.0, 2.0, 3.0, 4.0], vec![0.5, -0.5]).unwrap();
+        let x = Tensor::from_vec([1, 2, 1, 1], vec![1.0, 1.0]).unwrap();
+        let y = lin.forward(&x).unwrap();
+        assert_eq!(y.at(0, 0, 0, 0), 3.5);
+        assert_eq!(y.at(0, 1, 0, 0), 6.5);
+    }
+
+    #[test]
+    fn batched_forward() {
+        let lin = Linear::new(1, 1, vec![2.0], vec![0.0]).unwrap();
+        let x = Tensor::from_vec([3, 1, 1, 1], vec![1.0, 2.0, 3.0]).unwrap();
+        let y = lin.forward(&x).unwrap();
+        assert_eq!(y.at(0, 0, 0, 0), 2.0);
+        assert_eq!(y.at(1, 0, 0, 0), 4.0);
+        assert_eq!(y.at(2, 0, 0, 0), 6.0);
+    }
+
+    #[test]
+    fn input_size_mismatch_errors() {
+        let lin = Linear::zeros(4, 2).unwrap();
+        let x = Tensor::zeros([1, 1, 1, 3]);
+        assert!(lin.forward(&x).is_err());
+    }
+
+    #[test]
+    fn constructor_validates_lengths() {
+        assert!(Linear::new(2, 2, vec![0.0; 3], vec![0.0; 2]).is_err());
+        assert!(Linear::new(2, 2, vec![0.0; 4], vec![0.0; 1]).is_err());
+    }
+
+    #[test]
+    fn macs_counts_products() {
+        assert_eq!(Linear::zeros(25088, 4096).unwrap().macs(), 25088 * 4096);
+    }
+}

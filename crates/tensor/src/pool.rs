@@ -1,0 +1,197 @@
+//! Max / average / global-average pooling.
+//!
+//! Pooling is central to the paper twice over: the §II-F baselines replace
+//! strided convolutions with stride-1 convolution + max pooling, and fixed
+//! blocking merges adjacent blocks after every pooling layer (Figure 4a).
+
+use crate::shape::conv_out_dim;
+use crate::{Tensor, TensorError};
+
+/// Max pooling with window `k`, stride `s` and zero implicit padding.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidParameter`] for degenerate geometry.
+///
+/// # Examples
+///
+/// ```
+/// use bconv_tensor::{Tensor, pool::max_pool2d};
+/// let t = Tensor::from_fn(1, 4, 4, |_, h, w| (h * 4 + w) as f32);
+/// let p = max_pool2d(&t, 2, 2)?;
+/// assert_eq!(p.shape().dims(), [1, 1, 2, 2]);
+/// assert_eq!(p.at(0, 0, 0, 0), 5.0);
+/// # Ok::<(), bconv_tensor::TensorError>(())
+/// ```
+pub fn max_pool2d(input: &Tensor, k: usize, s: usize) -> Result<Tensor, TensorError> {
+    pool2d(input, k, s, PoolKind::Max)
+}
+
+/// Average pooling with window `k` and stride `s`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidParameter`] for degenerate geometry.
+pub fn avg_pool2d(input: &Tensor, k: usize, s: usize) -> Result<Tensor, TensorError> {
+    pool2d(input, k, s, PoolKind::Avg)
+}
+
+#[derive(Clone, Copy)]
+enum PoolKind {
+    Max,
+    Avg,
+}
+
+fn pool2d(input: &Tensor, k: usize, s: usize, kind: PoolKind) -> Result<Tensor, TensorError> {
+    let [n, c, h, w] = input.shape().dims();
+    let oh = conv_out_dim(h, k, s, 0)?;
+    let ow = conv_out_dim(w, k, s, 0)?;
+    let mut out = Tensor::zeros([n, c, oh, ow]);
+    for ni in 0..n {
+        for ci in 0..c {
+            for ohi in 0..oh {
+                for owi in 0..ow {
+                    let mut acc = match kind {
+                        PoolKind::Max => f32::NEG_INFINITY,
+                        PoolKind::Avg => 0.0,
+                    };
+                    for khi in 0..k {
+                        for kwi in 0..k {
+                            let v = input.at(ni, ci, ohi * s + khi, owi * s + kwi);
+                            match kind {
+                                PoolKind::Max => acc = acc.max(v),
+                                PoolKind::Avg => acc += v,
+                            }
+                        }
+                    }
+                    if let PoolKind::Avg = kind {
+                        acc /= (k * k) as f32;
+                    }
+                    *out.at_mut(ni, ci, ohi, owi) = acc;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Global average pooling: collapses each channel map to a single value,
+/// producing a `[n, c, 1, 1]` tensor (MobileNet-V1 / ResNet heads).
+pub fn global_avg_pool(input: &Tensor) -> Tensor {
+    let [n, c, h, w] = input.shape().dims();
+    let mut out = Tensor::zeros([n, c, 1, 1]);
+    let denom = (h * w) as f32;
+    for ni in 0..n {
+        for ci in 0..c {
+            let mut sum = 0.0;
+            for hi in 0..h {
+                for wi in 0..w {
+                    sum += input.at(ni, ci, hi, wi);
+                }
+            }
+            *out.at_mut(ni, ci, 0, 0) = sum / denom;
+        }
+    }
+    out
+}
+
+/// Argmax indices of a max-pool, needed by the training crate's backward
+/// pass. Returns `(pooled, argmax)` where `argmax[i]` is the flat input
+/// index that produced output element `i`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidParameter`] for degenerate geometry.
+pub fn max_pool2d_with_argmax(
+    input: &Tensor,
+    k: usize,
+    s: usize,
+) -> Result<(Tensor, Vec<usize>), TensorError> {
+    let [n, c, h, w] = input.shape().dims();
+    let oh = conv_out_dim(h, k, s, 0)?;
+    let ow = conv_out_dim(w, k, s, 0)?;
+    let mut out = Tensor::zeros([n, c, oh, ow]);
+    let mut argmax = vec![0usize; n * c * oh * ow];
+    let ishape = input.shape();
+    let mut flat = 0usize;
+    for ni in 0..n {
+        for ci in 0..c {
+            for ohi in 0..oh {
+                for owi in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = 0usize;
+                    for khi in 0..k {
+                        for kwi in 0..k {
+                            let hh = ohi * s + khi;
+                            let ww = owi * s + kwi;
+                            let v = input.at(ni, ci, hh, ww);
+                            if v > best {
+                                best = v;
+                                best_idx = ishape.index(ni, ci, hh, ww);
+                            }
+                        }
+                    }
+                    *out.at_mut(ni, ci, ohi, owi) = best;
+                    argmax[flat] = best_idx;
+                    flat += 1;
+                }
+            }
+        }
+    }
+    Ok((out, argmax))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_pool_picks_window_maximum() {
+        let t = Tensor::from_fn(1, 4, 4, |_, h, w| (h * 4 + w) as f32);
+        let p = max_pool2d(&t, 2, 2).unwrap();
+        assert_eq!(p.at(0, 0, 0, 0), 5.0);
+        assert_eq!(p.at(0, 0, 1, 1), 15.0);
+    }
+
+    #[test]
+    fn avg_pool_averages_window() {
+        let t = Tensor::from_fn(1, 2, 2, |_, h, w| (h * 2 + w) as f32);
+        let p = avg_pool2d(&t, 2, 2).unwrap();
+        assert_eq!(p.at(0, 0, 0, 0), 1.5);
+    }
+
+    #[test]
+    fn global_avg_pool_collapses_spatial_dims() {
+        let t = Tensor::from_fn(2, 3, 3, |c, _, _| c as f32);
+        let p = global_avg_pool(&t);
+        assert_eq!(p.shape().dims(), [1, 2, 1, 1]);
+        assert_eq!(p.at(0, 0, 0, 0), 0.0);
+        assert_eq!(p.at(0, 1, 0, 0), 1.0);
+    }
+
+    #[test]
+    fn argmax_points_at_the_maximum() {
+        let t = Tensor::from_fn(1, 2, 2, |_, h, w| (h * 2 + w) as f32);
+        let (p, idx) = max_pool2d_with_argmax(&t, 2, 2).unwrap();
+        assert_eq!(p.at(0, 0, 0, 0), 3.0);
+        assert_eq!(idx, vec![3]);
+    }
+
+    #[test]
+    fn pooling_commutes_with_block_split() {
+        // 2x2 pooling of an 8x8 map equals pooling each 4x4 quadrant and
+        // concatenating — the property that makes pooling "naturally
+        // splittable" (paper §II-E).
+        let t = Tensor::from_fn(1, 8, 8, |_, h, w| ((h * 8 + w) % 7) as f32);
+        let full = max_pool2d(&t, 2, 2).unwrap();
+        let mut stitched = Tensor::zeros([1, 1, 4, 4]);
+        for bh in 0..2 {
+            for bw in 0..2 {
+                let block = t.crop(bh * 4, bw * 4, 4, 4).unwrap();
+                let pooled = max_pool2d(&block, 2, 2).unwrap();
+                stitched.paste(&pooled, bh * 2, bw * 2).unwrap();
+            }
+        }
+        assert_eq!(full, stitched);
+    }
+}

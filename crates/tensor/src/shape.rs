@@ -1,0 +1,167 @@
+//! NCHW shape arithmetic, including the output-size rule of the paper's
+//! Equation 1.
+
+use std::fmt;
+
+use crate::TensorError;
+
+/// Shape of a 4-D NCHW tensor: `(batch, channels, height, width)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Shape {
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+}
+
+impl Shape {
+    /// Creates a shape from `[n, c, h, w]`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use bconv_tensor::Shape;
+    /// let s = Shape::new([1, 64, 224, 224]);
+    /// assert_eq!(s.numel(), 64 * 224 * 224);
+    /// ```
+    pub fn new(dims: [usize; 4]) -> Self {
+        Self {
+            n: dims[0],
+            c: dims[1],
+            h: dims[2],
+            w: dims[3],
+        }
+    }
+
+    /// Batch size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Channel count.
+    pub fn c(&self) -> usize {
+        self.c
+    }
+
+    /// Spatial height.
+    pub fn h(&self) -> usize {
+        self.h
+    }
+
+    /// Spatial width.
+    pub fn w(&self) -> usize {
+        self.w
+    }
+
+    /// Dimensions as `[n, c, h, w]`.
+    pub fn dims(&self) -> [usize; 4] {
+        [self.n, self.c, self.h, self.w]
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.n * self.c * self.h * self.w
+    }
+
+    /// Flat index of `(n, c, h, w)` in row-major NCHW order.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if any coordinate is out of range.
+    #[inline(always)]
+    pub fn index(&self, n: usize, c: usize, h: usize, w: usize) -> usize {
+        debug_assert!(n < self.n && c < self.c && h < self.h && w < self.w);
+        ((n * self.c + c) * self.h + h) * self.w + w
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{},{},{},{}]", self.n, self.c, self.h, self.w)
+    }
+}
+
+impl From<[usize; 4]> for Shape {
+    fn from(dims: [usize; 4]) -> Self {
+        Self::new(dims)
+    }
+}
+
+/// Output spatial size of a convolution / pooling window, the paper's
+/// Equation 1:
+///
+/// `out = floor((in + 2p - k) / s) + 1`
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidParameter`] if `stride == 0` or the padded
+/// input is smaller than the kernel.
+///
+/// # Examples
+///
+/// ```
+/// use bconv_tensor::shape::conv_out_dim;
+/// // 8x8 input, 3x3 kernel, stride 1, padding 1 -> 8x8 output.
+/// assert_eq!(conv_out_dim(8, 3, 1, 1)?, 8);
+/// # Ok::<(), bconv_tensor::TensorError>(())
+/// ```
+pub fn conv_out_dim(
+    input: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+) -> Result<usize, TensorError> {
+    if stride == 0 {
+        return Err(TensorError::invalid("convolution stride must be non-zero"));
+    }
+    if kernel == 0 {
+        return Err(TensorError::invalid("kernel size must be non-zero"));
+    }
+    let padded = input + 2 * padding;
+    if padded < kernel {
+        return Err(TensorError::invalid(format!(
+            "padded input {padded} smaller than kernel {kernel}"
+        )));
+    }
+    Ok((padded - kernel) / stride + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_is_row_major() {
+        let s = Shape::new([2, 3, 4, 5]);
+        assert_eq!(s.index(0, 0, 0, 0), 0);
+        assert_eq!(s.index(0, 0, 0, 1), 1);
+        assert_eq!(s.index(0, 0, 1, 0), 5);
+        assert_eq!(s.index(0, 1, 0, 0), 20);
+        assert_eq!(s.index(1, 0, 0, 0), 60);
+        assert_eq!(s.index(1, 2, 3, 4), s.numel() - 1);
+    }
+
+    #[test]
+    fn eq1_matches_paper_examples() {
+        // Paper §II-C: 8x8 input, k=3, s=1, p=1 -> 8x8.
+        assert_eq!(conv_out_dim(8, 3, 1, 1).unwrap(), 8);
+        // VGG conv: 224, k=3, s=1, p=1 -> 224.
+        assert_eq!(conv_out_dim(224, 3, 1, 1).unwrap(), 224);
+        // ResNet stem: 224, k=7, s=2, p=3 -> 112.
+        assert_eq!(conv_out_dim(224, 7, 2, 3).unwrap(), 112);
+        // 2x2 pooling: 224, k=2, s=2, p=0 -> 112.
+        assert_eq!(conv_out_dim(224, 2, 2, 0).unwrap(), 112);
+    }
+
+    #[test]
+    fn eq1_rejects_degenerate_parameters() {
+        assert!(conv_out_dim(8, 3, 0, 1).is_err());
+        assert!(conv_out_dim(1, 3, 1, 0).is_err());
+        assert!(conv_out_dim(8, 0, 1, 0).is_err());
+    }
+
+    #[test]
+    fn display_formats_dims() {
+        assert_eq!(Shape::new([1, 2, 3, 4]).to_string(), "[1,2,3,4]");
+    }
+}

@@ -1,0 +1,173 @@
+//! Nearest-neighbour and bilinear upsampling (FPN top-down pathway, VDSR
+//! input preparation).
+
+use crate::{Tensor, TensorError};
+
+/// Nearest-neighbour upsampling by an integer `factor`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidParameter`] if `factor == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use bconv_tensor::{Tensor, upsample::upsample_nearest};
+/// let t = Tensor::from_fn(1, 1, 1, |_, _, _| 4.0);
+/// let u = upsample_nearest(&t, 2)?;
+/// assert_eq!(u.shape().dims(), [1, 1, 2, 2]);
+/// # Ok::<(), bconv_tensor::TensorError>(())
+/// ```
+pub fn upsample_nearest(input: &Tensor, factor: usize) -> Result<Tensor, TensorError> {
+    if factor == 0 {
+        return Err(TensorError::invalid("upsample factor must be non-zero"));
+    }
+    let [n, c, h, w] = input.shape().dims();
+    let mut out = Tensor::zeros([n, c, h * factor, w * factor]);
+    for ni in 0..n {
+        for ci in 0..c {
+            for hi in 0..h * factor {
+                for wi in 0..w * factor {
+                    *out.at_mut(ni, ci, hi, wi) = input.at(ni, ci, hi / factor, wi / factor);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Bilinear upsampling by an integer `factor` with half-pixel alignment,
+/// used to build low-resolution/high-resolution super-resolution pairs.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidParameter`] if `factor == 0`.
+pub fn upsample_bilinear(input: &Tensor, factor: usize) -> Result<Tensor, TensorError> {
+    if factor == 0 {
+        return Err(TensorError::invalid("upsample factor must be non-zero"));
+    }
+    let [n, c, h, w] = input.shape().dims();
+    let (oh, ow) = (h * factor, w * factor);
+    let mut out = Tensor::zeros([n, c, oh, ow]);
+    let scale = 1.0 / factor as f32;
+    for ni in 0..n {
+        for ci in 0..c {
+            for hi in 0..oh {
+                // Half-pixel-centres convention.
+                let src_h = ((hi as f32 + 0.5) * scale - 0.5).max(0.0);
+                let h0 = (src_h.floor() as usize).min(h - 1);
+                let h1 = (h0 + 1).min(h - 1);
+                let th = src_h - h0 as f32;
+                for wi in 0..ow {
+                    let src_w = ((wi as f32 + 0.5) * scale - 0.5).max(0.0);
+                    let w0 = (src_w.floor() as usize).min(w - 1);
+                    let w1 = (w0 + 1).min(w - 1);
+                    let tw = src_w - w0 as f32;
+                    let a = input.at(ni, ci, h0, w0);
+                    let b = input.at(ni, ci, h0, w1);
+                    let cc = input.at(ni, ci, h1, w0);
+                    let d = input.at(ni, ci, h1, w1);
+                    let top = a + (b - a) * tw;
+                    let bottom = cc + (d - cc) * tw;
+                    *out.at_mut(ni, ci, hi, wi) = top + (bottom - top) * th;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Box-filter downsampling by an integer `factor` (average of each
+/// `factor x factor` cell). Used to produce the low-resolution input of the
+/// super-resolution task.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidParameter`] if `factor == 0` or the spatial
+/// dimensions are not divisible by `factor`.
+pub fn downsample_box(input: &Tensor, factor: usize) -> Result<Tensor, TensorError> {
+    if factor == 0 {
+        return Err(TensorError::invalid("downsample factor must be non-zero"));
+    }
+    let [n, c, h, w] = input.shape().dims();
+    if h % factor != 0 || w % factor != 0 {
+        return Err(TensorError::invalid(format!(
+            "spatial dims ({h},{w}) not divisible by factor {factor}"
+        )));
+    }
+    let (oh, ow) = (h / factor, w / factor);
+    let mut out = Tensor::zeros([n, c, oh, ow]);
+    let denom = (factor * factor) as f32;
+    for ni in 0..n {
+        for ci in 0..c {
+            for hi in 0..oh {
+                for wi in 0..ow {
+                    let mut sum = 0.0;
+                    for dh in 0..factor {
+                        for dw in 0..factor {
+                            sum += input.at(ni, ci, hi * factor + dh, wi * factor + dw);
+                        }
+                    }
+                    *out.at_mut(ni, ci, hi, wi) = sum / denom;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_repeats_pixels() {
+        let t = Tensor::from_fn(1, 2, 2, |_, h, w| (h * 2 + w) as f32);
+        let u = upsample_nearest(&t, 2).unwrap();
+        assert_eq!(u.shape().dims(), [1, 1, 4, 4]);
+        assert_eq!(u.at(0, 0, 0, 0), 0.0);
+        assert_eq!(u.at(0, 0, 0, 1), 0.0);
+        assert_eq!(u.at(0, 0, 1, 1), 0.0);
+        assert_eq!(u.at(0, 0, 2, 2), 3.0);
+    }
+
+    #[test]
+    fn bilinear_preserves_constant_images() {
+        let t = Tensor::filled([1, 1, 3, 3], 2.5);
+        let u = upsample_bilinear(&t, 3).unwrap();
+        assert_eq!(u.shape().dims(), [1, 1, 9, 9]);
+        for &v in u.data() {
+            assert!((v - 2.5).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn box_downsample_averages() {
+        let t = Tensor::from_fn(1, 2, 2, |_, h, w| (h * 2 + w) as f32);
+        let d = downsample_box(&t, 2).unwrap();
+        assert_eq!(d.shape().dims(), [1, 1, 1, 1]);
+        assert_eq!(d.at(0, 0, 0, 0), 1.5);
+    }
+
+    #[test]
+    fn downsample_rejects_indivisible_dims() {
+        let t = Tensor::zeros([1, 1, 3, 4]);
+        assert!(downsample_box(&t, 2).is_err());
+    }
+
+    #[test]
+    fn up_then_down_roundtrips_for_nearest() {
+        let t = Tensor::from_fn(1, 4, 4, |_, h, w| ((h * 4 + w) % 5) as f32);
+        let u = upsample_nearest(&t, 2).unwrap();
+        let d = downsample_box(&u, 2).unwrap();
+        assert!(d.approx_eq(&t, 1e-6).unwrap());
+    }
+
+    #[test]
+    fn factor_zero_is_an_error() {
+        let t = Tensor::zeros([1, 1, 2, 2]);
+        assert!(upsample_nearest(&t, 0).is_err());
+        assert!(upsample_bilinear(&t, 0).is_err());
+        assert!(downsample_box(&t, 0).is_err());
+    }
+}

@@ -1,0 +1,47 @@
+//! From-scratch training framework for the block-convolution accuracy
+//! experiments.
+//!
+//! The paper's algorithm-side evaluation (Tables I/II/IV/V, Figures 5–8)
+//! trains ImageNet/COCO/Set5 models in PyTorch. Training those models is
+//! out of scope for a CPU-only Rust reproduction, so this crate provides
+//! the scaled-down substitutes described in DESIGN.md §2:
+//!
+//! * [`layers`] — conv (conventional **or blocked**), pooling, ReLU,
+//!   linear and global-average-pool layers with hand-written backward
+//!   passes; SGD with momentum and weight decay;
+//! * [`models`] — small VGG/ResNet/MobileNet-style classifiers, a reduced
+//!   VDSR and an SSD-style detector, each supporting post-hoc conversion
+//!   to block convolution (the paper's fine-tuning path);
+//! * [`datasets`] — deterministic synthetic classification,
+//!   super-resolution and detection data;
+//! * [`loss`], [`metrics`], [`trainer`] — losses, top-1/PSNR/AP metrics
+//!   and the training/evaluation loops.
+//!
+//! # Example: train a blocked classifier
+//!
+//! ```
+//! use bconv_train::models::{SmallClassifier, NetStyle, hierarchical_rule};
+//! use bconv_train::trainer::{train_classifier, eval_classifier, TrainConfig};
+//! use bconv_tensor::init::seeded_rng;
+//!
+//! # fn main() -> Result<(), bconv_tensor::TensorError> {
+//! let mut rng = seeded_rng(0);
+//! let mut net = SmallClassifier::new(NetStyle::Vgg, 4, 4, &mut rng)?;
+//! net.apply_blocking(&hierarchical_rule(2));
+//! let cfg = TrainConfig { steps: 10, ..TrainConfig::default() };
+//! train_classifier(&mut net, "doc", &cfg)?;
+//! let accuracy = eval_classifier(&mut net, "doc", 32)?;
+//! assert!(accuracy >= 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod datasets;
+pub mod layers;
+pub mod loss;
+pub mod metrics;
+pub mod models;
+pub mod trainer;
+
+pub use layers::{Blocking, SgdConfig, TrainLayer};
+pub use trainer::TrainConfig;

@@ -1,0 +1,179 @@
+//! Loss functions: softmax cross-entropy (classification), MSE
+//! (super-resolution) and smooth-L1 (detection box regression).
+
+use bconv_tensor::{Tensor, TensorError};
+
+/// Softmax cross-entropy over logits `[n, classes, 1, 1]`.
+///
+/// Returns `(mean_loss, d_logits)`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `labels.len() != n` or a label
+/// is out of range.
+pub fn softmax_cross_entropy(
+    logits: &Tensor,
+    labels: &[usize],
+) -> Result<(f32, Tensor), TensorError> {
+    let [n, classes, h, w] = logits.shape().dims();
+    if h != 1 || w != 1 {
+        return Err(TensorError::shape_mismatch(
+            "softmax_cross_entropy logits",
+            "[n,c,1,1]".to_string(),
+            logits.shape().to_string(),
+        ));
+    }
+    if labels.len() != n {
+        return Err(TensorError::shape_mismatch(
+            "softmax_cross_entropy labels",
+            format!("{n}"),
+            format!("{}", labels.len()),
+        ));
+    }
+    let mut loss = 0.0f64;
+    let mut grad = Tensor::zeros(logits.shape());
+    for ni in 0..n {
+        let label = labels[ni];
+        if label >= classes {
+            return Err(TensorError::invalid(format!(
+                "label {label} out of range for {classes} classes"
+            )));
+        }
+        let row: Vec<f32> = (0..classes).map(|c| logits.at(ni, c, 0, 0)).collect();
+        let max = row.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+        let exps: Vec<f32> = row.iter().map(|v| (v - max).exp()).collect();
+        let sum: f32 = exps.iter().sum();
+        loss += -((exps[label] / sum).ln() as f64);
+        for c in 0..classes {
+            let p = exps[c] / sum;
+            *grad.at_mut(ni, c, 0, 0) =
+                (p - if c == label { 1.0 } else { 0.0 }) / n as f32;
+        }
+    }
+    Ok(((loss / n as f64) as f32, grad))
+}
+
+/// Mean squared error between `pred` and `target`.
+///
+/// Returns `(mean_loss, d_pred)`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+pub fn mse(pred: &Tensor, target: &Tensor) -> Result<(f32, Tensor), TensorError> {
+    if pred.shape() != target.shape() {
+        return Err(TensorError::shape_mismatch(
+            "mse",
+            target.shape().to_string(),
+            pred.shape().to_string(),
+        ));
+    }
+    let count = pred.data().len() as f32;
+    let mut grad = Tensor::zeros(pred.shape());
+    let mut loss = 0.0f64;
+    for ((g, &p), &t) in grad
+        .data_mut()
+        .iter_mut()
+        .zip(pred.data())
+        .zip(target.data())
+    {
+        let d = p - t;
+        loss += (d * d) as f64;
+        *g = 2.0 * d / count;
+    }
+    Ok(((loss / count as f64) as f32, grad))
+}
+
+/// Smooth-L1 (Huber, delta = 1) loss used for detection box regression.
+///
+/// Returns `(mean_loss, d_pred)`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+pub fn smooth_l1(pred: &Tensor, target: &Tensor) -> Result<(f32, Tensor), TensorError> {
+    if pred.shape() != target.shape() {
+        return Err(TensorError::shape_mismatch(
+            "smooth_l1",
+            target.shape().to_string(),
+            pred.shape().to_string(),
+        ));
+    }
+    let count = pred.data().len() as f32;
+    let mut grad = Tensor::zeros(pred.shape());
+    let mut loss = 0.0f64;
+    for ((g, &p), &t) in grad
+        .data_mut()
+        .iter_mut()
+        .zip(pred.data())
+        .zip(target.data())
+    {
+        let d = p - t;
+        if d.abs() < 1.0 {
+            loss += (0.5 * d * d) as f64;
+            *g = d / count;
+        } else {
+            loss += (d.abs() - 0.5) as f64;
+            *g = d.signum() / count;
+        }
+    }
+    Ok(((loss / count as f64) as f32, grad))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_entropy_of_confident_correct_prediction_is_small() {
+        let logits = Tensor::from_vec([1, 3, 1, 1], vec![10.0, 0.0, 0.0]).unwrap();
+        let (loss, grad) = softmax_cross_entropy(&logits, &[0]).unwrap();
+        assert!(loss < 1e-3);
+        // Gradient pushes the correct logit up (negative gradient).
+        assert!(grad.at(0, 0, 0, 0) < 0.0);
+        assert!(grad.at(0, 1, 0, 0) > 0.0);
+    }
+
+    #[test]
+    fn cross_entropy_of_uniform_logits_is_ln_classes() {
+        let logits = Tensor::zeros([1, 4, 1, 1]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[2]).unwrap();
+        assert!((loss - (4.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_sums_to_zero_per_sample() {
+        let logits = Tensor::from_vec([2, 3, 1, 1], vec![1.0, -2.0, 0.3, 0.0, 0.5, 2.0]).unwrap();
+        let (_, grad) = softmax_cross_entropy(&logits, &[1, 2]).unwrap();
+        for n in 0..2 {
+            let sum: f32 = (0..3).map(|c| grad.at(n, c, 0, 0)).sum();
+            assert!(sum.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_validates_inputs() {
+        let logits = Tensor::zeros([1, 3, 1, 1]);
+        assert!(softmax_cross_entropy(&logits, &[3]).is_err());
+        assert!(softmax_cross_entropy(&logits, &[0, 1]).is_err());
+        assert!(softmax_cross_entropy(&Tensor::zeros([1, 3, 2, 1]), &[0]).is_err());
+    }
+
+    #[test]
+    fn mse_matches_hand_computation() {
+        let pred = Tensor::from_vec([1, 1, 1, 2], vec![1.0, 2.0]).unwrap();
+        let target = Tensor::from_vec([1, 1, 1, 2], vec![0.0, 0.0]).unwrap();
+        let (loss, grad) = mse(&pred, &target).unwrap();
+        assert!((loss - 2.5).abs() < 1e-6);
+        assert_eq!(grad.data(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn smooth_l1_is_quadratic_inside_linear_outside() {
+        let pred = Tensor::from_vec([1, 1, 1, 2], vec![0.5, 3.0]).unwrap();
+        let target = Tensor::zeros([1, 1, 1, 2]);
+        let (loss, grad) = smooth_l1(&pred, &target).unwrap();
+        assert!((loss - (0.125 + 2.5) / 2.0).abs() < 1e-6);
+        assert_eq!(grad.data(), &[0.25, 0.5]);
+    }
+}

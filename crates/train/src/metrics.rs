@@ -1,0 +1,252 @@
+//! Evaluation metrics: top-1 accuracy, PSNR, and the IoU-threshold average
+//! precision used by the synthetic detection task.
+
+use bconv_tensor::{Tensor, TensorError};
+
+use crate::datasets::BBox;
+
+/// Top-1 accuracy of logits `[n, classes, 1, 1]` against labels.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `labels.len()` differs from
+/// the batch size.
+pub fn top1_accuracy(logits: &Tensor, labels: &[usize]) -> Result<f64, TensorError> {
+    let [n, classes, _, _] = logits.shape().dims();
+    if labels.len() != n {
+        return Err(TensorError::shape_mismatch(
+            "top1_accuracy labels",
+            format!("{n}"),
+            format!("{}", labels.len()),
+        ));
+    }
+    let mut correct = 0usize;
+    for ni in 0..n {
+        let mut best = 0usize;
+        let mut best_v = f32::NEG_INFINITY;
+        for c in 0..classes {
+            let v = logits.at(ni, c, 0, 0);
+            if v > best_v {
+                best_v = v;
+                best = c;
+            }
+        }
+        if best == labels[ni] {
+            correct += 1;
+        }
+    }
+    Ok(correct as f64 / n as f64)
+}
+
+/// Peak signal-to-noise ratio in dB, with peak value `peak` (1.0 for
+/// normalised images, as in the VDSR evaluation).
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+pub fn psnr(pred: &Tensor, target: &Tensor, peak: f32) -> Result<f64, TensorError> {
+    if pred.shape() != target.shape() {
+        return Err(TensorError::shape_mismatch(
+            "psnr",
+            target.shape().to_string(),
+            pred.shape().to_string(),
+        ));
+    }
+    let mse: f64 = pred
+        .data()
+        .iter()
+        .zip(target.data())
+        .map(|(&a, &b)| ((a - b) as f64).powi(2))
+        .sum::<f64>()
+        / pred.data().len() as f64;
+    if mse == 0.0 {
+        return Ok(f64::INFINITY);
+    }
+    Ok(10.0 * ((peak as f64).powi(2) / mse).log10())
+}
+
+/// One detection produced by a model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Detection {
+    /// Predicted box.
+    pub bbox: BBox,
+    /// Predicted class.
+    pub class: usize,
+    /// Confidence score.
+    pub score: f32,
+}
+
+/// Average precision at a given IoU threshold for a single-object-per-image
+/// dataset: detections are sorted by score; a detection is a true positive
+/// if its IoU with its image's ground truth exceeds `iou_thresh`, the class
+/// matches, and the ground truth is not already matched. AP is the area
+/// under the precision–recall curve (all-point interpolation).
+pub fn average_precision(
+    detections: &[(usize, Detection)],
+    ground_truth: &[(BBox, usize)],
+    iou_thresh: f32,
+) -> f64 {
+    if ground_truth.is_empty() {
+        return 0.0;
+    }
+    let mut dets: Vec<&(usize, Detection)> = detections.iter().collect();
+    dets.sort_by(|a, b| b.1.score.total_cmp(&a.1.score));
+    let mut matched = vec![false; ground_truth.len()];
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    let mut curve: Vec<(f64, f64)> = Vec::with_capacity(dets.len());
+    for (img, det) in dets {
+        let (gt_box, gt_class) = &ground_truth[*img];
+        let hit = !matched[*img] && det.class == *gt_class && det.bbox.iou(gt_box) >= iou_thresh;
+        if hit {
+            matched[*img] = true;
+            tp += 1;
+        } else {
+            fp += 1;
+        }
+        curve.push((
+            tp as f64 / ground_truth.len() as f64,
+            tp as f64 / (tp + fp) as f64,
+        ));
+    }
+    // All-point interpolation: precision envelope from the right.
+    let mut ap = 0.0;
+    let mut prev_recall = 0.0;
+    let mut envelope = vec![0.0f64; curve.len()];
+    let mut run_max = 0.0f64;
+    for (i, &(_, precision)) in curve.iter().enumerate().rev() {
+        run_max = run_max.max(precision);
+        envelope[i] = run_max;
+    }
+    for (i, &(recall, _)) in curve.iter().enumerate() {
+        ap += (recall - prev_recall) * envelope[i];
+        prev_recall = recall;
+    }
+    ap
+}
+
+/// COCO-style summary: mean AP over IoU 0.50:0.05:0.95, plus AP@0.5 and
+/// AP@0.75 (the columns of Table V).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ApSummary {
+    /// Mean AP over IoU thresholds 0.50..=0.95.
+    pub ap: f64,
+    /// AP at IoU 0.5.
+    pub ap50: f64,
+    /// AP at IoU 0.75.
+    pub ap75: f64,
+}
+
+/// Computes the COCO-style AP summary.
+pub fn ap_summary(
+    detections: &[(usize, Detection)],
+    ground_truth: &[(BBox, usize)],
+) -> ApSummary {
+    let mut total = 0.0;
+    let mut ap50 = 0.0;
+    let mut ap75 = 0.0;
+    for i in 0..10 {
+        let t = 0.50 + 0.05 * i as f32;
+        let ap = average_precision(detections, ground_truth, t);
+        total += ap;
+        if i == 0 {
+            ap50 = ap;
+        }
+        if i == 5 {
+            ap75 = ap;
+        }
+    }
+    ApSummary {
+        ap: total / 10.0,
+        ap50,
+        ap75,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top1_counts_argmax_matches() {
+        let logits =
+            Tensor::from_vec([2, 3, 1, 1], vec![1.0, 5.0, 0.0, 2.0, 0.0, 1.0]).unwrap();
+        assert_eq!(top1_accuracy(&logits, &[1, 0]).unwrap(), 1.0);
+        assert_eq!(top1_accuracy(&logits, &[0, 0]).unwrap(), 0.5);
+    }
+
+    #[test]
+    fn psnr_of_identical_images_is_infinite() {
+        let t = Tensor::filled([1, 1, 4, 4], 0.5);
+        assert!(psnr(&t, &t, 1.0).unwrap().is_infinite());
+    }
+
+    #[test]
+    fn psnr_known_value() {
+        // MSE = 0.01 -> PSNR = 20 dB at peak 1.
+        let a = Tensor::filled([1, 1, 2, 2], 0.1);
+        let b = Tensor::zeros([1, 1, 2, 2]);
+        assert!((psnr(&a, &b, 1.0).unwrap() - 20.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn perfect_detections_give_ap_one() {
+        let gt = vec![
+            (BBox { y0: 0.0, x0: 0.0, y1: 10.0, x1: 10.0 }, 0),
+            (BBox { y0: 5.0, x0: 5.0, y1: 15.0, x1: 15.0 }, 1),
+        ];
+        let dets = vec![
+            (0usize, Detection { bbox: gt[0].0, class: 0, score: 0.9 }),
+            (1usize, Detection { bbox: gt[1].0, class: 1, score: 0.8 }),
+        ];
+        assert!((average_precision(&dets, &gt, 0.5) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wrong_class_detections_give_ap_zero() {
+        let gt = vec![(BBox { y0: 0.0, x0: 0.0, y1: 10.0, x1: 10.0 }, 0)];
+        let dets = vec![(0usize, Detection { bbox: gt[0].0, class: 1, score: 0.9 })];
+        assert_eq!(average_precision(&dets, &gt, 0.5), 0.0);
+    }
+
+    #[test]
+    fn looser_iou_threshold_never_decreases_ap() {
+        let gt = vec![(BBox { y0: 0.0, x0: 0.0, y1: 10.0, x1: 10.0 }, 0)];
+        // A box with IoU ~0.6 against the ground truth.
+        let dets = vec![(
+            0usize,
+            Detection {
+                bbox: BBox { y0: 0.0, x0: 2.0, y1: 10.0, x1: 12.0 },
+                class: 0,
+                score: 0.9,
+            },
+        )];
+        let ap50 = average_precision(&dets, &gt, 0.5);
+        let ap75 = average_precision(&dets, &gt, 0.75);
+        assert!(ap50 >= ap75);
+        assert!(ap50 > 0.0 && ap75 == 0.0);
+    }
+
+    #[test]
+    fn ap_summary_orders_thresholds() {
+        let gt = vec![(BBox { y0: 0.0, x0: 0.0, y1: 10.0, x1: 10.0 }, 0)];
+        let dets = vec![(
+            0usize,
+            Detection {
+                bbox: BBox { y0: 0.0, x0: 1.0, y1: 10.0, x1: 11.0 },
+                class: 0,
+                score: 0.9,
+            },
+        )];
+        let s = ap_summary(&dets, &gt);
+        // AP@0.5 is the loosest criterion; the 0.50:0.95 mean can fall on
+        // either side of AP@0.75 depending on where the IoU lands.
+        assert!(s.ap50 >= s.ap);
+        assert!(s.ap50 >= s.ap75);
+    }
+
+    #[test]
+    fn empty_ground_truth_gives_zero_ap() {
+        assert_eq!(average_precision(&[], &[], 0.5), 0.0);
+    }
+}

@@ -1,0 +1,468 @@
+//! Training and evaluation loops for the three synthetic tasks, plus the
+//! detection loss/decoder.
+//!
+//! All loops are deterministic: data comes from
+//! [`crate::datasets::experiment_rng`]-seeded generators, so every
+//! experiment harness reproduces bit-identical numbers.
+
+use bconv_tensor::{Tensor, TensorError};
+
+use crate::datasets::{
+    classification_batch, detection_batch, experiment_rng, super_resolution_batch, BBox,
+    DetBatch, IMAGE_SIZE, NUM_DET_CLASSES,
+};
+use crate::layers::{SgdConfig, TrainLayer};
+use crate::loss::{mse, softmax_cross_entropy};
+use crate::metrics::{ap_summary, psnr, top1_accuracy, ApSummary, Detection};
+use crate::models::{SmallClassifier, SmallDetector, SmallVdsr, DET_HEAD_CHANNELS};
+
+/// Shared training-run configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainConfig {
+    /// Number of SGD steps.
+    pub steps: usize,
+    /// Batch size.
+    pub batch: usize,
+    /// Optimiser settings.
+    pub sgd: SgdConfig,
+    /// Halve the learning rate every this many steps (0 = never).
+    pub lr_halve_every: usize,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            steps: 300,
+            batch: 16,
+            sgd: SgdConfig::default(),
+            lr_halve_every: 120,
+        }
+    }
+}
+
+fn lr_at(cfg: &TrainConfig, step: usize) -> f32 {
+    if cfg.lr_halve_every == 0 {
+        cfg.sgd.lr
+    } else {
+        cfg.sgd.lr * 0.5f32.powi((step / cfg.lr_halve_every) as i32)
+    }
+}
+
+/// Trains a classifier on the blob-offset task; returns the mean loss of
+/// the final 10% of steps.
+///
+/// # Errors
+///
+/// Propagates forward/backward errors.
+pub fn train_classifier(
+    net: &mut SmallClassifier,
+    experiment: &str,
+    cfg: &TrainConfig,
+) -> Result<f32, TensorError> {
+    let mut rng = experiment_rng(experiment, 0);
+    let mut tail_loss = 0.0f32;
+    let mut tail_n = 0usize;
+    for step in 0..cfg.steps {
+        let batch = classification_batch(cfg.batch, &mut rng);
+        let logits = net.forward(&batch.images, true)?;
+        let (loss, d) = softmax_cross_entropy(&logits, &batch.labels)?;
+        net.backward(&d)?;
+        net.step(SgdConfig { lr: lr_at(cfg, step), ..cfg.sgd });
+        if step >= cfg.steps - cfg.steps / 10 - 1 {
+            tail_loss += loss;
+            tail_n += 1;
+        }
+    }
+    Ok(tail_loss / tail_n.max(1) as f32)
+}
+
+/// Evaluates top-1 accuracy on a held-out split.
+///
+/// # Errors
+///
+/// Propagates forward errors.
+pub fn eval_classifier(
+    net: &mut SmallClassifier,
+    experiment: &str,
+    samples: usize,
+) -> Result<f64, TensorError> {
+    let mut rng = experiment_rng(experiment, 1);
+    let mut correct_weighted = 0.0;
+    let mut seen = 0usize;
+    let chunk = 32;
+    while seen < samples {
+        let n = chunk.min(samples - seen);
+        let batch = classification_batch(n, &mut rng);
+        let logits = net.forward(&batch.images, false)?;
+        correct_weighted += top1_accuracy(&logits, &batch.labels)? * n as f64;
+        seen += n;
+    }
+    Ok(correct_weighted / samples as f64)
+}
+
+/// Trains a small VDSR on the synthetic super-resolution task at `scale`.
+///
+/// # Errors
+///
+/// Propagates forward/backward errors.
+pub fn train_vdsr(
+    net: &mut SmallVdsr,
+    experiment: &str,
+    scale: usize,
+    patch: usize,
+    cfg: &TrainConfig,
+) -> Result<f32, TensorError> {
+    let mut rng = experiment_rng(experiment, 0);
+    let mut last = 0.0;
+    for step in 0..cfg.steps {
+        let batch = super_resolution_batch(cfg.batch, patch, scale, &mut rng)?;
+        let pred = net.forward(&batch.input, true)?;
+        let (loss, d) = mse(&pred, &batch.target)?;
+        net.backward(&d)?;
+        net.step(SgdConfig { lr: lr_at(cfg, step), ..cfg.sgd });
+        last = loss;
+    }
+    Ok(last)
+}
+
+/// Mean PSNR of a small VDSR on a held-out split.
+///
+/// # Errors
+///
+/// Propagates forward errors.
+pub fn eval_vdsr_psnr(
+    net: &mut SmallVdsr,
+    experiment: &str,
+    scale: usize,
+    patch: usize,
+    samples: usize,
+) -> Result<f64, TensorError> {
+    let mut rng = experiment_rng(experiment, 1);
+    let mut total = 0.0;
+    let mut seen = 0usize;
+    while seen < samples {
+        let n = 8.min(samples - seen);
+        let batch = super_resolution_batch(n, patch, scale, &mut rng)?;
+        let pred = net.forward(&batch.input, false)?;
+        for i in 0..n {
+            total += psnr(&pred.batch(i)?, &batch.target.batch(i)?, 1.0)?;
+        }
+        seen += n;
+    }
+    Ok(total / samples as f64)
+}
+
+// ---------------------------------------------------------------------------
+// Detection loss / decode
+// ---------------------------------------------------------------------------
+
+/// Grid side of the detector head (32 input / two 2× pools).
+pub const DET_GRID: usize = 8;
+
+/// Detection loss: softmax over cells for object location, cross-entropy
+/// over classes at the positive cell, and L2 on the box parameters
+/// (centre offset within the cell + log size).
+///
+/// Returns `(loss, d_pred)` for predictions `[n, DET_HEAD_CHANNELS, 8, 8]`.
+///
+/// # Errors
+///
+/// Returns shape errors on malformed predictions.
+pub fn detection_loss(pred: &Tensor, batch: &DetBatch) -> Result<(f32, Tensor), TensorError> {
+    let [n, ch, gh, gw] = pred.shape().dims();
+    if ch != DET_HEAD_CHANNELS || gh != DET_GRID || gw != DET_GRID {
+        return Err(TensorError::shape_mismatch(
+            "detection_loss pred",
+            format!("[n,{DET_HEAD_CHANNELS},{DET_GRID},{DET_GRID}]"),
+            pred.shape().to_string(),
+        ));
+    }
+    let cell = (IMAGE_SIZE / DET_GRID) as f32;
+    let mut grad = Tensor::zeros(pred.shape());
+    let mut loss = 0.0f64;
+    for ni in 0..n {
+        let bb = &batch.boxes[ni];
+        let (cy, cx) = ((bb.y0 + bb.y1) / 2.0, (bb.x0 + bb.x1) / 2.0);
+        let (gy, gx) = (
+            ((cy / cell) as usize).min(DET_GRID - 1),
+            ((cx / cell) as usize).min(DET_GRID - 1),
+        );
+
+        // 1. Cell softmax over the 64 objectness logits (channel 0).
+        let mut max_l = f32::NEG_INFINITY;
+        for y in 0..DET_GRID {
+            for x in 0..DET_GRID {
+                max_l = max_l.max(pred.at(ni, 0, y, x));
+            }
+        }
+        let mut sum = 0.0f32;
+        for y in 0..DET_GRID {
+            for x in 0..DET_GRID {
+                sum += (pred.at(ni, 0, y, x) - max_l).exp();
+            }
+        }
+        for y in 0..DET_GRID {
+            for x in 0..DET_GRID {
+                let p = (pred.at(ni, 0, y, x) - max_l).exp() / sum;
+                let target = if y == gy && x == gx { 1.0 } else { 0.0 };
+                *grad.at_mut(ni, 0, y, x) = (p - target) / n as f32;
+                if y == gy && x == gx {
+                    loss += -(p.max(1e-9).ln()) as f64;
+                }
+            }
+        }
+
+        // 2. Class cross-entropy at the positive cell.
+        let class = batch.classes[ni];
+        let logits: Vec<f32> = (0..NUM_DET_CLASSES)
+            .map(|c| pred.at(ni, 1 + c, gy, gx))
+            .collect();
+        let cmax = logits.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+        let csum: f32 = logits.iter().map(|v| (v - cmax).exp()).sum();
+        for (c, &l) in logits.iter().enumerate() {
+            let p = (l - cmax).exp() / csum;
+            let target = if c == class { 1.0 } else { 0.0 };
+            *grad.at_mut(ni, 1 + c, gy, gx) = (p - target) / n as f32;
+            if c == class {
+                loss += -(p.max(1e-9).ln()) as f64;
+            }
+        }
+
+        // 3. Box regression at the positive cell: ty, tx, th, tw.
+        let targets = [
+            (cy / cell - gy as f32 - 0.5),
+            (cx / cell - gx as f32 - 0.5),
+            ((bb.y1 - bb.y0) / IMAGE_SIZE as f32).ln(),
+            ((bb.x1 - bb.x0) / IMAGE_SIZE as f32).ln(),
+        ];
+        for (bi, &t) in targets.iter().enumerate() {
+            let p = pred.at(ni, 1 + NUM_DET_CLASSES + bi, gy, gx);
+            let d = p - t;
+            loss += (0.5 * d * d) as f64;
+            *grad.at_mut(ni, 1 + NUM_DET_CLASSES + bi, gy, gx) = d / n as f32;
+        }
+    }
+    Ok(((loss / n as f64) as f32, grad))
+}
+
+/// Decodes predictions into one detection per image (the dataset has one
+/// object per image).
+pub fn decode_detections(pred: &Tensor) -> Vec<Detection> {
+    let [n, _, gh, gw] = pred.shape().dims();
+    let cell = (IMAGE_SIZE / DET_GRID) as f32;
+    let mut out = Vec::with_capacity(n);
+    for ni in 0..n {
+        // Best cell by objectness.
+        let (mut by, mut bx, mut best) = (0usize, 0usize, f32::NEG_INFINITY);
+        for y in 0..gh {
+            for x in 0..gw {
+                let v = pred.at(ni, 0, y, x);
+                if v > best {
+                    best = v;
+                    by = y;
+                    bx = x;
+                }
+            }
+        }
+        // Softmax score of the winning cell.
+        let mut sum = 0.0f32;
+        for y in 0..gh {
+            for x in 0..gw {
+                sum += (pred.at(ni, 0, y, x) - best).exp();
+            }
+        }
+        let score = 1.0 / sum;
+        // Class.
+        let (mut class, mut cbest) = (0usize, f32::NEG_INFINITY);
+        for c in 0..NUM_DET_CLASSES {
+            let v = pred.at(ni, 1 + c, by, bx);
+            if v > cbest {
+                cbest = v;
+                class = c;
+            }
+        }
+        // Box.
+        let ty = pred.at(ni, 1 + NUM_DET_CLASSES, by, bx);
+        let tx = pred.at(ni, 1 + NUM_DET_CLASSES + 1, by, bx);
+        let th = pred.at(ni, 1 + NUM_DET_CLASSES + 2, by, bx);
+        let tw = pred.at(ni, 1 + NUM_DET_CLASSES + 3, by, bx);
+        let cy = (by as f32 + 0.5 + ty) * cell;
+        let cx = (bx as f32 + 0.5 + tx) * cell;
+        let h = th.exp() * IMAGE_SIZE as f32;
+        let w = tw.exp() * IMAGE_SIZE as f32;
+        out.push(Detection {
+            bbox: BBox {
+                y0: cy - h / 2.0,
+                x0: cx - w / 2.0,
+                y1: cy + h / 2.0,
+                x1: cx + w / 2.0,
+            },
+            class,
+            score,
+        });
+    }
+    out
+}
+
+/// Trains a detector; returns the final loss.
+///
+/// # Errors
+///
+/// Propagates forward/backward errors.
+pub fn train_detector(
+    net: &mut SmallDetector,
+    experiment: &str,
+    cfg: &TrainConfig,
+) -> Result<f32, TensorError> {
+    let mut rng = experiment_rng(experiment, 0);
+    let mut last = 0.0;
+    for step in 0..cfg.steps {
+        let batch = detection_batch(cfg.batch, &mut rng);
+        let pred = net.forward(&batch.images, true)?;
+        let (loss, d) = detection_loss(&pred, &batch)?;
+        net.backward(&d)?;
+        net.step(SgdConfig { lr: lr_at(cfg, step), ..cfg.sgd });
+        last = loss;
+    }
+    Ok(last)
+}
+
+/// Evaluates the COCO-style AP summary of a detector on a held-out split.
+///
+/// # Errors
+///
+/// Propagates forward errors.
+pub fn eval_detector(
+    net: &mut SmallDetector,
+    experiment: &str,
+    samples: usize,
+) -> Result<ApSummary, TensorError> {
+    let mut rng = experiment_rng(experiment, 1);
+    let mut detections = Vec::new();
+    let mut ground_truth = Vec::new();
+    let mut seen = 0usize;
+    while seen < samples {
+        let n = 16.min(samples - seen);
+        let batch = detection_batch(n, &mut rng);
+        let pred = net.forward(&batch.images, false)?;
+        for (i, det) in decode_detections(&pred).into_iter().enumerate() {
+            detections.push((seen + i, det));
+        }
+        for i in 0..n {
+            ground_truth.push((batch.boxes[i], batch.classes[i]));
+        }
+        seen += n;
+    }
+    Ok(ap_summary(&detections, &ground_truth))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::NetStyle;
+    use bconv_tensor::init::seeded_rng;
+
+    fn quick_cfg(steps: usize) -> TrainConfig {
+        TrainConfig {
+            steps,
+            batch: 16,
+            sgd: SgdConfig { lr: 0.05, ..SgdConfig::default() },
+            lr_halve_every: steps / 3,
+        }
+    }
+
+    #[test]
+    fn classifier_learns_above_chance() {
+        let mut rng = seeded_rng(1);
+        let mut net = SmallClassifier::new(NetStyle::Vgg, 8, 4, &mut rng).unwrap();
+        train_classifier(&mut net, "trainer-test", &quick_cfg(300)).unwrap();
+        let acc = eval_classifier(&mut net, "trainer-test", 64).unwrap();
+        assert!(acc > 0.4, "accuracy {acc} not above chance (0.25)");
+    }
+
+    #[test]
+    fn blocked_classifier_still_trains() {
+        use crate::models::fixed_rule;
+        let mut rng = seeded_rng(2);
+        let mut net = SmallClassifier::new(NetStyle::Vgg, 8, 4, &mut rng).unwrap();
+        net.apply_blocking(&fixed_rule(16));
+        train_classifier(&mut net, "trainer-test-blocked", &quick_cfg(150)).unwrap();
+        let acc = eval_classifier(&mut net, "trainer-test-blocked", 64).unwrap();
+        assert!(acc > 0.4, "blocked accuracy {acc}");
+    }
+
+    #[test]
+    fn vdsr_training_improves_psnr_over_input() {
+        let mut rng = seeded_rng(3);
+        let mut net = SmallVdsr::new(4, 8, &mut rng).unwrap();
+        // PSNR of the degraded input itself (identity baseline).
+        let mut eval_rng = experiment_rng("sr-test", 1);
+        let probe = super_resolution_batch(8, 24, 3, &mut eval_rng).unwrap();
+        let input_psnr = psnr(&probe.input, &probe.target, 1.0).unwrap();
+        train_vdsr(&mut net, "sr-test", 3, 24, &quick_cfg(100)).unwrap();
+        let net_psnr = eval_vdsr_psnr(&mut net, "sr-test", 3, 24, 8).unwrap();
+        assert!(
+            net_psnr > input_psnr,
+            "net {net_psnr:.2} dB should beat identity {input_psnr:.2} dB"
+        );
+    }
+
+    #[test]
+    fn detection_loss_decreases_with_training() {
+        let mut rng = seeded_rng(4);
+        let mut net = SmallDetector::new(4, &mut rng).unwrap();
+        let first = train_detector(&mut net, "det-test-a", &quick_cfg(5)).unwrap();
+        let mut net2 = SmallDetector::new(4, &mut seeded_rng(4)).unwrap();
+        let last = train_detector(&mut net2, "det-test-a", &quick_cfg(80)).unwrap();
+        assert!(last < first, "loss {first} -> {last}");
+    }
+
+    #[test]
+    fn trained_detector_has_nonzero_ap() {
+        let mut rng = seeded_rng(5);
+        let mut net = SmallDetector::new(4, &mut rng).unwrap();
+        let cfg = TrainConfig {
+            sgd: SgdConfig { lr: 0.02, ..SgdConfig::default() },
+            ..quick_cfg(200)
+        };
+        train_detector(&mut net, "det-test-b", &cfg).unwrap();
+        let ap = eval_detector(&mut net, "det-test-b", 48).unwrap();
+        assert!(ap.ap50 > 0.1, "AP@0.5 = {}", ap.ap50);
+        assert!(ap.ap50 >= ap.ap75);
+    }
+
+    #[test]
+    fn decode_produces_one_detection_per_image() {
+        let mut rng = seeded_rng(6);
+        let mut net = SmallDetector::new(4, &mut rng).unwrap();
+        let batch = detection_batch(3, &mut experiment_rng("dec", 0));
+        let pred = net.forward(&batch.images, false).unwrap();
+        let dets = decode_detections(&pred);
+        assert_eq!(dets.len(), 3);
+        for d in dets {
+            assert!(d.score > 0.0 && d.score <= 1.0);
+        }
+    }
+
+    #[test]
+    fn detection_loss_validates_shape() {
+        let batch = detection_batch(1, &mut experiment_rng("val", 0));
+        let bad = Tensor::zeros([1, 3, 8, 8]);
+        assert!(detection_loss(&bad, &batch).is_err());
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let build = || {
+            let mut rng = seeded_rng(7);
+            SmallClassifier::new(NetStyle::Vgg, 4, 4, &mut rng).unwrap()
+        };
+        let mut a = build();
+        let mut b = build();
+        train_classifier(&mut a, "determinism", &quick_cfg(20)).unwrap();
+        train_classifier(&mut b, "determinism", &quick_cfg(20)).unwrap();
+        let acc_a = eval_classifier(&mut a, "determinism", 32).unwrap();
+        let acc_b = eval_classifier(&mut b, "determinism", 32).unwrap();
+        assert_eq!(acc_a, acc_b);
+    }
+}

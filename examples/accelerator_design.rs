@@ -1,0 +1,82 @@
+//! Accelerator co-design scenario: size a block-convolution VGG-16
+//! accelerator for the ZC706 — explore the fusion design space, pick the
+//! best feasible configuration, and compare it against the off-chip
+//! baseline and the paper's Table VI points (the §III-B flow).
+//!
+//! Run with: `cargo run --release --example accelerator_design`
+
+use bconv_accel::baseline::{run_baseline, TileConfig};
+use bconv_accel::dse::{explore_vgg16, feasible, pareto_front};
+use bconv_accel::fusion::{table6_configs, vgg16_shapes};
+use bconv_accel::platform::{zc706, EnergyModel};
+
+fn main() {
+    let shapes = vgg16_shapes();
+    let platform = zc706();
+    println!(
+        "target: VGG-16 on {} ({} BRAM18, {} DSP, {} MHz)",
+        platform.name, platform.bram18_blocks, platform.dsp, platform.freq_mhz
+    );
+
+    // Off-chip baseline.
+    let tile = TileConfig { tr: 14, tc: 14, tm: 64, tn: 64, npe: 4 };
+    let base = run_baseline(&shapes, &tile, &platform, 8);
+    println!(
+        "baseline (8-bit, 4 PE): {:.1} ms/image, {:.1} GOP/s, {:.0} Mbits feature traffic",
+        base.latency_ms(&platform),
+        base.gops(&platform),
+        base.feature_traffic_bits as f64 / 1e6
+    );
+
+    // Explore the fused design space.
+    let points = explore_vgg16(&shapes, &platform, 8, 4);
+    let feas = feasible(&points, &platform);
+    println!(
+        "design space: {} points, {} feasible on-chip",
+        points.len(),
+        feas.len()
+    );
+    let best = feas
+        .iter()
+        .min_by_key(|p| p.eval.real_cycles())
+        .expect("at least one feasible design");
+    println!(
+        "best feasible design: {} — {:.1} ms/image, {:.1} GOP/s, {} BRAM18",
+        best.design.name,
+        best.eval.latency_ms(&platform),
+        best.eval.gops(&platform),
+        best.eval.bram18
+    );
+    println!(
+        "speedup over baseline: {:.2}x; feature-map DRAM energy {:.1} mJ -> {:.3} mJ",
+        base.latency_ms(&platform) / best.eval.latency_ms(&platform),
+        EnergyModel::default().dram_mj(base.feature_traffic_bits),
+        EnergyModel::default().dram_mj(best.eval.feature_traffic_bits)
+    );
+
+    println!("\nPareto front (BRAM18 / latency):");
+    let mut front = pareto_front(&points);
+    front.sort_by_key(|p| p.eval.bram18);
+    for p in front.iter().take(8) {
+        println!(
+            "  {:>5} BRAM  {:>7.1} ms  {}",
+            p.eval.bram18,
+            p.eval.latency_ms(&platform),
+            if p.eval.bram18 <= platform.bram18_blocks { "feasible" } else { "infeasible" }
+        );
+    }
+
+    println!("\nTable VI reference points:");
+    for d in table6_configs() {
+        let e = d.evaluate(&shapes, &platform);
+        println!(
+            "  {}: {}b/{}PE  {:>5} BRAM  {:>7.1} ms  {:>6.1} GOP/s",
+            d.name,
+            d.bits,
+            d.npe,
+            e.bram18,
+            e.latency_ms(&platform),
+            e.gops(&platform)
+        );
+    }
+}

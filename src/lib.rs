@@ -1,0 +1,11 @@
+//! Facade crate re-exporting the whole block-convolution reproduction.
+//!
+//! See [`bconv_core`] for the paper's primary contribution, and the
+//! workspace `DESIGN.md` for the full system inventory.
+
+pub use bconv_accel as accel;
+pub use bconv_core as core;
+pub use bconv_models as models;
+pub use bconv_quant as quant;
+pub use bconv_tensor as tensor;
+pub use bconv_train as train;

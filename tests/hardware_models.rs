@@ -1,0 +1,115 @@
+//! Integration tests of the hardware-side claims, spanning the accel and
+//! models crates.
+
+use bconv_accel::baseline::{run_baseline, TileConfig};
+use bconv_accel::dse::{explore_vgg16, feasible};
+use bconv_accel::fusion::{table6_configs, vgg16_shapes};
+use bconv_accel::platform::{ultra96, zc706, EnergyModel};
+use bconv_accel::vdsr_accel::{evaluate_baseline, evaluate_blockconv, VdsrConfig};
+use bconv_models::analysis::total_feature_map_mbits;
+use bconv_models::vgg::vgg16;
+
+#[test]
+fn accel_shapes_agree_with_model_descriptors() {
+    // The accel crate's hard-coded VGG-16 shapes must match the models
+    // crate's traced architecture.
+    let shapes = vgg16_shapes();
+    let info = vgg16(224).trace().unwrap();
+    let convs: Vec<_> = info.iter().filter(|l| l.is_conv).collect();
+    assert_eq!(shapes.len(), convs.len());
+    for (s, l) in shapes.iter().zip(&convs) {
+        assert_eq!(s.m, l.out_shape.c, "{}", l.name);
+        assert_eq!(s.n, l.in_shape.c, "{}", l.name);
+        assert_eq!(s.r, l.out_shape.h, "{}", l.name);
+    }
+    let accel_ops: u64 = shapes.iter().map(|s| s.ops()).sum();
+    let model_ops: u64 = convs.iter().map(|l| 2 * l.macs).sum();
+    assert_eq!(accel_ops, model_ops);
+}
+
+#[test]
+fn fused_designs_beat_baseline_end_to_end() {
+    // The paper's headline hardware claim (Figure 13): every fused design
+    // outperforms the off-chip baseline at matched precision/PE count.
+    let shapes = vgg16_shapes();
+    let platform = zc706();
+    let base16 = run_baseline(
+        &shapes,
+        &TileConfig { tr: 14, tc: 14, tm: 64, tn: 64, npe: 2 },
+        &platform,
+        16,
+    );
+    let base8 = run_baseline(
+        &shapes,
+        &TileConfig { tr: 14, tc: 14, tm: 64, tn: 64, npe: 4 },
+        &platform,
+        8,
+    );
+    for design in table6_configs() {
+        let eval = design.evaluate(&shapes, &platform);
+        let base = if design.bits == 16 { &base16 } else { &base8 };
+        assert!(
+            eval.gops(&platform) >= base.gops(&platform),
+            "design {} ({:.1}) should beat baseline ({:.1})",
+            design.name,
+            eval.gops(&platform),
+            base.gops(&platform)
+        );
+    }
+}
+
+#[test]
+fn fused_traffic_is_orders_of_magnitude_below_baseline() {
+    let shapes = vgg16_shapes();
+    let platform = zc706();
+    let base = run_baseline(
+        &shapes,
+        &TileConfig { tr: 14, tc: 14, tm: 64, tn: 64, npe: 2 },
+        &platform,
+        16,
+    );
+    let fused = table6_configs()[0].evaluate(&shapes, &platform);
+    assert!(base.feature_traffic_bits > 100 * fused.feature_traffic_bits);
+    // Baseline traffic exceeds twice the total feature-map volume
+    // (write + read of intermediates, Figure 1's motivation).
+    let total_mbits = total_feature_map_mbits(&vgg16(224), 16).unwrap();
+    assert!(base.feature_traffic_bits as f64 / 1e6 > total_mbits);
+}
+
+#[test]
+fn vdsr_accelerator_reproduces_table9_shape() {
+    let cfg = VdsrConfig::paper();
+    let platform = ultra96();
+    let base = evaluate_baseline(&cfg, &platform);
+    let bconv = evaluate_blockconv(&cfg, &platform);
+    // >99.9% transfer reduction; BRAM drops; identical compute and DSP.
+    assert!(bconv.transfer_bits * 1000 < base.transfer_bits);
+    assert!(bconv.bram18 < base.bram18);
+    assert_eq!(bconv.dsp, base.dsp);
+    assert_eq!(bconv.compute_cycles, base.compute_cycles);
+    // Energy argument of §II-A.
+    let e = EnergyModel::default();
+    assert!(base.dram_energy_mj(&e) > 100.0 * bconv.dram_energy_mj(&e));
+}
+
+#[test]
+fn dse_contains_the_named_table6_points() {
+    // Every Table VI configuration appears in (or is dominated within) the
+    // explored space: same BRAM and latency ranges.
+    let shapes = vgg16_shapes();
+    let platform = zc706();
+    for (bits, npe) in [(16usize, 2usize), (8, 4)] {
+        let points = explore_vgg16(&shapes, &platform, bits, npe);
+        let feas = feasible(&points, &platform);
+        for d in table6_configs().iter().filter(|d| d.bits == bits) {
+            let e = d.evaluate(&shapes, &platform);
+            assert!(
+                feas.iter().any(|p| {
+                    p.eval.bram18 <= e.bram18 && p.eval.real_cycles() <= e.real_cycles()
+                }),
+                "design {} not matched in the {bits}-bit space",
+                d.name
+            );
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Workspace-level property tests on cross-crate invariants.
+
+use bconv_core::blocking::{BlockGrid, BlockingPattern};
+use bconv_core::fusion::{ChainOp, FusedChain};
+use bconv_quant::{fake_quant_dynamic, quantize, dequantize, QParams};
+use bconv_tensor::conv::ConvGeom;
+use bconv_tensor::init::{he_conv2d, seeded_rng, uniform_tensor};
+use bconv_tensor::pad::PadMode;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Fused execution equals layer-wise execution for arbitrary chains:
+    /// fusion is a schedule change, never a numerical one.
+    #[test]
+    fn fusion_is_schedule_invariant(
+        g in 1usize..3,
+        c1 in 1usize..4,
+        c2 in 1usize..4,
+        seed in 0u64..500,
+        mode_idx in 0usize..3,
+    ) {
+        let mut rng = seeded_rng(seed);
+        let mode = PadMode::ALL[mode_idx];
+        let grid = BlockGrid::from_pattern(16, 16, BlockingPattern::hierarchical(g)).unwrap();
+        let chain = FusedChain::plan(
+            vec![
+                ChainOp::Conv(he_conv2d(2, c1, ConvGeom::same(3), 1, &mut rng).unwrap()),
+                ChainOp::Relu,
+                ChainOp::Conv(he_conv2d(c1, c2, ConvGeom::same(3), 1, &mut rng).unwrap()),
+                ChainOp::MaxPool { k: 2 },
+            ],
+            grid,
+            mode,
+        )
+        .unwrap();
+        let input = uniform_tensor([1, 2, 16, 16], -1.0, 1.0, &mut rng);
+        let (fused, fs) = chain.run_fused(&input).unwrap();
+        let (layerwise, ls) = chain.run_layerwise(&input).unwrap();
+        prop_assert!(fused.approx_eq(&layerwise, 1e-4).unwrap());
+        prop_assert!(fs.offchip_elems <= ls.offchip_elems);
+    }
+
+    /// Quantize/dequantize round trips are bounded by half a step and
+    /// idempotent (fake-quant of fake-quant is the identity).
+    #[test]
+    fn quantization_roundtrip_bounds(
+        bits in 3u8..9,
+        scale in 0.1f32..10.0,
+        seed in 0u64..500,
+    ) {
+        let mut rng = seeded_rng(seed);
+        let t = uniform_tensor([1, 2, 4, 4], -scale, scale, &mut rng);
+        let params = QParams::from_abs_max(scale, bits);
+        let q = quantize(&t, params);
+        let back = dequantize(&q).unwrap();
+        prop_assert!(t.max_abs_diff(&back).unwrap() <= params.step() / 2.0 + 1e-6);
+        // Idempotence.
+        let fq = fake_quant_dynamic(&t, bits);
+        let fq2 = fake_quant_dynamic(&fq, bits);
+        prop_assert!(fq.max_abs_diff(&fq2).unwrap() <= params.step() * 0.51 + 1e-6);
+    }
+
+    /// Grid downscaling commutes with block enumeration: downscaled blocks
+    /// are the original blocks divided by the stride.
+    #[test]
+    fn grid_downscale_commutes(
+        g in 1usize..5,
+        s in prop::sample::select(vec![2usize, 4]),
+    ) {
+        let size = 32usize;
+        prop_assume!(size % (g * s) == 0 && (size / g) % s == 0);
+        let grid = BlockGrid::from_pattern(size, size, BlockingPattern::hierarchical(g)).unwrap();
+        let down = grid.downscale(s).unwrap();
+        prop_assert_eq!(down.num_blocks(), grid.num_blocks());
+        for (a, b) in grid.blocks().zip(down.blocks()) {
+            prop_assert_eq!(a.h0 / s, b.h0);
+            prop_assert_eq!(a.bh / s, b.bh);
+        }
+    }
+}
