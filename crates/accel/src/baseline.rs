@@ -136,11 +136,7 @@ pub fn layer_latency(
     LayerLatency {
         compute_cycles: compute_cycles(shape, tile),
         dram_cycles: platform.dram_cycles(dram_traffic_bits(shape, tile, bits)),
-        interrupt_cycles: if count_interrupts {
-            phases * INTERRUPT_CYCLES_PER_PHASE
-        } else {
-            0
-        },
+        interrupt_cycles: if count_interrupts { phases * INTERRUPT_CYCLES_PER_PHASE } else { 0 },
     }
 }
 
@@ -198,12 +194,7 @@ pub fn run_baseline(
         total_ops += shape.ops();
         layers.push(lat);
     }
-    BaselineReport {
-        layers,
-        total_cycles,
-        feature_traffic_bits: feature_traffic,
-        total_ops,
-    }
+    BaselineReport { layers, total_cycles, feature_traffic_bits: feature_traffic, total_ops }
 }
 
 #[cfg(test)]
@@ -251,11 +242,7 @@ mod tests {
 
     #[test]
     fn latency_overlaps_compute_and_dram() {
-        let lat = LayerLatency {
-            compute_cycles: 1000,
-            dram_cycles: 600,
-            interrupt_cycles: 50,
-        };
+        let lat = LayerLatency { compute_cycles: 1000, dram_cycles: 600, interrupt_cycles: 50 };
         assert_eq!(lat.total_cycles(), 1050);
     }
 
@@ -268,10 +255,7 @@ mod tests {
         assert_eq!(report.layers.len(), 2);
         assert!(report.gops(&p) > 1.0);
         assert!(report.latency_ms(&p) > 0.0);
-        assert_eq!(
-            report.total_ops,
-            shapes.iter().map(|s| s.ops()).sum::<u64>()
-        );
+        assert_eq!(report.total_ops, shapes.iter().map(|s| s.ops()).sum::<u64>());
     }
 
     #[test]

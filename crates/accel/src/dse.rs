@@ -22,8 +22,7 @@ const VGG_STAGES: [(usize, usize, usize); 5] =
 
 /// Candidate `[Tr, Tc]` block sizes per group (square and rectangular, the
 /// sizes Table VI draws from).
-const BLOCK_OPTIONS: [(usize, usize); 5] =
-    [(14, 14), (28, 14), (28, 28), (56, 28), (56, 56)];
+const BLOCK_OPTIONS: [(usize, usize); 5] = [(14, 14), (28, 14), (28, 28), (56, 28), (56, 56)];
 
 /// Enumerates contiguous partitions of the five stages into fusion groups,
 /// assigns every group each feasible block option, and evaluates all
@@ -64,8 +63,8 @@ pub fn explore_vgg16(
                     if tr > res || tc > res {
                         continue 'combo; // block larger than the map
                     }
-                    for l in start..start + count {
-                        tiles[l] = (tr, tc);
+                    for tile in &mut tiles[start..start + count] {
+                        *tile = (tr, tc);
                     }
                     layer_count += count;
                 }
@@ -88,10 +87,7 @@ pub fn explore_vgg16(
 /// Filters points that fit the platform's BRAM (left of Figure 12's dotted
 /// line).
 pub fn feasible<'a>(points: &'a [DsePoint], platform: &FpgaPlatform) -> Vec<&'a DsePoint> {
-    points
-        .iter()
-        .filter(|p| p.eval.bram18 <= platform.bram18_blocks)
-        .collect()
+    points.iter().filter(|p| p.eval.bram18 <= platform.bram18_blocks).collect()
 }
 
 /// Pareto front by (BRAM, real cycles): points not dominated by any other.
@@ -100,8 +96,7 @@ pub fn pareto_front(points: &[DsePoint]) -> Vec<&DsePoint> {
     for p in points {
         let dominated = points.iter().any(|q| {
             (q.eval.bram18 < p.eval.bram18 && q.eval.real_cycles() <= p.eval.real_cycles())
-                || (q.eval.bram18 <= p.eval.bram18
-                    && q.eval.real_cycles() < p.eval.real_cycles())
+                || (q.eval.bram18 <= p.eval.bram18 && q.eval.real_cycles() < p.eval.real_cycles())
         });
         if !dominated {
             front.push(p);
@@ -140,16 +135,9 @@ mod tests {
     fn eight_bit_designs_need_less_bram() {
         let shapes = vgg16_shapes();
         let p = zc706();
-        let min16 = explore_vgg16(&shapes, &p, 16, 2)
-            .iter()
-            .map(|pt| pt.eval.bram18)
-            .min()
-            .unwrap();
-        let min8 = explore_vgg16(&shapes, &p, 8, 4)
-            .iter()
-            .map(|pt| pt.eval.bram18)
-            .min()
-            .unwrap();
+        let min16 =
+            explore_vgg16(&shapes, &p, 16, 2).iter().map(|pt| pt.eval.bram18).min().unwrap();
+        let min8 = explore_vgg16(&shapes, &p, 8, 4).iter().map(|pt| pt.eval.bram18).min().unwrap();
         assert!(min8 < min16);
     }
 
@@ -162,8 +150,8 @@ mod tests {
         assert!(!front.is_empty());
         for a in &front {
             for b in &points {
-                let dominates = b.eval.bram18 < a.eval.bram18
-                    && b.eval.real_cycles() <= a.eval.real_cycles();
+                let dominates =
+                    b.eval.bram18 < a.eval.bram18 && b.eval.real_cycles() <= a.eval.real_cycles();
                 assert!(!dominates, "front point dominated");
             }
         }

@@ -180,9 +180,7 @@ pub fn vgg16_shapes() -> Vec<ConvShape> {
         (512, 512, 14),
         (512, 512, 14),
     ];
-    spec.iter()
-        .map(|&(n, m, r)| ConvShape { m, n, r, c: r, k: 3, s: 1 })
-        .collect()
+    spec.iter().map(|&(n, m, r)| ConvShape { m, n, r, c: r, k: 3, s: 1 }).collect()
 }
 
 /// The Table VI configurations. A–C are 16-bit / 2 PE; D–G are 8-bit /
@@ -210,13 +208,7 @@ pub fn table6_configs() -> Vec<FusedDesign> {
             bits: 16,
             npe: 2,
         },
-        FusedDesign {
-            name: "B".into(),
-            tiles: b,
-            group_sizes: vec![2, 5, 3, 3],
-            bits: 16,
-            npe: 2,
-        },
+        FusedDesign { name: "B".into(), tiles: b, group_sizes: vec![2, 5, 3, 3], bits: 16, npe: 2 },
         FusedDesign {
             name: "C".into(),
             tiles: c.clone(),
@@ -245,13 +237,7 @@ pub fn table6_configs() -> Vec<FusedDesign> {
             bits: 8,
             npe: 4,
         },
-        FusedDesign {
-            name: "G".into(),
-            tiles: g,
-            group_sizes: vec![2, 2, 3, 6],
-            bits: 8,
-            npe: 4,
-        },
+        FusedDesign { name: "G".into(), tiles: g, group_sizes: vec![2, 2, 3, 6], bits: 8, npe: 4 },
     ]
 }
 
@@ -271,9 +257,7 @@ pub fn baseline_bram18(shapes: &[ConvShape], tr: usize, tc: usize, bits: usize) 
     let out_tile = (TM * tr * tc * bits) as u64;
     let weight_bits = 2 * (TM * TN * 9 * bits) as u64;
     // Ping-pong on both input and output tiles.
-    2 * bram18_for_bits(max_in_tile)
-        + 2 * bram18_for_bits(out_tile)
-        + bram18_for_bits(weight_bits)
+    2 * bram18_for_bits(max_in_tile) + 2 * bram18_for_bits(out_tile) + bram18_for_bits(weight_bits)
 }
 
 #[cfg(test)]
@@ -286,12 +270,7 @@ mod tests {
         let shapes = vgg16_shapes();
         for design in table6_configs() {
             assert_eq!(design.tiles.len(), 13, "{}", design.name);
-            assert_eq!(
-                design.group_sizes.iter().sum::<usize>(),
-                13,
-                "{}",
-                design.name
-            );
+            assert_eq!(design.group_sizes.iter().sum::<usize>(), 13, "{}", design.name);
             // Block sizes never exceed the layer resolution.
             for (shape, &(tr, tc)) in shapes.iter().zip(&design.tiles) {
                 assert!(tr <= shape.r && tc <= shape.c, "{}", design.name);

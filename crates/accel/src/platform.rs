@@ -86,10 +86,7 @@ impl Default for EnergyModel {
     fn default() -> Self {
         // 640 pJ / 32-bit DRAM word vs 5 pJ / 32-bit SRAM word
         // (Horowitz ISSCC'14, the numbers Han et al. cite).
-        Self {
-            dram_pj_per_bit: 20.0,
-            sram_pj_per_bit: 0.15625,
-        }
+        Self { dram_pj_per_bit: 20.0, sram_pj_per_bit: 0.15625 }
     }
 }
 

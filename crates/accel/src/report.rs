@@ -144,9 +144,7 @@ mod tests {
 
     #[test]
     fn only_ours_avoids_intermediate_transfer() {
-        assert!(table7_published_rows()
-            .iter()
-            .all(|r| r.intermediate_transfer));
+        assert!(table7_published_rows().iter().all(|r| r.intermediate_transfer));
         assert!(!table7_paper_ours().intermediate_transfer);
     }
 

@@ -158,7 +158,7 @@ mod tests {
     fn event_order_is_depth_first() {
         // All of block 0's computes precede any of block 1's.
         let t = schedule_group(&layers(), 2, 14 * 14, 8, true, true);
-        let pos = |pred: &dyn Fn(&Event) -> bool| t.events.iter().position(|e| pred(e)).unwrap();
+        let pos = |pred: &dyn Fn(&Event) -> bool| t.events.iter().position(pred).unwrap();
         let b0_last = pos(&|e| matches!(e, Event::StoreBlock { block: 0, .. }));
         let b1_first = pos(&|e| matches!(e, Event::LoadBlock { block: 1, .. }));
         assert!(b0_last < b1_first);

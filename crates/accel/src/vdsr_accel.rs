@@ -110,7 +110,11 @@ fn compute_cycles(cfg: &VdsrConfig) -> u64 {
 /// Resource model shared by both variants, calibrated against the paper's
 /// Vivado reports: the MAC array dominates DSP, control and the DMA engine
 /// dominate LUT/FF, and the data buffers dominate BRAM.
-fn resources(cfg: &VdsrConfig, data_buffer_bits: u64, ping_pong: bool) -> (usize, usize, usize, usize) {
+fn resources(
+    cfg: &VdsrConfig,
+    data_buffer_bits: u64,
+    ping_pong: bool,
+) -> (usize, usize, usize, usize) {
     let weight_brams = bram18_for_bits(cfg.weight_bits_total());
     let factor = if ping_pong { 2 } else { 1 };
     let data_brams = factor * bram18_for_bits(data_buffer_bits);
@@ -206,10 +210,7 @@ mod tests {
         // same range (the exact figure depends on unstated halo details).
         let eval = evaluate_baseline(&VdsrConfig::paper(), &ultra96());
         let mbits = eval.transfer_mbits();
-        assert!(
-            (30_000.0..50_000.0).contains(&mbits),
-            "baseline transfer {mbits} Mbits"
-        );
+        assert!((30_000.0..50_000.0).contains(&mbits), "baseline transfer {mbits} Mbits");
     }
 
     #[test]

@@ -9,9 +9,11 @@ use std::hint::black_box;
 use bconv_accel::dse::explore_vgg16;
 use bconv_accel::fusion::vgg16_shapes;
 use bconv_accel::platform::zc706;
-use bconv_core::blocking::{BlockGrid, BlockingPattern};
-use bconv_core::fusion::{ChainOp, FusedChain};
+use bconv_core::blocking::BlockingPattern;
 use bconv_core::BlockConv2d;
+use bconv_graph::{Graph, LowerOptions, Planner, PlannerOptions, Segment};
+use bconv_models::builder::{conv, maxpool, NetBuilder};
+use bconv_models::ActShape;
 use bconv_quant::qconv::QConv2d;
 use bconv_quant::QParams;
 use bconv_tensor::conv::{Conv2d, ConvGeom};
@@ -52,14 +54,9 @@ fn bench_padding_modes(c: &mut Criterion) {
     let mut group = c.benchmark_group("padding_modes");
     let (conv, input) = conv_fixture(16, 32);
     for mode in PadMode::ALL {
-        let bconv = BlockConv2d::from_pattern(
-            conv.clone(),
-            32,
-            32,
-            BlockingPattern::hierarchical(2),
-            mode,
-        )
-        .unwrap();
+        let bconv =
+            BlockConv2d::from_pattern(conv.clone(), 32, 32, BlockingPattern::hierarchical(2), mode)
+                .unwrap();
         group.bench_function(mode.name(), |b| {
             b.iter(|| black_box(bconv.forward(black_box(&input)).unwrap()))
         });
@@ -69,21 +66,19 @@ fn bench_padding_modes(c: &mut Criterion) {
 
 fn bench_fused_chain(c: &mut Criterion) {
     let mut group = c.benchmark_group("fused_chain");
-    let mut rng = seeded_rng(2);
-    let mk = |cin: usize, cout: usize, rng: &mut rand::rngs::StdRng| {
-        he_conv2d(cin, cout, ConvGeom::same(3), 1, rng).unwrap()
+    // The chain is compiled by the Session planner from a descriptor, the
+    // same path production inference takes.
+    let mut b = NetBuilder::new("bench-chain", ActShape { c: 8, h: 32, w: 32 });
+    b.push("conv1", conv(3, 1, 1, 8, 16));
+    b.push("conv2", conv(3, 1, 1, 16, 16));
+    b.push("pool", maxpool(2, 2, 0));
+    b.push("conv3", conv(3, 1, 1, 16, 16));
+    let graph = Graph::lower(&b.build(), &LowerOptions { seed: 2, relu_after_conv: true }).unwrap();
+    let plan = Planner::new(PlannerOptions::default()).plan(&graph).unwrap();
+    let Segment::Fused { chain, .. } = &plan.segments()[0] else {
+        panic!("planner should fuse the whole chain");
     };
-    let ops = vec![
-        ChainOp::Conv(mk(8, 16, &mut rng)),
-        ChainOp::Relu,
-        ChainOp::Conv(mk(16, 16, &mut rng)),
-        ChainOp::Relu,
-        ChainOp::MaxPool { k: 2 },
-        ChainOp::Conv(mk(16, 16, &mut rng)),
-    ];
-    let grid = BlockGrid::from_pattern(32, 32, BlockingPattern::hierarchical(2)).unwrap();
-    let chain = FusedChain::plan(ops, grid, PadMode::Zero).unwrap();
-    let input = uniform_tensor([1, 8, 32, 32], -1.0, 1.0, &mut rng);
+    let input = uniform_tensor([1, 8, 32, 32], -1.0, 1.0, &mut seeded_rng(2));
     group.bench_function("fused", |b| {
         b.iter(|| black_box(chain.run_fused(black_box(&input)).unwrap()))
     });

@@ -16,11 +16,7 @@ fn main() {
         header(&format!("panel {panel}: {bits}-bit, {npe} PEs"));
         let points = explore_vgg16(&shapes, &platform, bits, npe);
         let feas = feasible(&points, &platform);
-        println!(
-            "{} design points, {} feasible (left of the BRAM line)",
-            points.len(),
-            feas.len()
-        );
+        println!("{} design points, {} feasible (left of the BRAM line)", points.len(), feas.len());
         println!("Pareto front (BRAM18, latency ms, GOP/s):");
         let mut front = pareto_front(&points);
         front.sort_by_key(|p| p.eval.bram18);

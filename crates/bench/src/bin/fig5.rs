@@ -7,8 +7,8 @@
 
 use bconv_bench::{classifier_config, header, hline, EVAL_SAMPLES};
 use bconv_core::BlockingPattern;
-use bconv_tensor::pad::PadMode;
 use bconv_tensor::init::seeded_rng;
+use bconv_tensor::pad::PadMode;
 use bconv_train::models::{NetStyle, SmallClassifier};
 use bconv_train::trainer::{eval_classifier, train_classifier, TrainConfig};
 
@@ -16,19 +16,20 @@ fn main() {
     header("Figure 5: accuracy vs blocking ratio (F = fixed, H = hierarchical)");
     // Patterns ordered by increasing aggressiveness. F32 blocks only the
     // 32-res layers; F16 also the 16-res ones; H2/H4 block everything.
+    #[allow(clippy::type_complexity)]
     let patterns: [(&str, Box<dyn Fn(usize) -> Option<(BlockingPattern, PadMode)>>); 5] = [
         ("none", Box::new(|_| None)),
         ("F32", Box::new(|res| (res >= 32).then_some((BlockingPattern::fixed(32), PadMode::Zero)))),
         ("F16", Box::new(|res| (res >= 16).then_some((BlockingPattern::fixed(16), PadMode::Zero)))),
         ("H2x2", Box::new(|_| Some((BlockingPattern::hierarchical(2), PadMode::Zero)))),
-        ("H4x4", Box::new(|res| (res >= 4).then_some((BlockingPattern::hierarchical(4), PadMode::Zero)))),
+        (
+            "H4x4",
+            Box::new(|res| (res >= 4).then_some((BlockingPattern::hierarchical(4), PadMode::Zero))),
+        ),
     ];
 
     hline(70);
-    println!(
-        "{:<14} {:<8} {:>16} {:>12}",
-        "network", "pattern", "blocking ratio", "top-1"
-    );
+    println!("{:<14} {:<8} {:>16} {:>12}", "network", "pattern", "blocking ratio", "top-1");
     hline(70);
     for style in [NetStyle::Vgg, NetStyle::ResNet, NetStyle::MobileNet] {
         let cfg = if style == NetStyle::MobileNet {

@@ -25,8 +25,7 @@ fn main() {
         };
         print!("{:<16}", style.name());
         for mode in PadMode::ALL {
-            let mut net =
-                SmallClassifier::new(style, 8, 4, &mut seeded_rng(31)).expect("net");
+            let mut net = SmallClassifier::new(style, 8, 4, &mut seeded_rng(31)).expect("net");
             net.apply_blocking(&move |res| {
                 (res >= 16).then_some((BlockingPattern::fixed(16), mode))
             });

@@ -12,10 +12,7 @@ use bconv_train::trainer::{eval_detector, train_detector};
 fn main() {
     header("Figure 8: AP vs blocking granularity and scope");
     hline(70);
-    println!(
-        "{:<34} {:>8} {:>8} {:>8}",
-        "configuration", "AP", "AP@0.5", "AP@0.75"
-    );
+    println!("{:<34} {:>8} {:>8} {:>8}", "configuration", "AP", "AP@0.5", "AP@0.75");
     hline(70);
     let cfg = detector_config();
     let runs: [(&str, usize, bool); 5] = [

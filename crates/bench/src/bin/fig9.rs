@@ -12,11 +12,7 @@ use bconv_models::resnet::{resnet18, resnet50};
 fn main() {
     let budget = ultra96().bram_mbits();
     println!("Figure 9: feature map size per conv layer (16-bit), ZU3EG budget {budget:.1} Mbits");
-    for net in [
-        mobilenet_v1(224, false),
-        resnet18(224, false),
-        resnet50(224, false),
-    ] {
+    for net in [mobilenet_v1(224, false), resnet18(224, false), resnet50(224, false)] {
         header(&net.name.clone());
         hline(52);
         let series = feature_map_series(&net, 16).expect("trace");

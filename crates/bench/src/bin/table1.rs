@@ -23,11 +23,7 @@ const BLOCK: usize = 16;
 
 fn run(style: NetStyle, seed: u64) -> (f64, f64, f64) {
     let cfg = classifier_config();
-    let steps = if style == NetStyle::MobileNet {
-        TrainConfig { steps: 600, ..cfg }
-    } else {
-        cfg
-    };
+    let steps = if style == NetStyle::MobileNet { TrainConfig { steps: 600, ..cfg } } else { cfg };
     let exp = format!("table1-{style:?}");
 
     // Baseline.
@@ -61,9 +57,7 @@ fn main() {
     // Exact blocking ratios from the full-size architectures under F28
     // with the paper's stride-to-pooling rewrite.
     let full_ratio = |net: &bconv_models::Network| -> f64 {
-        plan_for(net, BlockingPattern::fixed(28))
-            .expect("plan")
-            .blocking_ratio()
+        plan_for(net, BlockingPattern::fixed(28)).expect("plan").blocking_ratio()
     };
     let ratios = [
         ("VGG-16", full_ratio(&vgg16(224)), 76.92),

@@ -21,8 +21,8 @@ fn main() {
     hline(40);
     let cfg = classifier_config();
     for (name, pattern) in configs {
-        let mut net = SmallClassifier::new(NetStyle::ResNet, 8, 4, &mut seeded_rng(21))
-            .expect("net");
+        let mut net =
+            SmallClassifier::new(NetStyle::ResNet, 8, 4, &mut seeded_rng(21)).expect("net");
         if let Some(p) = pattern {
             net.apply_blocking(&move |res| {
                 let fits = match p {

@@ -30,16 +30,14 @@ fn build(config: &str) -> SmallVdsr {
         "fixed-irregular" => {
             // F16 on a 24px patch -> 16+8 irregular splits on every layer.
             let b = Blocking::Pattern(BlockingPattern::fixed(16), PadMode::Zero);
-            net.apply_blocking(&vec![b; DEPTH]);
+            net.apply_blocking(&[b; DEPTH]);
         }
-        "depth2" => net.apply_plan(
-            NetworkPlan::by_blocking_depth(DEPTH, h22, 2).per_layer(),
-            PadMode::Zero,
-        ),
-        "depth4" => net.apply_plan(
-            NetworkPlan::by_blocking_depth(DEPTH, h22, 4).per_layer(),
-            PadMode::Zero,
-        ),
+        "depth2" => {
+            net.apply_plan(NetworkPlan::by_blocking_depth(DEPTH, h22, 2).per_layer(), PadMode::Zero)
+        }
+        "depth4" => {
+            net.apply_plan(NetworkPlan::by_blocking_depth(DEPTH, h22, 4).per_layer(), PadMode::Zero)
+        }
         other => panic!("unknown config {other}"),
     }
     net

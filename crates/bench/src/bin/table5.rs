@@ -24,10 +24,7 @@ fn main() {
     // Table V: AP with and without backbone blocking.
     header("Table V: detection AP (synthetic single-object task)");
     hline(64);
-    println!(
-        "{:<22} {:>8} {:>8} {:>8}",
-        "model", "AP", "AP@0.5", "AP@0.75"
-    );
+    println!("{:<22} {:>8} {:>8} {:>8}", "model", "AP", "AP@0.5", "AP@0.75");
     hline(64);
     let cfg = detector_config();
     for (name, blocked) in [("SSD-small", false), ("SSD-small+BConv", true)] {
@@ -37,10 +34,7 @@ fn main() {
         }
         train_detector(&mut det, "table5", &cfg).expect("train");
         let ap = eval_detector(&mut det, "table5", DET_EVAL_SAMPLES).expect("eval");
-        println!(
-            "{:<22} {:>8.3} {:>8.3} {:>8.3}",
-            name, ap.ap, ap.ap50, ap.ap75
-        );
+        println!("{:<22} {:>8.3} {:>8.3} {:>8.3}", name, ap.ap, ap.ap50, ap.ap75);
     }
     hline(64);
     println!("paper: mAP drop of 1.0 (FPN) / 1.8 (SSD) points when the backbone is blocked");

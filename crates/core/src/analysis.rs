@@ -165,14 +165,9 @@ mod tests {
         // (4*4*3)*4 = 192 blocked ops.
         assert_eq!(spatial_kernel_ops(8, 8, 3), 192);
         let conv = Conv2d::zeros(3, 1, ConvGeom::same(3)).unwrap();
-        let bconv = BlockConv2d::from_pattern(
-            conv,
-            8,
-            8,
-            BlockingPattern::hierarchical(2),
-            PadMode::Zero,
-        )
-        .unwrap();
+        let bconv =
+            BlockConv2d::from_pattern(conv, 8, 8, BlockingPattern::hierarchical(2), PadMode::Zero)
+                .unwrap();
         assert_eq!(block_spatial_kernel_ops(&bconv).unwrap(), 192);
     }
 
@@ -193,8 +188,7 @@ mod tests {
         let mut rng = seeded_rng(2);
         let conv = he_conv2d(1, 1, ConvGeom::same(3), 1, &mut rng).unwrap();
         let input = uniform_tensor([1, 1, 8, 8], -1.0, 1.0, &mut rng);
-        let err =
-            boundary_error(&conv, &BlockGrid::single(8, 8), PadMode::Zero, &input).unwrap();
+        let err = boundary_error(&conv, &BlockGrid::single(8, 8), PadMode::Zero, &input).unwrap();
         assert!(err.max_abs < 1e-5);
         assert_eq!(err.frac_perturbed, 0.0);
     }
@@ -227,10 +221,11 @@ mod tests {
     #[test]
     fn blocking_ratio_matches_vgg16_table1() {
         // VGG-16 conv compute resolutions: 224x2, 112x2, 56x3, 28x3, 14x3.
-        let layers: Vec<ConvLayerSpatial> = [224, 224, 112, 112, 56, 56, 56, 28, 28, 28, 14, 14, 14]
-            .into_iter()
-            .map(|r| ConvLayerSpatial { h: r, w: r })
-            .collect();
+        let layers: Vec<ConvLayerSpatial> =
+            [224, 224, 112, 112, 56, 56, 56, 28, 28, 28, 14, 14, 14]
+                .into_iter()
+                .map(|r| ConvLayerSpatial { h: r, w: r })
+                .collect();
         let ratio = blocking_ratio(&layers, 28, 28);
         assert!((ratio - 10.0 / 13.0).abs() < 1e-9);
         // Paper reports 76.92%.

@@ -55,13 +55,7 @@ impl BlockConv2d {
         let g = conv.geom();
         let rows = plan_axis(grid.row_segments(), g.kernel, g.stride, g.padding)?;
         let cols = plan_axis(grid.col_segments(), g.kernel, g.stride, g.padding)?;
-        Ok(Self {
-            conv,
-            grid,
-            rows,
-            cols,
-            pad_mode,
-        })
+        Ok(Self { conv, grid, rows, cols, pad_mode })
     }
 
     /// Plans a block convolution from a [`BlockingPattern`] on an `h × w`
@@ -210,14 +204,9 @@ mod tests {
         // 8x8x3 input, 3x3x3 filter, 2x2 blocks: output 8x8, MACs equal.
         let conv = random_conv(3, 1, 3, 1);
         let dense_macs = conv.macs(8, 8).unwrap();
-        let bconv = BlockConv2d::from_pattern(
-            conv,
-            8,
-            8,
-            BlockingPattern::hierarchical(2),
-            PadMode::Zero,
-        )
-        .unwrap();
+        let bconv =
+            BlockConv2d::from_pattern(conv, 8, 8, BlockingPattern::hierarchical(2), PadMode::Zero)
+                .unwrap();
         assert_eq!(bconv.macs(), dense_macs);
         let input = uniform_tensor([1, 3, 8, 8], -1.0, 1.0, &mut seeded_rng(2));
         let out = bconv.forward(&input).unwrap();
@@ -231,14 +220,9 @@ mod tests {
         let conv = random_conv(2, 2, 3, 3);
         let input = uniform_tensor([1, 2, 8, 8], -1.0, 1.0, &mut seeded_rng(4));
         let dense = conv.forward(&input).unwrap();
-        let bconv = BlockConv2d::from_pattern(
-            conv,
-            8,
-            8,
-            BlockingPattern::hierarchical(2),
-            PadMode::Zero,
-        )
-        .unwrap();
+        let bconv =
+            BlockConv2d::from_pattern(conv, 8, 8, BlockingPattern::hierarchical(2), PadMode::Zero)
+                .unwrap();
         let blocked = bconv.forward(&input).unwrap();
         // Interior of the top-left 4x4 block: rows/cols 1..3.
         for c in 0..2 {
@@ -261,8 +245,7 @@ mod tests {
         let conv = random_conv(3, 4, 3, 5);
         let input = uniform_tensor([1, 3, 10, 10], -1.0, 1.0, &mut seeded_rng(6));
         let dense = conv.forward(&input).unwrap();
-        let bconv =
-            BlockConv2d::plan(conv, BlockGrid::single(10, 10), PadMode::Zero).unwrap();
+        let bconv = BlockConv2d::plan(conv, BlockGrid::single(10, 10), PadMode::Zero).unwrap();
         let blocked = bconv.forward(&input).unwrap();
         assert!(dense.approx_eq(&blocked, 1e-5).unwrap());
     }
@@ -288,14 +271,9 @@ mod tests {
         let mut rng = seeded_rng(8);
         let conv = he_conv2d(4, 4, ConvGeom::same(3), 4, &mut rng).unwrap();
         let input = uniform_tensor([1, 4, 8, 8], -1.0, 1.0, &mut rng);
-        let bconv = BlockConv2d::from_pattern(
-            conv,
-            8,
-            8,
-            BlockingPattern::hierarchical(2),
-            PadMode::Zero,
-        )
-        .unwrap();
+        let bconv =
+            BlockConv2d::from_pattern(conv, 8, 8, BlockingPattern::hierarchical(2), PadMode::Zero)
+                .unwrap();
         let out = bconv.forward(&input).unwrap();
         assert_eq!(out.shape().dims(), [1, 4, 8, 8]);
     }
@@ -333,14 +311,9 @@ mod tests {
     #[test]
     fn wrong_input_size_is_an_error() {
         let conv = random_conv(1, 1, 3, 13);
-        let bconv = BlockConv2d::from_pattern(
-            conv,
-            8,
-            8,
-            BlockingPattern::hierarchical(2),
-            PadMode::Zero,
-        )
-        .unwrap();
+        let bconv =
+            BlockConv2d::from_pattern(conv, 8, 8, BlockingPattern::hierarchical(2), PadMode::Zero)
+                .unwrap();
         let input = Tensor::zeros([1, 1, 9, 8]);
         assert!(bconv.forward(&input).is_err());
     }
@@ -348,14 +321,9 @@ mod tests {
     #[test]
     fn forward_block_validates_block_shape() {
         let conv = random_conv(1, 1, 3, 14);
-        let bconv = BlockConv2d::from_pattern(
-            conv,
-            8,
-            8,
-            BlockingPattern::hierarchical(2),
-            PadMode::Zero,
-        )
-        .unwrap();
+        let bconv =
+            BlockConv2d::from_pattern(conv, 8, 8, BlockingPattern::hierarchical(2), PadMode::Zero)
+                .unwrap();
         let bad = Tensor::zeros([1, 1, 5, 4]);
         assert!(bconv.forward_block(&bad, 0, 0).is_err());
     }

@@ -137,11 +137,7 @@ impl BlockGrid {
     /// assert!(grid.blocks().all(|b| b.bh == 4 && b.bw == 4));
     /// # Ok::<(), bconv_tensor::TensorError>(())
     /// ```
-    pub fn from_pattern(
-        h: usize,
-        w: usize,
-        pattern: BlockingPattern,
-    ) -> Result<Self, TensorError> {
+    pub fn from_pattern(h: usize, w: usize, pattern: BlockingPattern) -> Result<Self, TensorError> {
         if h == 0 || w == 0 {
             return Err(TensorError::invalid("cannot block an empty feature map"));
         }
@@ -169,12 +165,7 @@ impl BlockGrid {
 
     /// A grid with a single block covering the whole map (i.e. no blocking).
     pub fn single(h: usize, w: usize) -> Self {
-        Self {
-            h,
-            w,
-            rows: vec![(0, h)],
-            cols: vec![(0, w)],
-        }
+        Self { h, w, rows: vec![(0, h)], cols: vec![(0, w)] }
     }
 
     /// Builds a grid from explicit row/column segment lists.
@@ -312,7 +303,7 @@ impl BlockGrid {
     /// Returns [`TensorError::InvalidParameter`] if the block rows/columns
     /// are not divisible by `m`.
     pub fn merge(&self, m: usize) -> Result<Self, TensorError> {
-        if m == 0 || self.rows.len() % m != 0 || self.cols.len() % m != 0 {
+        if m == 0 || !self.rows.len().is_multiple_of(m) || !self.cols.len().is_multiple_of(m) {
             return Err(TensorError::invalid(format!(
                 "cannot merge {}x{} blocks in groups of {m}",
                 self.rows.len(),
@@ -434,15 +425,9 @@ mod tests {
     #[test]
     fn display_uses_paper_notation() {
         assert_eq!(BlockingPattern::fixed(28).to_string(), "F28");
-        assert_eq!(
-            BlockingPattern::Fixed { th: 28, tw: 56 }.to_string(),
-            "F28x56"
-        );
+        assert_eq!(BlockingPattern::Fixed { th: 28, tw: 56 }.to_string(), "F28x56");
         assert_eq!(BlockingPattern::hierarchical(4).to_string(), "H4x4");
-        assert_eq!(
-            BlockingPattern::Hierarchical { gh: 1, gw: 4 }.to_string(),
-            "H1x4"
-        );
+        assert_eq!(BlockingPattern::Hierarchical { gh: 1, gw: 4 }.to_string(), "H1x4");
     }
 
     #[test]

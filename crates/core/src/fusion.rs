@@ -33,6 +33,7 @@ pub enum ChainOp {
 }
 
 #[derive(Debug, Clone)]
+#[allow(clippy::large_enum_variant)] // conv stages dominate by design
 enum Stage {
     Conv(BlockConv2d),
     Relu,
@@ -96,11 +97,7 @@ impl FusedChain {
                 }
             }
         }
-        Ok(Self {
-            stages,
-            in_grid,
-            out_grid: cur,
-        })
+        Ok(Self { stages, in_grid, out_grid: cur })
     }
 
     /// Grid on the group's input.
@@ -125,12 +122,10 @@ impl FusedChain {
 
     /// Output channel count given the input channel count.
     pub fn out_channels(&self, c_in: usize) -> usize {
-        self.stages
-            .iter()
-            .fold(c_in, |c, s| match s {
-                Stage::Conv(b) => b.conv().c_out(),
-                _ => c,
-            })
+        self.stages.iter().fold(c_in, |c, s| match s {
+            Stage::Conv(b) => b.conv().c_out(),
+            _ => c,
+        })
     }
 
     fn run_block(
@@ -151,9 +146,8 @@ impl FusedChain {
             };
             // Input and output block buffers are alive simultaneously
             // (the paper's ping-pong intermediate buffers, Figure 10).
-            stats.peak_working_elems = stats
-                .peak_working_elems
-                .max(block.shape().numel() + next.shape().numel());
+            stats.peak_working_elems =
+                stats.peak_working_elems.max(block.shape().numel() + next.shape().numel());
             block = next;
         }
         Ok(block)
@@ -203,12 +197,12 @@ impl FusedChain {
     ///
     /// Returns shape errors if `input` does not match the planned grid.
     pub fn run_layerwise(&self, input: &Tensor) -> Result<(Tensor, MemStats), TensorError> {
-        let mut stats = MemStats {
-            peak_working_elems: 0,
-            offchip_elems: input.shape().numel(),
-        };
+        let mut stats = MemStats { peak_working_elems: 0, offchip_elems: input.shape().numel() };
         let mut cur = input.clone();
-        let last = self.stages.len().saturating_sub(1);
+        // The chain output is whatever the last *materialising* stage
+        // produces — a trailing in-place ReLU must not push the final conv
+        // back into the 2x (write + read-back) intermediate bucket.
+        let last = self.stages.iter().rposition(|s| !matches!(s, Stage::Relu));
         for (idx, stage) in self.stages.iter().enumerate() {
             let next = match stage {
                 Stage::Conv(bconv) => bconv.forward(&cur)?,
@@ -218,16 +212,12 @@ impl FusedChain {
                 }
                 Stage::Pool { k } => max_pool2d(&cur, *k, *k)?,
             };
-            stats.peak_working_elems = stats
-                .peak_working_elems
-                .max(cur.shape().numel() + next.shape().numel());
+            stats.peak_working_elems =
+                stats.peak_working_elems.max(cur.shape().numel() + next.shape().numel());
             // Intermediate maps make a DRAM round trip (write + read);
             // the final output is written once.
-            stats.offchip_elems += if idx == last {
-                next.shape().numel()
-            } else {
-                2 * next.shape().numel()
-            };
+            stats.offchip_elems +=
+                if Some(idx) == last { next.shape().numel() } else { 2 * next.shape().numel() };
             cur = next;
         }
         Ok((cur, stats))
@@ -277,18 +267,14 @@ impl FusedPipeline {
     /// Propagates per-group execution errors.
     pub fn run_fused(&self, input: &Tensor) -> Result<(Tensor, MemStats), TensorError> {
         let mut cur = input.clone();
-        let mut stats = MemStats {
-            peak_working_elems: 0,
-            offchip_elems: input.shape().numel(),
-        };
+        let mut stats = MemStats { peak_working_elems: 0, offchip_elems: input.shape().numel() };
         let last = self.groups.len().saturating_sub(1);
         for (idx, group) in self.groups.iter().enumerate() {
             let (next, gs) = group.run_fused(&cur)?;
             // Group-boundary maps live in the on-chip extra buffer: they
             // count toward peak working memory but not off-chip traffic.
-            stats.peak_working_elems = stats
-                .peak_working_elems
-                .max(gs.peak_working_elems + next.shape().numel());
+            stats.peak_working_elems =
+                stats.peak_working_elems.max(gs.peak_working_elems + next.shape().numel());
             if idx == last {
                 stats.offchip_elems += next.shape().numel();
             }
@@ -304,22 +290,14 @@ impl FusedPipeline {
     /// Propagates per-group execution errors.
     pub fn run_layerwise(&self, input: &Tensor) -> Result<(Tensor, MemStats), TensorError> {
         let mut cur = input.clone();
-        let mut stats = MemStats {
-            peak_working_elems: 0,
-            offchip_elems: input.shape().numel(),
-        };
+        let mut stats = MemStats { peak_working_elems: 0, offchip_elems: input.shape().numel() };
         let last = self.groups.len().saturating_sub(1);
         for (idx, group) in self.groups.iter().enumerate() {
             let (next, gs) = group.run_layerwise(&cur)?;
             stats.peak_working_elems = stats.peak_working_elems.max(gs.peak_working_elems);
             // Group outputs also round-trip through DRAM layer-wise.
-            stats.offchip_elems += gs.offchip_elems - cur.shape().numel()
-                - next.shape().numel()
-                + if idx == last {
-                    next.shape().numel()
-                } else {
-                    2 * next.shape().numel()
-                };
+            stats.offchip_elems += gs.offchip_elems - cur.shape().numel() - next.shape().numel()
+                + if idx == last { next.shape().numel() } else { 2 * next.shape().numel() };
             cur = next;
         }
         Ok((cur, stats))
@@ -437,8 +415,8 @@ mod tests {
         .unwrap();
         let g2_grid = g1.out_grid().clone().merge(4).unwrap();
         assert_eq!(g2_grid.num_blocks(), 1);
-        let g2 = FusedChain::plan(vec![ChainOp::Conv(conv(2, 1, 22))], g2_grid, PadMode::Zero)
-            .unwrap();
+        let g2 =
+            FusedChain::plan(vec![ChainOp::Conv(conv(2, 1, 22))], g2_grid, PadMode::Zero).unwrap();
         let pipeline = FusedPipeline::new(vec![g1, g2]).unwrap();
         let input = uniform_tensor([1, 1, 16, 16], -1.0, 1.0, &mut seeded_rng(23));
         let (fused, fs) = pipeline.run_fused(&input).unwrap();
@@ -457,8 +435,8 @@ mod tests {
             PadMode::Zero,
         )
         .unwrap();
-        let g2 = FusedChain::plan(vec![ChainOp::Relu], BlockGrid::single(8, 8), PadMode::Zero)
-            .unwrap();
+        let g2 =
+            FusedChain::plan(vec![ChainOp::Relu], BlockGrid::single(8, 8), PadMode::Zero).unwrap();
         assert!(FusedPipeline::new(vec![g1, g2]).is_err());
     }
 }

@@ -55,9 +55,7 @@ pub fn overlapped_conv2d(
 ) -> Result<(Tensor, OverlapStats), TensorError> {
     let geom = conv.geom();
     if geom.stride != 1 {
-        return Err(TensorError::invalid(
-            "overlapped tiling reference supports stride-1 only",
-        ));
+        return Err(TensorError::invalid("overlapped tiling reference supports stride-1 only"));
     }
     let [n, c, h, w] = input.shape().dims();
     if h != grid.h() || w != grid.w() {

@@ -50,10 +50,8 @@ pub fn solve_symmetric(
     if n == 0 {
         return Err(TensorError::invalid("blocking number must be non-zero"));
     }
-    if i % n != 0 {
-        return Err(TensorError::invalid(format!(
-            "blocking number {n} must divide axis size {i}"
-        )));
+    if !i.is_multiple_of(n) {
+        return Err(TensorError::invalid(format!("blocking number {n} must divide axis size {i}")));
     }
     let target = conv_out_dim(i, k, s, p)?;
     let block = i / n;
@@ -141,18 +139,12 @@ pub fn plan_axis(
         // deficit/surplus is carried by the last block.
         let mut remaining = target;
         for (idx, &(_, size)) in segments.iter().enumerate() {
-            let out = if idx + 1 == segments.len() {
-                remaining
-            } else {
-                size.min(remaining)
-            };
+            let out = if idx + 1 == segments.len() { remaining } else { size.min(remaining) };
             outs.push(out);
             remaining -= out;
         }
         if outs.iter().sum::<usize>() != target {
-            return Err(TensorError::invalid(
-                "cannot distribute outputs across blocks",
-            ));
+            return Err(TensorError::invalid("cannot distribute outputs across blocks"));
         }
     } else {
         for &(start, size) in segments {
@@ -176,12 +168,7 @@ pub fn plan_axis(
         .zip(&outs)
         .map(|(&(_, size), &out)| {
             solve_asymmetric(size, k, s, out)
-                .map(|(pad_lo, pad_hi)| AxisBlockPlan {
-                    size,
-                    pad_lo,
-                    pad_hi,
-                    out,
-                })
+                .map(|(pad_lo, pad_hi)| AxisBlockPlan { size, pad_lo, pad_hi, out })
                 .ok_or_else(|| {
                     TensorError::invalid(format!(
                         "no block padding lets a {size}-pixel block produce {out} outputs \

@@ -57,11 +57,7 @@ impl NetworkPlan {
     /// across blocks (and, on hardware, one off-chip transfer occurs).
     ///
     /// `depth == usize::MAX` blocks every layer (end-to-end fusion).
-    pub fn by_blocking_depth(
-        num_layers: usize,
-        pattern: BlockingPattern,
-        depth: usize,
-    ) -> Self {
+    pub fn by_blocking_depth(num_layers: usize, pattern: BlockingPattern, depth: usize) -> Self {
         let per_layer = (0..num_layers)
             .map(|i| {
                 if depth == usize::MAX || (i + 1) % (depth + 1) != 0 {
@@ -76,9 +72,7 @@ impl NetworkPlan {
 
     /// Plan with every layer normal (the unblocked baseline).
     pub fn unblocked(num_layers: usize) -> Self {
-        Self {
-            per_layer: vec![LayerBlocking::Normal; num_layers],
-        }
+        Self { per_layer: vec![LayerBlocking::Normal; num_layers] }
     }
 
     /// Per-layer decisions.
@@ -118,11 +112,7 @@ impl NetworkPlan {
 
 /// Blocking ratio of the resolution rule without materialising a plan —
 /// convenience used by Table I.
-pub fn resolution_blocking_ratio(
-    layers: &[ConvLayerSpatial],
-    bh: usize,
-    bw: usize,
-) -> f64 {
+pub fn resolution_blocking_ratio(layers: &[ConvLayerSpatial], bh: usize, bw: usize) -> f64 {
     blocking_ratio(layers, bh, bw)
 }
 
@@ -148,8 +138,7 @@ mod tests {
 
     #[test]
     fn hierarchical_plan_blocks_everything_splittable() {
-        let plan =
-            NetworkPlan::by_resolution(&vgg_resolutions(), BlockingPattern::hierarchical(2));
+        let plan = NetworkPlan::by_resolution(&vgg_resolutions(), BlockingPattern::hierarchical(2));
         assert_eq!(plan.blocking_ratio(), 1.0);
     }
 
@@ -157,23 +146,20 @@ mod tests {
     fn blocking_depth_2_places_fusion_every_third_layer() {
         // depth=2: B B N B B N ... (paper: "block every n consecutive
         // layer followed by a normal convolutional layer").
-        let plan =
-            NetworkPlan::by_blocking_depth(9, BlockingPattern::hierarchical(2), 2);
+        let plan = NetworkPlan::by_blocking_depth(9, BlockingPattern::hierarchical(2), 2);
         assert_eq!(plan.fusion_points(), vec![2, 5, 8]);
         assert!((plan.blocking_ratio() - 6.0 / 9.0).abs() < 1e-9);
     }
 
     #[test]
     fn blocking_depth_4() {
-        let plan =
-            NetworkPlan::by_blocking_depth(20, BlockingPattern::hierarchical(2), 4);
+        let plan = NetworkPlan::by_blocking_depth(20, BlockingPattern::hierarchical(2), 4);
         assert_eq!(plan.fusion_points(), vec![4, 9, 14, 19]);
     }
 
     #[test]
     fn full_depth_blocks_all_layers() {
-        let plan =
-            NetworkPlan::by_blocking_depth(20, BlockingPattern::hierarchical(2), usize::MAX);
+        let plan = NetworkPlan::by_blocking_depth(20, BlockingPattern::hierarchical(2), usize::MAX);
         assert_eq!(plan.blocking_ratio(), 1.0);
         assert!(plan.fusion_points().is_empty());
     }

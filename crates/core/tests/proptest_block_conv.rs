@@ -82,7 +82,7 @@ proptest! {
             segs.iter().any(|&(start, size)| {
                 pos >= start
                     && pos < start + size
-                    && (start == 0 || pos >= start + 1)
+                    && (start == 0 || pos > start)
                     && (start + size == len || pos + 1 < start + size)
             })
         };

@@ -1,0 +1,275 @@
+//! Executors: pluggable backends that run a compiled [`Graph`].
+//!
+//! Two backends ship with the crate:
+//!
+//! * [`ReferenceExecutor`] — dense layer-wise execution on whole feature
+//!   maps; every intermediate makes a DRAM round trip. The numerical and
+//!   memory-accounting baseline.
+//! * [`BlockedExecutor`] — executes an [`ExecPlan`]: fusion groups run
+//!   block-by-block through [`bconv_core::fusion::FusedChain`], whole-map
+//!   segments run densely, and [`MemStats`] records the off-chip traffic
+//!   the fused schedule avoids.
+//!
+//! Both backends share one node evaluator, so a graph with an unblocked
+//! plan produces bit-identical outputs on either backend; blocking itself
+//! only perturbs block-boundary pixels (paper §II-C).
+
+use std::sync::Arc;
+
+use bconv_core::fusion::MemStats;
+use bconv_tensor::activation::relu;
+use bconv_tensor::elementwise::add;
+use bconv_tensor::pool::{global_avg_pool, max_pool2d};
+use bconv_tensor::upsample::upsample_nearest;
+use bconv_tensor::{Tensor, TensorError};
+
+use crate::ir::{Graph, NodeOp, NodeRef};
+use crate::plan::{ExecPlan, Segment};
+
+/// Result of one execution.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// The network output.
+    pub output: Tensor,
+    /// Memory/traffic statistics in elements (multiply by the bitwidth for
+    /// bits, as the paper's figures do).
+    pub stats: MemStats,
+    /// Number of executed segments (nodes for the reference backend).
+    pub segments: usize,
+}
+
+/// A compiled execution backend.
+pub trait Executor {
+    /// Backend name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Runs the network on `input` (NCHW, any batch size).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError`] when `input` does not match the graph's
+    /// input shape or an operator fails.
+    fn run(&self, input: &Tensor) -> Result<RunReport, TensorError>;
+}
+
+/// Validates the per-element input shape against the graph.
+fn check_input(graph: &Graph, input: &Tensor) -> Result<(), TensorError> {
+    let [_, c, h, w] = input.shape().dims();
+    let want = graph.input_shape();
+    if (c, h, w) != (want.c, want.h, want.w) {
+        return Err(TensorError::shape_mismatch(
+            format!("{} input", graph.name()),
+            want.to_string(),
+            format!("{c}x{h}x{w}"),
+        ));
+    }
+    Ok(())
+}
+
+/// Max pooling with symmetric padding, padding with `-inf` so border
+/// windows ignore the synthetic pixels (descriptor pools may carry `p>0`,
+/// e.g. the ResNet stem's 3/2/1).
+fn max_pool_padded(input: &Tensor, k: usize, s: usize, p: usize) -> Result<Tensor, TensorError> {
+    if p == 0 {
+        return max_pool2d(input, k, s);
+    }
+    let [n, c, h, w] = input.shape().dims();
+    let mut padded = Tensor::filled([n, c, h + 2 * p, w + 2 * p], f32::NEG_INFINITY);
+    padded.paste(input, p, p)?;
+    max_pool2d(&padded, k, s)
+}
+
+/// Shared node evaluator: the single source of truth for what each op
+/// computes, used by both backends.
+fn eval_node(op: &NodeOp, input: &Tensor, aux: Option<&Tensor>) -> Result<Tensor, TensorError> {
+    match op {
+        NodeOp::Conv { conv, .. } => conv.forward(input),
+        NodeOp::Relu => Ok(relu(input)),
+        NodeOp::MaxPool { k, s, p } => max_pool_padded(input, *k, *s, *p),
+        NodeOp::GlobalAvgPool => Ok(global_avg_pool(input)),
+        NodeOp::Fc(linear) => linear.forward(input),
+        NodeOp::Add { .. } => {
+            let other = aux.ok_or_else(|| TensorError::invalid("Add without second input"))?;
+            add(input, other)
+        }
+        NodeOp::Upsample { factor } => upsample_nearest(input, *factor),
+    }
+}
+
+/// Resolves a [`NodeRef`] against stored values.
+fn resolve<'a>(
+    values: &'a [Option<Tensor>],
+    input: &'a Tensor,
+    r: NodeRef,
+) -> Result<&'a Tensor, TensorError> {
+    match r {
+        NodeRef::Input => Ok(input),
+        NodeRef::Node(i) => values[i]
+            .as_ref()
+            .ok_or_else(|| TensorError::invalid(format!("node {i} value not materialised"))),
+    }
+}
+
+/// Dense layer-wise backend: the conventional accelerator dataflow where
+/// every intermediate feature map is written to and read back from DRAM.
+#[derive(Debug, Clone)]
+pub struct ReferenceExecutor {
+    graph: Arc<Graph>,
+}
+
+impl ReferenceExecutor {
+    /// Compiles the backend (trivially) from a graph.
+    pub fn new(graph: Arc<Graph>) -> Self {
+        Self { graph }
+    }
+}
+
+impl Executor for ReferenceExecutor {
+    fn name(&self) -> &'static str {
+        "reference"
+    }
+
+    fn run(&self, input: &Tensor) -> Result<RunReport, TensorError> {
+        check_input(&self.graph, input)?;
+        let nodes = self.graph.nodes();
+        let mut values: Vec<Option<Tensor>> = vec![None; nodes.len()];
+        // Remaining-use counters so intermediates are freed after their
+        // last consumer instead of accumulating for the whole run.
+        let mut remaining: Vec<usize> =
+            (0..nodes.len()).map(|i| self.graph.consumer_count(i)).collect();
+        let mut stats = MemStats { peak_working_elems: 0, offchip_elems: input.shape().numel() };
+        let last = self.graph.output_id();
+        for (id, node) in nodes.iter().enumerate() {
+            let in_t = resolve(&values, input, node.input)?;
+            let aux = match node.op {
+                NodeOp::Add { other } => Some(resolve(&values, input, other)?),
+                _ => None,
+            };
+            let out = eval_node(&node.op, in_t, aux)?;
+            let live =
+                in_t.shape().numel() + out.shape().numel() + aux.map_or(0, |t| t.shape().numel());
+            stats.peak_working_elems = stats.peak_working_elems.max(live);
+            // ReLU runs in place on hardware: no extra DRAM round trip
+            // (matching FusedChain::run_layerwise's accounting).
+            if !matches!(node.op, NodeOp::Relu) {
+                stats.offchip_elems +=
+                    if id == last { out.shape().numel() } else { 2 * out.shape().numel() };
+            }
+            values[id] = Some(out);
+            release_used(&mut values, &mut remaining, node);
+        }
+        let output =
+            values[last].take().ok_or_else(|| TensorError::invalid("graph produced no output"))?;
+        Ok(RunReport { output, stats, segments: nodes.len() })
+    }
+}
+
+/// Decrements one reference's remaining-use counter, dropping the value
+/// once all its consumers have run. The graph output has consumer count 0
+/// and is therefore never dropped here.
+fn release_ref(values: &mut [Option<Tensor>], remaining: &mut [usize], r: NodeRef) {
+    if let NodeRef::Node(i) = r {
+        remaining[i] = remaining[i].saturating_sub(1);
+        if remaining[i] == 0 {
+            values[i] = None;
+        }
+    }
+}
+
+/// Releases every tensor `node` just read.
+fn release_used(values: &mut [Option<Tensor>], remaining: &mut [usize], node: &crate::ir::Node) {
+    release_ref(values, remaining, node.input);
+    if let NodeOp::Add { other } = node.op {
+        release_ref(values, remaining, other);
+    }
+}
+
+/// Blocked/fused backend: executes an [`ExecPlan`], streaming fusion
+/// groups block-by-block so their intermediates never cross the off-chip
+/// boundary.
+#[derive(Debug, Clone)]
+pub struct BlockedExecutor {
+    graph: Arc<Graph>,
+    plan: Arc<ExecPlan>,
+}
+
+impl BlockedExecutor {
+    /// Compiles the backend from a graph and a planned segment list. The
+    /// plan is shared, not cloned — its `FusedChain`s own per-stage weight
+    /// copies, so duplicating it would double blocked-conv weight memory.
+    pub fn new(graph: Arc<Graph>, plan: Arc<ExecPlan>) -> Self {
+        Self { graph, plan }
+    }
+
+    /// The compiled plan.
+    pub fn plan(&self) -> &ExecPlan {
+        &self.plan
+    }
+}
+
+impl Executor for BlockedExecutor {
+    fn name(&self) -> &'static str {
+        "blocked"
+    }
+
+    fn run(&self, input: &Tensor) -> Result<RunReport, TensorError> {
+        check_input(&self.graph, input)?;
+        let nodes = self.graph.nodes();
+        let mut values: Vec<Option<Tensor>> = vec![None; nodes.len()];
+        // Remaining-use counters, as in the reference backend. Fused-group
+        // interiors are never materialised, so only segment inputs (and
+        // Add second operands) are counted down here.
+        let mut remaining: Vec<usize> =
+            (0..nodes.len()).map(|i| self.graph.consumer_count(i)).collect();
+        let mut stats = MemStats { peak_working_elems: 0, offchip_elems: input.shape().numel() };
+        let segments = self.plan.segments();
+        let last_seg = segments.len().saturating_sub(1);
+        for (si, seg) in segments.iter().enumerate() {
+            let (out_id, out) = match seg {
+                Segment::Fused { nodes: ids, chain, input: src } => {
+                    let in_t = resolve(&values, input, *src)?;
+                    let (out, gs) = chain.run_fused(in_t)?;
+                    // Per-block buffers are the group's working set; its
+                    // input/output traffic is accounted at the segment
+                    // boundaries below.
+                    stats.peak_working_elems = stats.peak_working_elems.max(gs.peak_working_elems);
+                    (*ids.last().expect("non-empty group"), out)
+                }
+                Segment::Single(id) => {
+                    let node = &nodes[*id];
+                    let in_t = resolve(&values, input, node.input)?;
+                    let aux = match node.op {
+                        NodeOp::Add { other } => Some(resolve(&values, input, other)?),
+                        _ => None,
+                    };
+                    let out = eval_node(&node.op, in_t, aux)?;
+                    let live = in_t.shape().numel()
+                        + out.shape().numel()
+                        + aux.map_or(0, |t| t.shape().numel());
+                    stats.peak_working_elems = stats.peak_working_elems.max(live);
+                    (*id, out)
+                }
+            };
+            // Segment outputs are materialised off-chip: written once, and
+            // read back unless this is the network output. In-place ReLU
+            // singles transfer nothing (parity with the reference backend).
+            let in_place_relu =
+                matches!(seg, Segment::Single(id) if matches!(nodes[*id].op, NodeOp::Relu));
+            if !in_place_relu {
+                stats.offchip_elems +=
+                    if si == last_seg { out.shape().numel() } else { 2 * out.shape().numel() };
+            }
+            values[out_id] = Some(out);
+            match seg {
+                Segment::Fused { input: src, .. } => {
+                    release_ref(&mut values, &mut remaining, *src);
+                }
+                Segment::Single(id) => release_used(&mut values, &mut remaining, &nodes[*id]),
+            }
+        }
+        let output = values[self.graph.output_id()]
+            .take()
+            .ok_or_else(|| TensorError::invalid("plan did not produce the graph output"))?;
+        Ok(RunReport { output, stats, segments: segments.len() })
+    }
+}

@@ -1,0 +1,48 @@
+//! Compile [`bconv_models::Network`] descriptors into executable blocked /
+//! fused pipelines — the load-bearing spine between the paper's operator
+//! (`bconv-core`) and its whole-network claims.
+//!
+//! The crate is a three-stage compiler plus a facade:
+//!
+//! 1. **Lowering** ([`ir::Graph::lower`]) — turns an architectural
+//!    descriptor into a typed graph of executable nodes, binding
+//!    deterministic He-initialised weights via [`bconv_tensor::init`];
+//! 2. **Planning** ([`plan::Planner`]) — consumes a
+//!    [`bconv_core::plan::NetworkPlan`] (or derives the paper's
+//!    resolution rule) plus an on-chip budget, and partitions the graph
+//!    into [`bconv_core::fusion::FusedChain`] fusion groups;
+//! 3. **Execution** ([`exec::Executor`]) — pluggable backends:
+//!    [`exec::ReferenceExecutor`] (dense layer-wise) and
+//!    [`exec::BlockedExecutor`] (per-block fused, reporting
+//!    [`bconv_core::fusion::MemStats`]).
+//!
+//! [`Session`] ties the stages together behind a builder:
+//!
+//! ```
+//! use bconv_graph::Session;
+//! use bconv_core::BlockingPattern;
+//! use bconv_models::small::vgg16_small;
+//! use bconv_tensor::{PadMode, Tensor};
+//!
+//! # fn main() -> Result<(), bconv_tensor::TensorError> {
+//! let session = Session::builder()
+//!     .network(vgg16_small(32))
+//!     .pattern(BlockingPattern::hierarchical(2))
+//!     .pad(PadMode::Zero)
+//!     .build()?;
+//! let report = session.run(&Tensor::filled([1, 3, 32, 32], 0.5))?;
+//! println!("{} -> {:?}, {} off-chip elements",
+//!     session.graph().name(), report.output.shape(), report.stats.offchip_elems);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod exec;
+pub mod ir;
+pub mod plan;
+pub mod session;
+
+pub use exec::{BlockedExecutor, Executor, ReferenceExecutor, RunReport};
+pub use ir::{Graph, LowerOptions, Node, NodeId, NodeOp, NodeRef};
+pub use plan::{ExecPlan, Planner, PlannerOptions, Segment};
+pub use session::{Backend, Session, SessionBuilder};

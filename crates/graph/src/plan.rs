@@ -1,0 +1,502 @@
+//! The planner: partitions a [`Graph`] into fusion groups under a
+//! network-level blocking plan and an on-chip buffer budget.
+//!
+//! This is where [`bconv_core::plan::NetworkPlan`] decisions become actual
+//! execution: each conv the plan marks `Blocked` runs as a block
+//! convolution inside a [`FusedChain`] fusion group; `Normal` convs (the
+//! information-fusion points of the VDSR blocking-depth scheme) and every
+//! op the fused dataflow cannot express (strided conv, padded or
+//! non-matching pooling, residual `Add`, FC, GAP, upsampling) become
+//! whole-map segments with an off-chip boundary on either side.
+
+use bconv_core::blocking::{BlockGrid, BlockingPattern};
+use bconv_core::fusion::{ChainOp, FusedChain};
+use bconv_core::plan::{LayerBlocking, NetworkPlan};
+use bconv_core::BlockConv2d;
+use bconv_tensor::pad::PadMode;
+use bconv_tensor::TensorError;
+
+use crate::ir::{Graph, NodeId, NodeOp, NodeRef};
+
+/// Planner configuration.
+#[derive(Debug, Clone)]
+pub struct PlannerOptions {
+    /// Blocking pattern applied to blocked convolutions.
+    pub pattern: BlockingPattern,
+    /// Per-conv-layer blocking decisions. `None` derives the paper's
+    /// "block everything splittable" resolution rule from the graph.
+    pub plan: Option<NetworkPlan>,
+    /// Block-padding mode (paper §II-F evaluates zero/replicate/reflect).
+    pub pad_mode: PadMode,
+    /// On-chip working-buffer budget in **elements**: a fusion group is cut
+    /// when extending it would push the per-block ping-pong buffer pair
+    /// past the budget. `None` fuses maximal chains.
+    pub budget_elems: Option<usize>,
+}
+
+impl Default for PlannerOptions {
+    fn default() -> Self {
+        Self {
+            pattern: BlockingPattern::hierarchical(2),
+            plan: None,
+            pad_mode: PadMode::Zero,
+            budget_elems: None,
+        }
+    }
+}
+
+/// One executable unit of the compiled plan.
+#[derive(Debug, Clone)]
+pub enum Segment {
+    /// A fusion group executed block-by-block; only its input and output
+    /// cross the off-chip boundary.
+    Fused {
+        /// Node ids covered by the group, in execution order.
+        nodes: Vec<NodeId>,
+        /// The planned chain.
+        chain: FusedChain,
+        /// What the group reads.
+        input: NodeRef,
+    },
+    /// A single node executed on whole feature maps.
+    Single(NodeId),
+}
+
+impl Segment {
+    /// Id of the node whose output this segment produces.
+    ///
+    /// # Panics
+    ///
+    /// Never: fused segments always cover at least one node.
+    pub fn output_node(&self) -> NodeId {
+        match self {
+            Self::Fused { nodes, .. } => *nodes.last().expect("non-empty group"),
+            Self::Single(id) => *id,
+        }
+    }
+}
+
+/// A compiled execution plan: an ordered segment list.
+#[derive(Debug, Clone)]
+pub struct ExecPlan {
+    segments: Vec<Segment>,
+    pattern: BlockingPattern,
+    blocked_convs: usize,
+    total_convs: usize,
+}
+
+impl ExecPlan {
+    /// Ordered segments.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Number of fusion groups.
+    pub fn fusion_groups(&self) -> usize {
+        self.segments.iter().filter(|s| matches!(s, Segment::Fused { .. })).count()
+    }
+
+    /// Number of convolutions executing as block convolutions.
+    pub fn blocked_convs(&self) -> usize {
+        self.blocked_convs
+    }
+
+    /// Fraction of convolutions that are blocked (Table I's metric, now
+    /// measured on the *executable* plan).
+    pub fn blocking_ratio(&self) -> f64 {
+        if self.total_convs == 0 {
+            return 0.0;
+        }
+        self.blocked_convs as f64 / self.total_convs as f64
+    }
+
+    /// Human-readable plan summary, one line per segment.
+    pub fn describe(&self, graph: &Graph) -> String {
+        let mut out = String::new();
+        for (i, seg) in self.segments.iter().enumerate() {
+            match seg {
+                Segment::Fused { nodes, chain, .. } => {
+                    let names: Vec<&str> =
+                        nodes.iter().map(|&n| graph.nodes()[n].name.as_str()).collect();
+                    out.push_str(&format!(
+                        "segment {i}: fused [{}] under {} ({} blocks)\n",
+                        names.join(" -> "),
+                        self.pattern,
+                        chain.in_grid().num_blocks(),
+                    ));
+                }
+                Segment::Single(id) => {
+                    let node = &graph.nodes()[*id];
+                    out.push_str(&format!(
+                        "segment {i}: {} ({}, whole-map)\n",
+                        node.name,
+                        node.op.mnemonic(),
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Compiles [`Graph`]s into [`ExecPlan`]s.
+#[derive(Debug, Clone, Default)]
+pub struct Planner {
+    opts: PlannerOptions,
+}
+
+/// In-progress fusion group during the greedy walk.
+struct OpenChain {
+    nodes: Vec<NodeId>,
+    ops: Vec<ChainOp>,
+    input: NodeRef,
+    start_grid: BlockGrid,
+    cur_grid: BlockGrid,
+    cur_channels: usize,
+    has_blocked_conv: bool,
+}
+
+impl Planner {
+    /// Planner with the given options.
+    pub fn new(opts: PlannerOptions) -> Self {
+        Self { opts }
+    }
+
+    /// Per-conv-ordinal decisions: the explicit plan when given, otherwise
+    /// the resolution rule over the graph's conv nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidParameter`] when an explicit plan does
+    /// not cover exactly the graph's conv layers — silently defaulting the
+    /// tail would execute a different plan than the caller asked for.
+    fn decisions(&self, graph: &Graph) -> Result<Vec<LayerBlocking>, TensorError> {
+        if let Some(plan) = &self.opts.plan {
+            if plan.len() != graph.conv_count() {
+                return Err(TensorError::invalid(format!(
+                    "NetworkPlan covers {} conv layers but {} has {}",
+                    plan.len(),
+                    graph.name(),
+                    graph.conv_count()
+                )));
+            }
+            return Ok(plan.per_layer().to_vec());
+        }
+        let spatial: Vec<bconv_core::analysis::ConvLayerSpatial> = graph
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.op, NodeOp::Conv { .. }))
+            .map(|n| bconv_core::analysis::ConvLayerSpatial { h: n.in_shape.h, w: n.in_shape.w })
+            .collect();
+        Ok(NetworkPlan::by_resolution(&spatial, self.opts.pattern).per_layer().to_vec())
+    }
+
+    /// Compiles the graph into a segment plan.
+    ///
+    /// The walk is greedy: a fusion group opens at the first blocked,
+    /// fusable conv and extends through consecutive single-consumer
+    /// conv/relu/pool nodes while (a) the running [`BlockGrid`] stays
+    /// valid (Equation 2 solvable, pooling aligned) and (b) the estimated
+    /// per-block ping-pong buffers stay within the budget. Anything else
+    /// cuts the group — an off-chip boundary, exactly as the paper's
+    /// normal-convolution fusion points do.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError`] when an explicit [`NetworkPlan`] does not
+    /// cover exactly the graph's conv layers, or if a planned chain fails
+    /// to re-validate (cannot happen for grids the trial walk accepted).
+    pub fn plan(&self, graph: &Graph) -> Result<ExecPlan, TensorError> {
+        let decisions = self.decisions(graph)?;
+        let mut segments: Vec<Segment> = Vec::new();
+        let mut open: Option<OpenChain> = None;
+        let mut blocked_convs = 0usize;
+
+        for (id, node) in graph.nodes().iter().enumerate() {
+            // Can this node extend the currently open chain?
+            if let Some(chain) = open.as_mut() {
+                let prev = *chain.nodes.last().expect("open chains are non-empty");
+                let continues =
+                    node.input == NodeRef::Node(prev) && graph.consumer_count(prev) == 1;
+                if continues {
+                    match self.try_extend(chain, id, node, &decisions) {
+                        Extend::Extended => {
+                            if let NodeOp::Conv { .. } = node.op {
+                                blocked_convs += 1;
+                            }
+                            continue;
+                        }
+                        Extend::Cut => {}
+                    }
+                }
+                // The node did not join: close the group.
+                let closed = open.take().expect("checked above");
+                segments.push(Self::finalize(closed, self.opts.pad_mode)?);
+            }
+
+            // Try to open a new group at this node; otherwise run it whole.
+            if let Some(chain) = self.try_open(id, node, &decisions)? {
+                blocked_convs += 1;
+                open = Some(chain);
+            } else {
+                segments.push(Segment::Single(id));
+            }
+        }
+        if let Some(chain) = open.take() {
+            segments.push(Self::finalize(chain, self.opts.pad_mode)?);
+        }
+
+        Ok(ExecPlan {
+            segments,
+            pattern: self.opts.pattern,
+            blocked_convs,
+            total_convs: graph.conv_count(),
+        })
+    }
+
+    /// Opens a fusion group if `node` is a blocked, fusable convolution.
+    fn try_open(
+        &self,
+        id: NodeId,
+        node: &crate::ir::Node,
+        decisions: &[LayerBlocking],
+    ) -> Result<Option<OpenChain>, TensorError> {
+        let NodeOp::Conv { conv, conv_ordinal } = &node.op else {
+            return Ok(None);
+        };
+        if conv.geom().stride != 1 {
+            return Ok(None); // strided convs run whole-map (paper §II-F
+                             // rewrites them to conv + pool instead)
+        }
+        let Some(LayerBlocking::Blocked(pattern)) = decisions.get(*conv_ordinal).copied() else {
+            return Ok(None);
+        };
+        if pattern != self.opts.pattern {
+            // Mixed-pattern plans: only the session pattern fuses; other
+            // patterns fall back to whole-map execution.
+            return Ok(None);
+        }
+        let Ok(grid) = BlockGrid::from_pattern(node.in_shape.h, node.in_shape.w, pattern) else {
+            return Ok(None); // resolution too small to split
+        };
+        let Ok(bconv) = BlockConv2d::plan(conv.clone(), grid.clone(), self.opts.pad_mode) else {
+            return Ok(None); // Equation 2 unsolvable for this geometry
+        };
+        let out_grid = bconv.output_grid()?;
+        // Note: the budget governs fusion-group *depth*, not blocking
+        // itself — a blocked conv whose own buffers exceed the budget still
+        // opens a (single-op) group so plan semantics stay numerically
+        // invariant under any budget.
+        Ok(Some(OpenChain {
+            nodes: vec![id],
+            ops: vec![ChainOp::Conv(conv.clone())],
+            input: node.input,
+            start_grid: grid,
+            cur_grid: out_grid,
+            cur_channels: conv.c_out(),
+            has_blocked_conv: true,
+        }))
+    }
+
+    /// Attempts to extend an open chain with `node`.
+    fn try_extend(
+        &self,
+        chain: &mut OpenChain,
+        id: NodeId,
+        node: &crate::ir::Node,
+        decisions: &[LayerBlocking],
+    ) -> Extend {
+        match &node.op {
+            NodeOp::Relu => {
+                chain.nodes.push(id);
+                chain.ops.push(ChainOp::Relu);
+                Extend::Extended
+            }
+            NodeOp::MaxPool { k, s, p } => {
+                if k != s || *p != 0 {
+                    return Extend::Cut; // fused pooling is k×k/stride-k only
+                }
+                let Ok(next) = chain.cur_grid.downscale(*k) else {
+                    return Extend::Cut; // block boundaries misaligned
+                };
+                if self.over_budget(&chain.cur_grid, chain.cur_channels, &next, chain.cur_channels)
+                {
+                    return Extend::Cut;
+                }
+                chain.cur_grid = next;
+                chain.nodes.push(id);
+                chain.ops.push(ChainOp::MaxPool { k: *k });
+                Extend::Extended
+            }
+            NodeOp::Conv { conv, conv_ordinal } => {
+                if conv.geom().stride != 1 {
+                    return Extend::Cut;
+                }
+                let Some(LayerBlocking::Blocked(pattern)) = decisions.get(*conv_ordinal).copied()
+                else {
+                    return Extend::Cut; // Normal conv = fusion point
+                };
+                if pattern != self.opts.pattern {
+                    return Extend::Cut;
+                }
+                let Ok(bconv) =
+                    BlockConv2d::plan(conv.clone(), chain.cur_grid.clone(), self.opts.pad_mode)
+                else {
+                    return Extend::Cut;
+                };
+                let Ok(out_grid) = bconv.output_grid() else {
+                    return Extend::Cut;
+                };
+                if self.over_budget(&chain.cur_grid, conv.c_in(), &out_grid, conv.c_out()) {
+                    return Extend::Cut;
+                }
+                chain.cur_grid = out_grid;
+                chain.cur_channels = conv.c_out();
+                chain.nodes.push(id);
+                chain.ops.push(ChainOp::Conv(conv.clone()));
+                Extend::Extended
+            }
+            _ => Extend::Cut,
+        }
+    }
+
+    /// True when a stage's ping-pong block buffers exceed the budget:
+    /// the input block and output block of one stage are alive together
+    /// (Figure 10's intermediate buffers).
+    fn over_budget(
+        &self,
+        in_grid: &BlockGrid,
+        c_in: usize,
+        out_grid: &BlockGrid,
+        c_out: usize,
+    ) -> bool {
+        let Some(budget) = self.opts.budget_elems else {
+            return false;
+        };
+        in_grid.max_block_area() * c_in + out_grid.max_block_area() * c_out > budget
+    }
+
+    /// Converts an open chain into a fused segment. Chains always contain
+    /// at least one blocked conv (groups only open at one), so even a
+    /// single-op chain must execute through the blocked path to preserve
+    /// the plan's numerics.
+    fn finalize(chain: OpenChain, pad_mode: PadMode) -> Result<Segment, TensorError> {
+        debug_assert!(chain.has_blocked_conv);
+        let fused = FusedChain::plan(chain.ops, chain.start_grid, pad_mode)?;
+        Ok(Segment::Fused { nodes: chain.nodes, chain: fused, input: chain.input })
+    }
+}
+
+enum Extend {
+    Extended,
+    Cut,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{Graph, LowerOptions};
+    use bconv_models::small::{resnet18_small, vgg16_small};
+    use bconv_models::vdsr::vdsr_with_depth;
+
+    fn lower(net: &bconv_models::Network) -> Graph {
+        Graph::lower(net, &LowerOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn vgg_plan_fuses_conv_pool_stages() {
+        let g = lower(&vgg16_small(32));
+        let plan = Planner::new(PlannerOptions::default()).plan(&g).unwrap();
+        assert!(plan.fusion_groups() >= 1, "{}", plan.describe(&g));
+        // Every conv in VGG-small is stride-1 and splittable at 32x32 under
+        // H2x2, so the executable blocking ratio is 1.
+        assert!((plan.blocking_ratio() - 1.0).abs() < 1e-9);
+        // FC / GAP segments stay whole-map.
+        assert!(plan.segments().iter().any(|s| matches!(s, Segment::Single(_))));
+    }
+
+    #[test]
+    fn unblocked_plan_has_no_fusion_groups() {
+        let g = lower(&vgg16_small(32));
+        let opts = PlannerOptions {
+            plan: Some(NetworkPlan::unblocked(g.conv_count())),
+            ..PlannerOptions::default()
+        };
+        let plan = Planner::new(opts).plan(&g).unwrap();
+        assert_eq!(plan.fusion_groups(), 0);
+        assert_eq!(plan.blocking_ratio(), 0.0);
+        assert_eq!(plan.segments().len(), g.nodes().len());
+    }
+
+    #[test]
+    fn residual_sources_cut_fusion_groups() {
+        let g = lower(&resnet18_small(32));
+        let plan = Planner::new(PlannerOptions::default()).plan(&g).unwrap();
+        // No fused group may contain a node with fan-out except as its last
+        // node (its output is materialised at the segment boundary).
+        for seg in plan.segments() {
+            if let Segment::Fused { nodes, .. } = seg {
+                for &n in &nodes[..nodes.len() - 1] {
+                    assert_eq!(g.consumer_count(n), 1, "fused interior node {n} fans out");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blocking_depth_plan_places_fusion_points() {
+        // VDSR with blocking depth 2: every third conv is a whole-map
+        // fusion point, so the 6-conv net splits into 2-conv fused groups.
+        let net = vdsr_with_depth(24, 24, 6, 8);
+        let g = lower(&net);
+        let opts = PlannerOptions {
+            plan: Some(NetworkPlan::by_blocking_depth(6, BlockingPattern::hierarchical(2), 2)),
+            ..PlannerOptions::default()
+        };
+        let plan = Planner::new(opts).plan(&g).unwrap();
+        assert_eq!(plan.fusion_groups(), 2, "{}", plan.describe(&g));
+        assert_eq!(plan.blocked_convs(), 4);
+    }
+
+    #[test]
+    fn mismatched_plan_length_is_rejected() {
+        // A plan covering the wrong number of conv layers must error, not
+        // silently default the tail to Normal.
+        let g = lower(&vgg16_small(32)); // 13 convs
+        for wrong in [12, 14, 1] {
+            let opts = PlannerOptions {
+                plan: Some(NetworkPlan::unblocked(wrong)),
+                ..PlannerOptions::default()
+            };
+            assert!(Planner::new(opts).plan(&g).is_err(), "plan of length {wrong} accepted");
+        }
+    }
+
+    #[test]
+    fn budget_limits_group_depth() {
+        let net = vdsr_with_depth(24, 24, 6, 8);
+        let g = lower(&net);
+        let unlimited = Planner::new(PlannerOptions::default()).plan(&g).unwrap();
+        // 12x12 blocks, 8 channels: one conv stage pair needs
+        // 12*12*1 + 12*12*8 elements; a budget below two wide stages forces
+        // cuts after the first conv.
+        let tight = Planner::new(PlannerOptions {
+            budget_elems: Some(12 * 12 * 8 + 12 * 12 * 2),
+            ..PlannerOptions::default()
+        })
+        .plan(&g)
+        .unwrap();
+        assert!(tight.fusion_groups() >= unlimited.fusion_groups());
+        let max_group = |p: &ExecPlan| {
+            p.segments()
+                .iter()
+                .filter_map(|s| match s {
+                    Segment::Fused { nodes, .. } => Some(nodes.len()),
+                    Segment::Single(_) => None,
+                })
+                .max()
+                .unwrap_or(0)
+        };
+        assert!(max_group(&tight) < max_group(&unlimited));
+    }
+}

@@ -1,0 +1,243 @@
+//! The [`Session`] entry point: compile a network descriptor once, run it
+//! many times.
+//!
+//! ```
+//! use bconv_graph::Session;
+//! use bconv_core::BlockingPattern;
+//! use bconv_models::small::vgg16_small;
+//! use bconv_tensor::{PadMode, Tensor};
+//!
+//! # fn main() -> Result<(), bconv_tensor::TensorError> {
+//! let session = Session::builder()
+//!     .network(vgg16_small(32))
+//!     .pattern(BlockingPattern::hierarchical(2))
+//!     .pad(PadMode::Zero)
+//!     .build()?;
+//! let report = session.run(&Tensor::filled([1, 3, 32, 32], 0.5))?;
+//! assert_eq!(report.output.shape().dims(), [1, 10, 1, 1]);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::sync::Arc;
+
+use bconv_core::blocking::BlockingPattern;
+use bconv_core::plan::NetworkPlan;
+use bconv_models::Network;
+use bconv_tensor::pad::PadMode;
+use bconv_tensor::{Tensor, TensorError};
+
+use crate::exec::{BlockedExecutor, Executor, ReferenceExecutor, RunReport};
+use crate::ir::{Graph, LowerOptions};
+use crate::plan::{ExecPlan, Planner, PlannerOptions};
+
+/// Which executor backend a session compiles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// Dense layer-wise execution (numerical/memory baseline).
+    Reference,
+    /// Blocked, fused execution per the compiled plan (the default).
+    #[default]
+    Blocked,
+}
+
+/// Builder for [`Session`].
+#[derive(Debug, Clone, Default)]
+pub struct SessionBuilder {
+    network: Option<Network>,
+    pattern: Option<BlockingPattern>,
+    plan: Option<NetworkPlan>,
+    pad: PadMode,
+    budget_elems: Option<usize>,
+    backend: Backend,
+    seed: Option<u64>,
+    relu_after_conv: bool,
+}
+
+impl SessionBuilder {
+    /// Sets the network descriptor to compile (required).
+    pub fn network(mut self, net: Network) -> Self {
+        self.network = Some(net);
+        self
+    }
+
+    /// Sets the blocking pattern (default `H2×2`).
+    pub fn pattern(mut self, pattern: BlockingPattern) -> Self {
+        self.pattern = Some(pattern);
+        self
+    }
+
+    /// Overrides the per-conv-layer blocking decisions (default: the
+    /// paper's resolution rule under the session pattern). Use
+    /// [`NetworkPlan::by_blocking_depth`] for the VDSR fusion-point
+    /// schedule or [`NetworkPlan::unblocked`] for a pure dense baseline.
+    pub fn plan(mut self, plan: NetworkPlan) -> Self {
+        self.plan = Some(plan);
+        self
+    }
+
+    /// Sets the block-padding mode (default zero padding).
+    pub fn pad(mut self, pad: PadMode) -> Self {
+        self.pad = pad;
+        self
+    }
+
+    /// Caps the per-block on-chip working buffers, in elements. Fusion
+    /// groups are cut at the boundary where they would exceed the budget.
+    pub fn on_chip_budget(mut self, elems: usize) -> Self {
+        self.budget_elems = Some(elems);
+        self
+    }
+
+    /// Selects the executor backend (default [`Backend::Blocked`]).
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Seed for deterministic weight binding (default 2018). Sessions
+    /// built from the same network with the same seed share weights
+    /// regardless of backend — the basis of cross-backend parity tests.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Inserts a ReLU after every convolution during lowering.
+    pub fn relu_after_conv(mut self, yes: bool) -> Self {
+        self.relu_after_conv = yes;
+        self
+    }
+
+    /// Compiles the session: lowers the descriptor to a [`Graph`], plans
+    /// fusion groups, and builds the selected executor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError`] when no network was given, the descriptor
+    /// fails to lower, or planning fails.
+    pub fn build(self) -> Result<Session, TensorError> {
+        let net = self
+            .network
+            .ok_or_else(|| TensorError::invalid("SessionBuilder::network is required"))?;
+        let lower_opts =
+            LowerOptions { seed: self.seed.unwrap_or(2018), relu_after_conv: self.relu_after_conv };
+        let graph = Arc::new(Graph::lower(&net, &lower_opts)?);
+        let planner_opts = PlannerOptions {
+            pattern: self.pattern.unwrap_or(BlockingPattern::hierarchical(2)),
+            plan: self.plan,
+            pad_mode: self.pad,
+            budget_elems: self.budget_elems,
+        };
+        let exec_plan = Arc::new(Planner::new(planner_opts).plan(&graph)?);
+        let executor: Box<dyn Executor> = match self.backend {
+            Backend::Reference => Box::new(ReferenceExecutor::new(Arc::clone(&graph))),
+            Backend::Blocked => {
+                Box::new(BlockedExecutor::new(Arc::clone(&graph), Arc::clone(&exec_plan)))
+            }
+        };
+        Ok(Session { graph, exec_plan, backend: self.backend, executor })
+    }
+}
+
+/// A compiled, executable network.
+pub struct Session {
+    graph: Arc<Graph>,
+    exec_plan: Arc<ExecPlan>,
+    backend: Backend,
+    executor: Box<dyn Executor>,
+}
+
+impl Session {
+    /// Starts building a session.
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder::default()
+    }
+
+    /// Runs the network on `input` (NCHW, any batch size).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError`] on input-shape mismatch or operator failure.
+    pub fn run(&self, input: &Tensor) -> Result<RunReport, TensorError> {
+        self.executor.run(input)
+    }
+
+    /// The lowered graph (weights bound).
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The compiled fusion plan (what the blocked backend executes).
+    pub fn plan(&self) -> &ExecPlan {
+        &self.exec_plan
+    }
+
+    /// The selected backend.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// Human-readable summary of what this session will execute. The
+    /// reference backend ignores the fused plan, so its description says
+    /// so rather than listing segments it won't run.
+    pub fn describe(&self) -> String {
+        match self.backend {
+            Backend::Reference => format!(
+                "{} on reference backend: dense layer-wise over {} nodes (fused plan unused)\n",
+                self.graph.name(),
+                self.graph.nodes().len(),
+            ),
+            Backend::Blocked => format!(
+                "{} on blocked backend: {} segments, {} fusion groups, blocking ratio {:.0}%\n{}",
+                self.graph.name(),
+                self.exec_plan.segments().len(),
+                self.exec_plan.fusion_groups(),
+                self.exec_plan.blocking_ratio() * 100.0,
+                self.exec_plan.describe(&self.graph),
+            ),
+        }
+    }
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("network", &self.graph.name())
+            .field("backend", &self.backend)
+            .field("segments", &self.exec_plan.segments().len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bconv_models::small::vgg16_small;
+
+    #[test]
+    fn builder_requires_a_network() {
+        assert!(Session::builder().build().is_err());
+    }
+
+    #[test]
+    fn default_backend_is_blocked() {
+        let s = Session::builder().network(vgg16_small(32)).build().unwrap();
+        assert_eq!(s.backend(), Backend::Blocked);
+        assert!(s.plan().fusion_groups() > 0);
+    }
+
+    #[test]
+    fn run_rejects_wrong_input_shape() {
+        let s = Session::builder().network(vgg16_small(32)).build().unwrap();
+        assert!(s.run(&Tensor::zeros([1, 3, 16, 16])).is_err());
+    }
+
+    #[test]
+    fn describe_mentions_backend_and_groups() {
+        let s = Session::builder().network(vgg16_small(32)).build().unwrap();
+        let d = s.describe();
+        assert!(d.contains("blocked"), "{d}");
+        assert!(d.contains("fusion groups"), "{d}");
+    }
+}

@@ -48,10 +48,7 @@ pub fn feature_map_series(
 ///
 /// Propagates [`Network::trace`] errors.
 pub fn peak_feature_map_mbits(net: &Network, bitwidth: usize) -> Result<f64, TensorError> {
-    Ok(feature_map_series(net, bitwidth)?
-        .iter()
-        .map(|p| p.mbits)
-        .fold(0.0, f64::max))
+    Ok(feature_map_series(net, bitwidth)?.iter().map(|p| p.mbits).fold(0.0, f64::max))
 }
 
 /// Total volume of all conv-layer outputs in megabits — the "volume of
@@ -61,10 +58,7 @@ pub fn peak_feature_map_mbits(net: &Network, bitwidth: usize) -> Result<f64, Ten
 ///
 /// Propagates [`Network::trace`] errors.
 pub fn total_feature_map_mbits(net: &Network, bitwidth: usize) -> Result<f64, TensorError> {
-    Ok(feature_map_series(net, bitwidth)?
-        .iter()
-        .map(|p| p.mbits)
-        .sum())
+    Ok(feature_map_series(net, bitwidth)?.iter().map(|p| p.mbits).sum())
 }
 
 /// Spatial compute resolutions of all conv layers, the input to blocking

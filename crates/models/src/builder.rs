@@ -15,11 +15,7 @@ pub struct NetBuilder {
 impl NetBuilder {
     /// Starts a network with the given input shape.
     pub fn new(name: impl Into<String>, input: ActShape) -> Self {
-        Self {
-            name: name.into(),
-            input,
-            layers: Vec::new(),
-        }
+        Self { name: name.into(), input, layers: Vec::new() }
     }
 
     /// Appends a layer fed by the previous layer; returns its index.
@@ -76,36 +72,18 @@ impl NetBuilder {
 
     /// Finishes the network.
     pub fn build(self) -> Network {
-        Network {
-            name: self.name,
-            input: self.input,
-            layers: self.layers,
-        }
+        Network { name: self.name, input: self.input, layers: self.layers }
     }
 }
 
 /// Shorthand for a dense convolution layer kind.
 pub fn conv(k: usize, s: usize, p: usize, c_in: usize, c_out: usize) -> LayerKind {
-    LayerKind::Conv {
-        k,
-        s,
-        p,
-        c_in,
-        c_out,
-        groups: 1,
-    }
+    LayerKind::Conv { k, s, p, c_in, c_out, groups: 1 }
 }
 
 /// Shorthand for a depthwise convolution layer kind.
 pub fn dwconv(k: usize, s: usize, p: usize, c: usize) -> LayerKind {
-    LayerKind::Conv {
-        k,
-        s,
-        p,
-        c_in: c,
-        c_out: c,
-        groups: c,
-    }
+    LayerKind::Conv { k, s, p, c_in: c, c_out: c, groups: c }
 }
 
 /// Shorthand for max pooling.

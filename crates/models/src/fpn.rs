@@ -22,11 +22,7 @@ fn bottleneck(
     input: usize,
 ) -> usize {
     let c_out = 4 * c_mid;
-    let c1 = b.push_from(
-        format!("{name}-conv1"),
-        conv(1, 1, 0, c_in, c_mid),
-        From::Layer(input),
-    );
+    let c1 = b.push_from(format!("{name}-conv1"), conv(1, 1, 0, c_in, c_mid), From::Layer(input));
     b.mark_residual_first_at(c1);
     b.push(format!("{name}-conv2"), conv(3, stride, 1, c_mid, c_mid));
     let c3 = b.push(format!("{name}-conv3"), conv(1, 1, 0, c_mid, c_out));
@@ -54,9 +50,8 @@ pub fn fpn_resnet50(h: usize, w: usize) -> Network {
     let mut cur = b.push("maxpool", maxpool(3, 2, 1));
     let mut c_in = 64;
     let mut stage_outputs = Vec::new();
-    for (stage, (c_mid, blocks)) in [(64usize, 3usize), (128, 4), (256, 6), (512, 3)]
-        .into_iter()
-        .enumerate()
+    for (stage, (c_mid, blocks)) in
+        [(64usize, 3usize), (128, 4), (256, 6), (512, 3)].into_iter().enumerate()
     {
         for blk in 0..blocks {
             let stride = if stage > 0 && blk == 0 { 2 } else { 1 };
@@ -80,16 +75,12 @@ pub fn fpn_resnet50(h: usize, w: usize) -> Network {
         .zip(lat_channels)
         .enumerate()
         .map(|(i, (&src, c))| {
-            b.push_from(
-                format!("lateral{}", i + 2),
-                conv(1, 1, 0, c, 256),
-                From::Layer(src),
-            )
+            b.push_from(format!("lateral{}", i + 2), conv(1, 1, 0, c, 256), From::Layer(src))
         })
         .collect();
 
     // Top-down pathway: P5 = lateral5; P_i = lateral_i + resize(P_{i+1}).
-    let mut merged = vec![0usize; 4];
+    let mut merged = [0usize; 4];
     merged[3] = laterals[3];
     for i in (0..3).rev() {
         let resized = b.push_from(
@@ -106,26 +97,11 @@ pub fn fpn_resnet50(h: usize, w: usize) -> Network {
 
     // 3x3 smoothing producing P2..P5, plus the shared head per level.
     for (i, &m) in merged.iter().enumerate() {
-        let p = b.push_from(
-            format!("p{}", i + 2),
-            conv(3, 1, 1, 256, 256),
-            From::Layer(m),
-        );
-        let rpn = b.push_from(
-            format!("rpn_conv_p{}", i + 2),
-            conv(3, 1, 1, 256, 256),
-            From::Layer(p),
-        );
-        b.push_from(
-            format!("rpn_cls_p{}", i + 2),
-            conv(1, 1, 0, 256, 3),
-            From::Layer(rpn),
-        );
-        b.push_from(
-            format!("rpn_reg_p{}", i + 2),
-            conv(1, 1, 0, 256, 12),
-            From::Layer(rpn),
-        );
+        let p = b.push_from(format!("p{}", i + 2), conv(3, 1, 1, 256, 256), From::Layer(m));
+        let rpn =
+            b.push_from(format!("rpn_conv_p{}", i + 2), conv(3, 1, 1, 256, 256), From::Layer(p));
+        b.push_from(format!("rpn_cls_p{}", i + 2), conv(1, 1, 0, 256, 3), From::Layer(rpn));
+        b.push_from(format!("rpn_reg_p{}", i + 2), conv(1, 1, 0, 256, 12), From::Layer(rpn));
     }
     b.build()
 }

@@ -88,22 +88,12 @@ pub struct Layer {
 impl Layer {
     /// Creates a layer fed by the previous layer.
     pub fn new(name: impl Into<String>, kind: LayerKind) -> Self {
-        Self {
-            name: name.into(),
-            kind,
-            from: From::Prev,
-            residual_first: false,
-        }
+        Self { name: name.into(), kind, from: From::Prev, residual_first: false }
     }
 
     /// Creates a layer with explicit input wiring.
     pub fn wired(name: impl Into<String>, kind: LayerKind, from: From) -> Self {
-        Self {
-            name: name.into(),
-            kind,
-            from,
-            residual_first: false,
-        }
+        Self { name: name.into(), kind, from, residual_first: false }
     }
 
     /// Marks this layer as the first of a residual block.
@@ -212,14 +202,7 @@ impl Network {
             };
             let in_shape = resolve(layer.from)?;
             let (out_shape, macs, params) = match layer.kind {
-                LayerKind::Conv {
-                    k,
-                    s,
-                    p,
-                    c_in,
-                    c_out,
-                    groups,
-                } => {
+                LayerKind::Conv { k, s, p, c_in, c_out, groups } => {
                     if in_shape.c != c_in {
                         return Err(TensorError::shape_mismatch(
                             format!("{} input channels", layer.name),
@@ -236,11 +219,8 @@ impl Network {
                     let oh = conv_out_dim(in_shape.h, k, s, p)?;
                     let ow = conv_out_dim(in_shape.w, k, s, p)?;
                     let out = ActShape { c: c_out, h: oh, w: ow };
-                    let macs = (k * k * (c_in / groups)) as u64
-                        * (oh * ow) as u64
-                        * c_out as u64;
-                    let params =
-                        (k * k * (c_in / groups) * c_out + c_out) as u64;
+                    let macs = (k * k * (c_in / groups)) as u64 * (oh * ow) as u64 * c_out as u64;
+                    let params = (k * k * (c_in / groups) * c_out + c_out) as u64;
                     (out, macs, params)
                 }
                 LayerKind::MaxPool { k, s, p } => {
@@ -248,9 +228,7 @@ impl Network {
                     let ow = conv_out_dim(in_shape.w, k, s, p)?;
                     (ActShape { c: in_shape.c, h: oh, w: ow }, 0, 0)
                 }
-                LayerKind::GlobalAvgPool => {
-                    (ActShape { c: in_shape.c, h: 1, w: 1 }, 0, 0)
-                }
+                LayerKind::GlobalAvgPool => (ActShape { c: in_shape.c, h: 1, w: 1 }, 0, 0),
                 LayerKind::Fc { in_f, out_f } => {
                     if in_shape.numel() != in_f {
                         return Err(TensorError::shape_mismatch(
@@ -284,15 +262,7 @@ impl Network {
                         )));
                     }
                     let target = shapes[like];
-                    (
-                        ActShape {
-                            c: in_shape.c,
-                            h: target.h,
-                            w: target.w,
-                        },
-                        0,
-                        0,
-                    )
+                    (ActShape { c: in_shape.c, h: target.h, w: target.w }, 0, 0)
                 }
             };
             shapes.push(out_shape);
@@ -384,8 +354,7 @@ mod tests {
     #[test]
     fn channel_mismatch_is_caught() {
         let mut net = tiny();
-        net.layers[2].kind =
-            LayerKind::Conv { k: 3, s: 1, p: 1, c_in: 8, c_out: 4, groups: 1 };
+        net.layers[2].kind = LayerKind::Conv { k: 3, s: 1, p: 1, c_in: 8, c_out: 4, groups: 1 };
         assert!(net.trace().is_err());
     }
 

@@ -34,6 +34,7 @@ pub mod fpn;
 pub mod layer;
 pub mod mobilenet;
 pub mod resnet;
+pub mod small;
 pub mod ssd;
 pub mod vdsr;
 pub mod vgg;

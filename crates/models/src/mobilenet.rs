@@ -10,12 +10,15 @@ use crate::ActShape;
 /// `stride_as_pool` applies the paper's §II-F baseline rewrite (stride-2
 /// layers become stride-1 + 2×2 max pooling).
 pub fn mobilenet_v1(resolution: usize, stride_as_pool: bool) -> Network {
-    let mut b = NetBuilder::new(
-        "MobileNet-V1",
-        ActShape { c: 3, h: resolution, w: resolution },
-    );
-    let push_stride = |b: &mut NetBuilder, name: String, k: usize, s: usize, p: usize,
-                           c_in: usize, c_out: usize, depthwise: bool| {
+    let mut b = NetBuilder::new("MobileNet-V1", ActShape { c: 3, h: resolution, w: resolution });
+    let push_stride = |b: &mut NetBuilder,
+                       name: String,
+                       k: usize,
+                       s: usize,
+                       p: usize,
+                       c_in: usize,
+                       c_out: usize,
+                       depthwise: bool| {
         let kind = if depthwise {
             dwconv(k, if s > 1 && stride_as_pool { 1 } else { s }, p, c_in)
         } else {
@@ -77,11 +80,7 @@ mod tests {
         // Table I: MobileNet-V1 blocking ratio 44.44% = 12/27 under F28,
         // counting conv compute resolutions after the stride rewrite.
         let info = mobilenet_v1(224, true).trace().unwrap();
-        let convs: Vec<usize> = info
-            .iter()
-            .filter(|l| l.is_conv)
-            .map(|l| l.in_shape.h)
-            .collect();
+        let convs: Vec<usize> = info.iter().filter(|l| l.is_conv).map(|l| l.in_shape.h).collect();
         assert_eq!(convs.len(), 27);
         let blocked = convs.iter().filter(|&&r| r >= 28).count();
         assert_eq!(blocked, 12);

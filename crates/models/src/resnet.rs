@@ -10,6 +10,7 @@ use crate::ActShape;
 /// Pushes a possibly-strided conv; under the rewrite, emits a stride-1 conv
 /// followed by an `s×s` max pool. Returns the index of the layer producing
 /// the conv's output.
+#[allow(clippy::too_many_arguments)]
 fn push_conv(
     b: &mut NetBuilder,
     name: &str,
@@ -46,16 +47,8 @@ fn basic_block(
     let _ = first_idx;
     let conv2 = b.push(format!("{name}-conv2"), conv(3, 1, 1, c_out, c_out));
     let shortcut = if stride != 1 || c_in != c_out {
-        let ds = push_conv(
-            b,
-            &format!("{name}-downsample"),
-            1,
-            stride,
-            0,
-            c_in,
-            c_out,
-            stride_as_pool,
-        );
+        let ds =
+            push_conv(b, &format!("{name}-downsample"), 1, stride, 0, c_in, c_out, stride_as_pool);
         // The downsample branch reads the block input, not the main path.
         let wire_target = if stride > 1 && stride_as_pool { ds - 1 } else { ds };
         rewire(b, wire_target, input);
@@ -88,16 +81,8 @@ fn bottleneck_block(
     push_conv(b, &format!("{name}-conv2"), 3, stride, 1, c_mid, c_mid, stride_as_pool);
     let conv3 = b.push(format!("{name}-conv3"), conv(1, 1, 0, c_mid, c_out));
     let shortcut = if stride != 1 || c_in != c_out {
-        let ds = push_conv(
-            b,
-            &format!("{name}-downsample"),
-            1,
-            stride,
-            0,
-            c_in,
-            c_out,
-            stride_as_pool,
-        );
+        let ds =
+            push_conv(b, &format!("{name}-downsample"), 1, stride, 0, c_in, c_out, stride_as_pool);
         let wire_target = if stride > 1 && stride_as_pool { ds - 1 } else { ds };
         rewire(b, wire_target, input);
         ds
@@ -129,15 +114,11 @@ fn stem(b: &mut NetBuilder, stride_as_pool: bool) -> usize {
 ///
 /// `stride_as_pool` applies the paper's baseline rewrite.
 pub fn resnet18(resolution: usize, stride_as_pool: bool) -> Network {
-    let mut b = NetBuilder::new(
-        "ResNet-18",
-        ActShape { c: 3, h: resolution, w: resolution },
-    );
+    let mut b = NetBuilder::new("ResNet-18", ActShape { c: 3, h: resolution, w: resolution });
     let mut cur = stem(&mut b, stride_as_pool);
     let mut c_in = 64;
-    for (stage, (c_out, blocks)) in [(64usize, 2usize), (128, 2), (256, 2), (512, 2)]
-        .into_iter()
-        .enumerate()
+    for (stage, (c_out, blocks)) in
+        [(64usize, 2usize), (128, 2), (256, 2), (512, 2)].into_iter().enumerate()
     {
         for blk in 0..blocks {
             let stride = if stage > 0 && blk == 0 { 2 } else { 1 };
@@ -157,15 +138,11 @@ pub fn resnet18(resolution: usize, stride_as_pool: bool) -> Network {
 ///
 /// `stride_as_pool` applies the paper's baseline rewrite.
 pub fn resnet50(resolution: usize, stride_as_pool: bool) -> Network {
-    let mut b = NetBuilder::new(
-        "ResNet-50",
-        ActShape { c: 3, h: resolution, w: resolution },
-    );
+    let mut b = NetBuilder::new("ResNet-50", ActShape { c: 3, h: resolution, w: resolution });
     let mut cur = stem(&mut b, stride_as_pool);
     let mut c_in = 64;
-    for (stage, (c_mid, blocks)) in [(64usize, 3usize), (128, 4), (256, 6), (512, 3)]
-        .into_iter()
-        .enumerate()
+    for (stage, (c_mid, blocks)) in
+        [(64usize, 3usize), (128, 4), (256, 6), (512, 3)].into_iter().enumerate()
     {
         for blk in 0..blocks {
             let stride = if stage > 0 && blk == 0 { 2 } else { 1 };
@@ -216,10 +193,7 @@ mod tests {
         ] {
             let ia = a.trace().unwrap();
             let ib = b.trace().unwrap();
-            assert_eq!(
-                ia.last().unwrap().out_shape,
-                ib.last().unwrap().out_shape
-            );
+            assert_eq!(ia.last().unwrap().out_shape, ib.last().unwrap().out_shape);
             // The rewrite strictly increases compute (convs at higher res).
             assert!(b.total_macs().unwrap() > a.total_macs().unwrap());
         }

@@ -1,0 +1,189 @@
+//! Scaled-down executable variants of the paper's networks.
+//!
+//! The full descriptors ([`crate::vgg::vgg16`], [`crate::resnet::resnet18`])
+//! are faithful to the paper's workloads but far too large to *execute* in
+//! CPU tests. These variants keep the exact topology — layer counts, pool
+//! placement, residual wiring, stride-to-pooling rewrite — at widths small
+//! enough that a full forward pass on both session backends runs in
+//! milliseconds. They are the workloads of the `Session` parity tests and
+//! examples.
+
+use crate::builder::{conv, maxpool, NetBuilder};
+use crate::layer::{From, LayerKind, Network};
+use crate::vdsr::vdsr_with_depth;
+use crate::ActShape;
+
+/// VGG-16-small: the 13-conv / 5-pool / 3-FC VGG-16 topology at toy
+/// widths, classifying into 10 classes.
+///
+/// `resolution` must be divisible by 32 (five 2×2 pools), e.g. 32 or 64.
+/// Every convolution is stride-1 and 3×3, so the whole feature extractor is
+/// fusable under block convolution — the same property the paper exploits
+/// on the full network.
+///
+/// # Panics
+///
+/// Panics if `resolution` is not a positive multiple of 32.
+pub fn vgg16_small(resolution: usize) -> Network {
+    assert!(
+        resolution > 0 && resolution.is_multiple_of(32),
+        "vgg16_small resolution must be a positive multiple of 32"
+    );
+    let mut b = NetBuilder::new("VGG-16-small", ActShape { c: 3, h: resolution, w: resolution });
+    let groups: [(usize, usize); 5] = [(2, 4), (2, 8), (3, 16), (3, 16), (3, 16)];
+    let mut c_in = 3;
+    for (gi, (n_convs, c_out)) in groups.into_iter().enumerate() {
+        for ci in 0..n_convs {
+            b.push(format!("conv{}-{}", gi + 1, ci + 1), conv(3, 1, 1, c_in, c_out));
+            c_in = c_out;
+        }
+        b.push(format!("pool{}", gi + 1), maxpool(2, 2, 0));
+    }
+    let spatial = resolution / 32;
+    b.push("fc6", LayerKind::Fc { in_f: 16 * spatial * spatial, out_f: 32 });
+    b.push("fc7", LayerKind::Fc { in_f: 32, out_f: 32 });
+    b.push("fc8", LayerKind::Fc { in_f: 32, out_f: 10 });
+    b.build()
+}
+
+/// One small basic block under the paper's stride-to-pooling rewrite:
+/// every conv is stride-1, spatial reduction is a fusable 2×2 max pool.
+/// Returns the index of the block output (the residual sum).
+fn small_basic_block(
+    b: &mut NetBuilder,
+    name: &str,
+    c_in: usize,
+    c_out: usize,
+    stride: usize,
+    input: usize,
+) -> usize {
+    let start = b.next_index();
+    b.push(format!("{name}-conv1"), conv(3, 1, 1, c_in, c_out));
+    b.mark_residual_first_at(start);
+    if stride > 1 {
+        b.push(format!("{name}-conv1-pool"), maxpool(stride, stride, 0));
+    }
+    let conv2 = b.push(format!("{name}-conv2"), conv(3, 1, 1, c_out, c_out));
+    let shortcut = if stride != 1 || c_in != c_out {
+        let ds = b.push(format!("{name}-downsample"), conv(1, 1, 0, c_in, c_out));
+        b.set_from(ds, From::Layer(input));
+        if stride > 1 {
+            b.push(format!("{name}-downsample-pool"), maxpool(stride, stride, 0))
+        } else {
+            ds
+        }
+    } else {
+        input
+    };
+    b.push_from(
+        format!("{name}-add"),
+        LayerKind::Add { other: From::Layer(conv2) },
+        From::Layer(shortcut),
+    )
+}
+
+/// ResNet-18-small: the 8-basic-block ResNet-18 topology (residual `Add`
+/// wiring, downsample shortcuts) at toy widths, with the paper's §II-F
+/// stride-to-pooling rewrite applied throughout so every convolution is
+/// stride-1 and blockable. Classifies into 10 classes.
+///
+/// The 7×7/2 ImageNet stem is replaced by a 3×3/1 conv + 2×2 pool so the
+/// small input resolutions stay meaningful. `resolution` must be divisible
+/// by 16 (stem pool + three strided stages).
+///
+/// # Panics
+///
+/// Panics if `resolution` is not a positive multiple of 16.
+pub fn resnet18_small(resolution: usize) -> Network {
+    assert!(
+        resolution > 0 && resolution.is_multiple_of(16),
+        "resnet18_small resolution must be a positive multiple of 16"
+    );
+    let mut b = NetBuilder::new("ResNet-18-small", ActShape { c: 3, h: resolution, w: resolution });
+    b.push("conv1", conv(3, 1, 1, 3, 4));
+    let mut cur = b.push("maxpool", maxpool(2, 2, 0));
+    let mut c_in = 4;
+    for (stage, (c_out, blocks)) in
+        [(4usize, 2usize), (8, 2), (8, 2), (16, 2)].into_iter().enumerate()
+    {
+        for blk in 0..blocks {
+            let stride = if stage > 0 && blk == 0 { 2 } else { 1 };
+            let name = format!("layer{}-{}", stage + 1, blk + 1);
+            cur = small_basic_block(&mut b, &name, c_in, c_out, stride, cur);
+            c_in = c_out;
+        }
+    }
+    b.push_from("gap", LayerKind::GlobalAvgPool, From::Layer(cur));
+    b.push("fc", LayerKind::Fc { in_f: 16, out_f: 10 });
+    b.build()
+}
+
+/// VDSR-small: the VDSR topology (constant-resolution 3×3 convs plus the
+/// global residual to the input) at configurable depth and width — a thin
+/// alias of [`vdsr_with_depth`] under the naming convention of this module.
+///
+/// # Panics
+///
+/// Panics if `depth < 2`.
+pub fn vdsr_small(resolution: usize, depth: usize, width: usize) -> Network {
+    vdsr_with_depth(resolution, resolution, depth, width)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vgg16_small_keeps_the_topology() {
+        let info = vgg16_small(32).trace().unwrap();
+        assert_eq!(info.iter().filter(|l| l.is_conv).count(), 13);
+        assert_eq!(info.last().unwrap().out_shape.c, 10);
+        // Conv resolutions follow the same five stages as the full net.
+        let res: Vec<usize> = info.iter().filter(|l| l.is_conv).map(|l| l.in_shape.h).collect();
+        assert_eq!(res, vec![32, 32, 16, 16, 8, 8, 8, 4, 4, 4, 2, 2, 2]);
+    }
+
+    #[test]
+    fn vgg16_small_is_executable_scale() {
+        // Small enough for debug-mode execution in tests.
+        let macs = vgg16_small(32).total_macs().unwrap();
+        assert!(macs < 3_000_000, "vgg16_small too large: {macs} MACs");
+    }
+
+    #[test]
+    fn resnet18_small_has_8_blocks_and_residuals() {
+        let net = resnet18_small(32);
+        let info = net.trace().unwrap();
+        let adds = net.layers.iter().filter(|l| matches!(l.kind, LayerKind::Add { .. })).count();
+        assert_eq!(adds, 8);
+        assert_eq!(info.iter().filter(|l| l.residual_first).count(), 8);
+        assert_eq!(info.last().unwrap().out_shape.c, 10);
+        // The rewrite leaves no strided convolution behind.
+        assert!(net.layers.iter().all(|l| match l.kind {
+            LayerKind::Conv { s, .. } => s == 1,
+            _ => true,
+        }));
+    }
+
+    #[test]
+    fn resnet18_small_stage_resolutions_halve() {
+        let info = resnet18_small(32).trace().unwrap();
+        let l1 = info.iter().find(|l| l.name == "layer1-1-conv1").unwrap();
+        assert_eq!(l1.in_shape.h, 16);
+        let l4 = info.iter().find(|l| l.name == "layer4-2-conv1").unwrap();
+        assert_eq!(l4.in_shape.h, 2);
+    }
+
+    #[test]
+    fn vdsr_small_aliases_vdsr_with_depth() {
+        let a = vdsr_small(24, 6, 8);
+        let b = vdsr_with_depth(24, 24, 6, 8);
+        assert_eq!(a.trace().unwrap().len(), b.trace().unwrap().len());
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 32")]
+    fn vgg16_small_rejects_bad_resolution() {
+        let _ = vgg16_small(20);
+    }
+}

@@ -61,11 +61,7 @@ pub fn ssd300_vgg16() -> Network {
         (conv11_2, 256, 4),
     ];
     for (i, (src, c, anchors)) in sources.into_iter().enumerate() {
-        b.push_from(
-            format!("loc_head{i}"),
-            conv(3, 1, 1, c, 4 * anchors),
-            From::Layer(src),
-        );
+        b.push_from(format!("loc_head{i}"), conv(3, 1, 1, c, 4 * anchors), From::Layer(src));
         b.push_from(
             format!("conf_head{i}"),
             conv(3, 1, 1, c, COCO_CLASSES * anchors),
@@ -113,12 +109,8 @@ mod tests {
         // §II-F: "the resolution of the detection heads is much smaller
         // than the input resolution" — largest head source is 38x38 vs 300.
         let info = ssd300_vgg16().trace().unwrap();
-        let max_head_res = info
-            .iter()
-            .filter(|l| is_head_layer(&l.name))
-            .map(|l| l.in_shape.h)
-            .max()
-            .unwrap();
+        let max_head_res =
+            info.iter().filter(|l| is_head_layer(&l.name)).map(|l| l.in_shape.h).max().unwrap();
         assert_eq!(max_head_res, 38);
     }
 

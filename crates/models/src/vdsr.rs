@@ -29,11 +29,7 @@ pub fn vdsr_with_depth(h: usize, w: usize, depth: usize, width: usize) -> Networ
         b.push(format!("conv{}", i + 1), conv(3, 1, 1, width, width));
     }
     let last = b.push(format!("conv{depth}"), conv(3, 1, 1, width, 1));
-    b.push_from(
-        "residual-add",
-        LayerKind::Add { other: From::Input },
-        From::Layer(last),
-    );
+    b.push_from("residual-add", LayerKind::Add { other: From::Input }, From::Layer(last));
     b.build()
 }
 

@@ -12,27 +12,18 @@ use crate::ActShape;
 /// convolutions, so the paper's stride-to-pooling baseline rewrite leaves
 /// it unchanged.
 pub fn vgg16(resolution: usize) -> Network {
-    let mut b = NetBuilder::new(
-        "VGG-16",
-        ActShape { c: 3, h: resolution, w: resolution },
-    );
+    let mut b = NetBuilder::new("VGG-16", ActShape { c: 3, h: resolution, w: resolution });
     let groups: [(usize, usize); 5] = [(2, 64), (2, 128), (3, 256), (3, 512), (3, 512)];
     let mut c_in = 3;
     for (gi, (n_convs, c_out)) in groups.into_iter().enumerate() {
         for ci in 0..n_convs {
-            b.push(
-                format!("conv{}-{}", gi + 1, ci + 1),
-                conv(3, 1, 1, c_in, c_out),
-            );
+            b.push(format!("conv{}-{}", gi + 1, ci + 1), conv(3, 1, 1, c_in, c_out));
             c_in = c_out;
         }
         b.push(format!("pool{}", gi + 1), maxpool(2, 2, 0));
     }
     let spatial = resolution / 32;
-    b.push(
-        "fc6",
-        LayerKind::Fc { in_f: 512 * spatial * spatial, out_f: 4096 },
-    );
+    b.push("fc6", LayerKind::Fc { in_f: 512 * spatial * spatial, out_f: 4096 });
     b.push("fc7", LayerKind::Fc { in_f: 4096, out_f: 4096 });
     b.push("fc8", LayerKind::Fc { in_f: 4096, out_f: 1000 });
     b.build()
@@ -70,11 +61,7 @@ mod tests {
     #[test]
     fn conv_resolutions_follow_the_five_stages() {
         let info = vgg16(224).trace().unwrap();
-        let res: Vec<usize> = info
-            .iter()
-            .filter(|l| l.is_conv)
-            .map(|l| l.in_shape.h)
-            .collect();
+        let res: Vec<usize> = info.iter().filter(|l| l.is_conv).map(|l| l.in_shape.h).collect();
         assert_eq!(res, vec![224, 224, 112, 112, 56, 56, 56, 28, 28, 28, 14, 14, 14]);
     }
 

@@ -21,12 +21,7 @@ pub struct Calibrator {
 impl Calibrator {
     /// New calibrator with EMA decay 0.9.
     pub fn new() -> Self {
-        Self {
-            abs_max: 0.0,
-            ema: None,
-            ema_decay: 0.9,
-            observations: 0,
-        }
+        Self { abs_max: 0.0, ema: None, ema_decay: 0.9, observations: 0 }
     }
 
     /// New calibrator with a custom EMA decay in `(0, 1)`.
@@ -36,10 +31,7 @@ impl Calibrator {
     /// Panics if `decay` is not in `(0, 1)`.
     pub fn with_ema_decay(decay: f32) -> Self {
         assert!(decay > 0.0 && decay < 1.0, "decay must be in (0,1)");
-        Self {
-            ema_decay: decay,
-            ..Self::new()
-        }
+        Self { ema_decay: decay, ..Self::new() }
     }
 
     /// Observes one batch of activations.

@@ -49,15 +49,9 @@ impl QParams {
     /// and finite.
     pub fn from_abs_max(abs_max: f32, bits: u8) -> Self {
         assert!((2..=16).contains(&bits), "bits must be in 2..=16");
-        assert!(
-            abs_max.is_finite() && abs_max > 0.0,
-            "abs_max must be positive and finite"
-        );
+        assert!(abs_max.is_finite() && abs_max > 0.0, "abs_max must be positive and finite");
         let qmax = ((1i32 << (bits - 1)) - 1) as f32;
-        Self {
-            scale: abs_max / qmax,
-            bits,
-        }
+        Self { scale: abs_max / qmax, bits }
     }
 
     /// Scale (the value of one integer step).
@@ -120,13 +114,7 @@ pub fn quantize(t: &Tensor, params: QParams) -> QTensor {
 /// inconsistent with the data length (cannot happen for values produced by
 /// [`quantize`]).
 pub fn dequantize(q: &QTensor) -> Result<Tensor, TensorError> {
-    Tensor::from_vec(
-        q.dims,
-        q.data
-            .iter()
-            .map(|&v| q.params.dequantize_value(v))
-            .collect(),
-    )
+    Tensor::from_vec(q.dims, q.data.iter().map(|&v| q.params.dequantize_value(v)).collect())
 }
 
 /// Quantize–dequantize round trip: the "fake quantization" used in

@@ -26,11 +26,7 @@ impl QConv2d {
     ///
     /// Returns `None` if the weights are all zero (no meaningful scale).
     pub fn from_conv(conv: &Conv2d, weight_bits: u8) -> Option<Self> {
-        let abs_max = conv
-            .weight()
-            .data()
-            .iter()
-            .fold(0.0f32, |m, &v| m.max(v.abs()));
+        let abs_max = conv.weight().data().iter().fold(0.0f32, |m, &v| m.max(v.abs()));
         if abs_max == 0.0 {
             return None;
         }
@@ -123,9 +119,7 @@ mod tests {
         let input = uniform_tensor([1, 3, 8, 8], -1.0, 1.0, &mut rng);
         let float_out = conv.forward(&input).unwrap();
         let qconv = QConv2d::from_conv(&conv, 8).unwrap();
-        let q_out = qconv
-            .forward(&input, QParams::from_abs_max(1.0, 8))
-            .unwrap();
+        let q_out = qconv.forward(&input, QParams::from_abs_max(1.0, 8)).unwrap();
         let err = float_out.max_abs_diff(&q_out).unwrap();
         let ref_mag = float_out.data().iter().fold(0.0f32, |m, &v| m.max(v.abs()));
         assert!(err / ref_mag < 0.05, "relative error {}", err / ref_mag);

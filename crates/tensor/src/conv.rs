@@ -22,11 +22,7 @@ pub struct ConvGeom {
 impl ConvGeom {
     /// Creates a geometry from `(k, s, p)`.
     pub fn new(kernel: usize, stride: usize, padding: usize) -> Self {
-        Self {
-            kernel,
-            stride,
-            padding,
-        }
+        Self { kernel, stride, padding }
     }
 
     /// "Same" geometry for odd `k`: stride 1, padding `k/2`, preserving the
@@ -91,12 +87,7 @@ impl Conv2d {
                 "groups {groups} must divide output channels {c_out}"
             )));
         }
-        Ok(Self {
-            weight,
-            bias,
-            geom,
-            groups,
-        })
+        Ok(Self { weight, bias, geom, groups })
     }
 
     /// Zero-initialised convolution with `c_in -> c_out` channels.
@@ -105,12 +96,7 @@ impl Conv2d {
     ///
     /// See [`Conv2d::new`].
     pub fn zeros(c_in: usize, c_out: usize, geom: ConvGeom) -> Result<Self, TensorError> {
-        Self::new(
-            Tensor::zeros([c_out, c_in, geom.kernel, geom.kernel]),
-            vec![0.0; c_out],
-            geom,
-            1,
-        )
+        Self::new(Tensor::zeros([c_out, c_in, geom.kernel, geom.kernel]), vec![0.0; c_out], geom, 1)
     }
 
     /// A convolution whose centre tap is 1 so that (with "same" geometry) it
@@ -122,14 +108,10 @@ impl Conv2d {
     /// kernel is even.
     pub fn identity_like(c_in: usize, c_out: usize, geom: ConvGeom) -> Result<Self, TensorError> {
         if c_in != c_out {
-            return Err(TensorError::invalid(
-                "identity convolution needs c_in == c_out",
-            ));
+            return Err(TensorError::invalid("identity convolution needs c_in == c_out"));
         }
-        if geom.kernel % 2 == 0 {
-            return Err(TensorError::invalid(
-                "identity convolution needs an odd kernel",
-            ));
+        if geom.kernel.is_multiple_of(2) {
+            return Err(TensorError::invalid("identity convolution needs an odd kernel"));
         }
         let mut conv = Self::zeros(c_in, c_out, geom)?;
         let centre = geom.kernel / 2;
@@ -284,13 +266,8 @@ mod tests {
         // 1-channel 3x3 input of ones, 3x3 kernel of ones, padding 1:
         // corners see 4 taps, edges 6, centre 9.
         let input = Tensor::filled([1, 1, 3, 3], 1.0);
-        let conv = Conv2d::new(
-            Tensor::filled([1, 1, 3, 3], 1.0),
-            vec![0.0],
-            ConvGeom::same(3),
-            1,
-        )
-        .unwrap();
+        let conv = Conv2d::new(Tensor::filled([1, 1, 3, 3], 1.0), vec![0.0], ConvGeom::same(3), 1)
+            .unwrap();
         let out = conv.forward(&input).unwrap();
         assert_eq!(out.at(0, 0, 0, 0), 4.0);
         assert_eq!(out.at(0, 0, 0, 1), 6.0);
@@ -300,13 +277,9 @@ mod tests {
     #[test]
     fn bias_is_added_once_per_output() {
         let input = Tensor::zeros([1, 1, 4, 4]);
-        let conv = Conv2d::new(
-            Tensor::zeros([2, 1, 1, 1]),
-            vec![1.5, -2.0],
-            ConvGeom::new(1, 1, 0),
-            1,
-        )
-        .unwrap();
+        let conv =
+            Conv2d::new(Tensor::zeros([2, 1, 1, 1]), vec![1.5, -2.0], ConvGeom::new(1, 1, 0), 1)
+                .unwrap();
         let out = conv.forward(&input).unwrap();
         assert_eq!(out.at(0, 0, 2, 2), 1.5);
         assert_eq!(out.at(0, 1, 2, 2), -2.0);
@@ -315,13 +288,9 @@ mod tests {
     #[test]
     fn stride_2_halves_resolution() {
         let input = Tensor::filled([1, 1, 8, 8], 1.0);
-        let conv = Conv2d::new(
-            Tensor::filled([1, 1, 3, 3], 1.0),
-            vec![0.0],
-            ConvGeom::new(3, 2, 1),
-            1,
-        )
-        .unwrap();
+        let conv =
+            Conv2d::new(Tensor::filled([1, 1, 3, 3], 1.0), vec![0.0], ConvGeom::new(3, 2, 1), 1)
+                .unwrap();
         let out = conv.forward(&input).unwrap();
         assert_eq!(out.shape().dims(), [1, 1, 4, 4]);
     }
@@ -368,28 +337,14 @@ mod tests {
     #[test]
     fn constructor_validations() {
         // Kernel mismatch between weight and geometry.
-        assert!(Conv2d::new(
-            Tensor::zeros([1, 1, 3, 3]),
-            vec![0.0],
-            ConvGeom::new(5, 1, 2),
-            1
-        )
-        .is_err());
+        assert!(
+            Conv2d::new(Tensor::zeros([1, 1, 3, 3]), vec![0.0], ConvGeom::new(5, 1, 2), 1).is_err()
+        );
         // Bias length mismatch.
-        assert!(Conv2d::new(
-            Tensor::zeros([2, 1, 3, 3]),
-            vec![0.0],
-            ConvGeom::same(3),
-            1
-        )
-        .is_err());
+        assert!(Conv2d::new(Tensor::zeros([2, 1, 3, 3]), vec![0.0], ConvGeom::same(3), 1).is_err());
         // Groups must divide channels.
-        assert!(Conv2d::new(
-            Tensor::zeros([3, 1, 3, 3]),
-            vec![0.0; 3],
-            ConvGeom::same(3),
-            2
-        )
-        .is_err());
+        assert!(
+            Conv2d::new(Tensor::zeros([3, 1, 3, 3]), vec![0.0; 3], ConvGeom::same(3), 2).is_err()
+        );
     }
 }

@@ -123,11 +123,7 @@ mod tests {
         let a = Tensor::from_fn(1, 6, 6, |_, h, w| (h * 6 + w) as f32);
         let b = Tensor::from_fn(1, 6, 6, |_, h, w| ((h + w) % 3) as f32);
         let whole = add(&a, &b).unwrap().crop(0, 3, 3, 3).unwrap();
-        let split = add(
-            &a.crop(0, 3, 3, 3).unwrap(),
-            &b.crop(0, 3, 3, 3).unwrap(),
-        )
-        .unwrap();
+        let split = add(&a.crop(0, 3, 3, 3).unwrap(), &b.crop(0, 3, 3, 3).unwrap()).unwrap();
         assert_eq!(whole, split);
     }
 }

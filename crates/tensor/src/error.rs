@@ -43,30 +43,21 @@ impl TensorError {
 
     /// Convenience constructor for [`TensorError::InvalidParameter`].
     pub fn invalid(context: impl Into<String>) -> Self {
-        Self::InvalidParameter {
-            context: context.into(),
-        }
+        Self::InvalidParameter { context: context.into() }
     }
 
     /// Convenience constructor for [`TensorError::OutOfBounds`].
     pub fn out_of_bounds(context: impl Into<String>) -> Self {
-        Self::OutOfBounds {
-            context: context.into(),
-        }
+        Self::OutOfBounds { context: context.into() }
     }
 }
 
 impl fmt::Display for TensorError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Self::ShapeMismatch {
-                context,
-                expected,
-                actual,
-            } => write!(
-                f,
-                "shape mismatch in {context}: expected {expected}, got {actual}"
-            ),
+            Self::ShapeMismatch { context, expected, actual } => {
+                write!(f, "shape mismatch in {context}: expected {expected}, got {actual}")
+            }
             Self::InvalidParameter { context } => write!(f, "invalid parameter: {context}"),
             Self::OutOfBounds { context } => write!(f, "out of bounds: {context}"),
         }

@@ -57,9 +57,7 @@ pub fn he_linear(
     rng: &mut StdRng,
 ) -> Result<Linear, TensorError> {
     let std = (2.0 / in_features.max(1) as f32).sqrt();
-    let weight = (0..in_features * out_features)
-        .map(|_| normal(rng) * std)
-        .collect();
+    let weight = (0..in_features * out_features).map(|_| normal(rng) * std).collect();
     Linear::new(in_features, out_features, weight, vec![0.0; out_features])
 }
 
@@ -105,8 +103,8 @@ mod tests {
         let conv = he_conv2d(64, 64, ConvGeom::same(3), 1, &mut rng).unwrap();
         let data = conv.weight().data();
         let mean: f32 = data.iter().sum::<f32>() / data.len() as f32;
-        let var: f32 = data.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>()
-            / data.len() as f32;
+        let var: f32 =
+            data.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / data.len() as f32;
         let expected = 2.0 / (3.0 * 3.0 * 64.0);
         assert!((var - expected).abs() / expected < 0.15, "var={var}");
     }

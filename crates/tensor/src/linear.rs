@@ -38,12 +38,7 @@ impl Linear {
                 format!("{}", bias.len()),
             ));
         }
-        Ok(Self {
-            weight,
-            bias,
-            in_features,
-            out_features,
-        })
+        Ok(Self { weight, bias, in_features, out_features })
     }
 
     /// Zero-initialised layer.

@@ -150,11 +150,7 @@ pub fn pad2d_backward(
     if gn != n || gc != c || gh != h + ph_top + ph_bottom || gw != w + pw_left + pw_right {
         return Err(TensorError::shape_mismatch(
             "pad2d_backward",
-            format!(
-                "[{n},{c},{},{}]",
-                h + ph_top + ph_bottom,
-                w + pw_left + pw_right
-            ),
+            format!("[{n},{c},{},{}]", h + ph_top + ph_bottom, w + pw_left + pw_right),
             format!("[{gn},{gc},{gh},{gw}]"),
         ));
     }
@@ -253,8 +249,7 @@ mod tests {
     #[test]
     fn pad_backward_replicate_accumulates_on_boundary() {
         let grad_padded = Tensor::filled([1, 1, 5, 5], 1.0);
-        let g =
-            pad2d_backward(&grad_padded, [1, 1, 3, 3], 1, 1, 1, 1, PadMode::Replicate).unwrap();
+        let g = pad2d_backward(&grad_padded, [1, 1, 3, 3], 1, 1, 1, 1, PadMode::Replicate).unwrap();
         // Corner pixels receive their own + 3 replicated gradients.
         assert_eq!(g.at(0, 0, 0, 0), 4.0);
         assert_eq!(g.at(0, 0, 0, 1), 2.0);
@@ -266,8 +261,7 @@ mod tests {
     #[test]
     fn pad_backward_reflect_conserves_gradient_mass() {
         let grad_padded = Tensor::filled([1, 1, 5, 5], 1.0);
-        let g =
-            pad2d_backward(&grad_padded, [1, 1, 3, 3], 1, 1, 1, 1, PadMode::Reflect).unwrap();
+        let g = pad2d_backward(&grad_padded, [1, 1, 3, 3], 1, 1, 1, 1, PadMode::Reflect).unwrap();
         assert_eq!(g.data().iter().sum::<f32>(), 25.0);
         // Reflection maps each padded row/col onto interior index 1, so the
         // centre pixel accumulates 3x3 contributions while corners keep 1.

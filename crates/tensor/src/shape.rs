@@ -25,12 +25,7 @@ impl Shape {
     /// assert_eq!(s.numel(), 64 * 224 * 224);
     /// ```
     pub fn new(dims: [usize; 4]) -> Self {
-        Self {
-            n: dims[0],
-            c: dims[1],
-            h: dims[2],
-            w: dims[3],
-        }
+        Self { n: dims[0], c: dims[1], h: dims[2], w: dims[3] }
     }
 
     /// Batch size.

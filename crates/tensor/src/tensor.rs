@@ -26,19 +26,13 @@ impl Tensor {
     /// ```
     pub fn zeros(dims: impl Into<Shape>) -> Self {
         let shape = dims.into();
-        Self {
-            data: vec![0.0; shape.numel()],
-            shape,
-        }
+        Self { data: vec![0.0; shape.numel()], shape }
     }
 
     /// Creates a tensor with every element set to `value`.
     pub fn filled(dims: impl Into<Shape>, value: f32) -> Self {
         let shape = dims.into();
-        Self {
-            data: vec![value; shape.numel()],
-            shape,
-        }
+        Self { data: vec![value; shape.numel()], shape }
     }
 
     /// Creates a tensor from a flat row-major NCHW vector.
@@ -195,10 +189,7 @@ impl Tensor {
 
     /// Returns a new tensor with `f` applied to every element.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
-        Self {
-            shape: self.shape,
-            data: self.data.iter().map(|&v| f(v)).collect(),
-        }
+        Self { shape: self.shape, data: self.data.iter().map(|&v| f(v)).collect() }
     }
 
     /// Extracts batch `n` as a single-batch tensor.
@@ -209,10 +200,7 @@ impl Tensor {
     pub fn batch(&self, n: usize) -> Result<Self, TensorError> {
         let [bn, c, h, w] = self.shape.dims();
         if n >= bn {
-            return Err(TensorError::out_of_bounds(format!(
-                "batch {n} of {}",
-                self.shape
-            )));
+            return Err(TensorError::out_of_bounds(format!("batch {n} of {}", self.shape)));
         }
         let per = c * h * w;
         Ok(Self {
@@ -234,12 +222,7 @@ impl Tensor {
                 other.shape.to_string(),
             ));
         }
-        Ok(self
-            .data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0, f32::max))
+        Ok(self.data.iter().zip(&other.data).map(|(a, b)| (a - b).abs()).fold(0.0, f32::max))
     }
 
     /// Returns true if every element is within `tol` of `other`.

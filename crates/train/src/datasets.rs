@@ -63,10 +63,8 @@ pub fn classification_batch(n: usize, rng: &mut StdRng) -> ClassBatch {
         // Two blob pairs per image: denser gradient signal, which keeps
         // plain (non-residual) networks off the uniform-prediction plateau.
         for _ in 0..2 {
-            let cy =
-                rng.gen_range(margin + (-dy).max(0)..IMAGE_SIZE as isize - margin - dy.max(0));
-            let cx =
-                rng.gen_range(margin + (-dx).max(0)..IMAGE_SIZE as isize - margin - dx.max(0));
+            let cy = rng.gen_range(margin + (-dy).max(0)..IMAGE_SIZE as isize - margin - dy.max(0));
+            let cx = rng.gen_range(margin + (-dx).max(0)..IMAGE_SIZE as isize - margin - dx.max(0));
             put_blob(&mut images, ni, 0, cy, cx, 1.5);
             put_blob(&mut images, ni, 0, cy + dy, cx + dx, 1.5);
         }
@@ -137,9 +135,8 @@ fn procedural_patch(size: usize, rng: &mut StdRng) -> Vec<f32> {
 /// Separable Gaussian blur with std `sigma` (replicate boundary).
 fn gaussian_blur(img: &[f32], size: usize, sigma: f32) -> Vec<f32> {
     let radius = (3.0 * sigma).ceil() as isize;
-    let kernel: Vec<f32> = (-radius..=radius)
-        .map(|i| (-(i * i) as f32 / (2.0 * sigma * sigma)).exp())
-        .collect();
+    let kernel: Vec<f32> =
+        (-radius..=radius).map(|i| (-(i * i) as f32 / (2.0 * sigma * sigma)).exp()).collect();
     let norm: f32 = kernel.iter().sum();
     let clamp = |v: isize| v.clamp(0, size as isize - 1) as usize;
     let mut tmp = vec![0.0f32; size * size];
@@ -189,10 +186,8 @@ pub fn super_resolution_batch(
     if !(2..=4).contains(&scale) {
         return Err(TensorError::invalid("scale must be 2, 3 or 4"));
     }
-    if size % scale != 0 {
-        return Err(TensorError::invalid(format!(
-            "scale {scale} must divide patch size {size}"
-        )));
+    if !size.is_multiple_of(scale) {
+        return Err(TensorError::invalid(format!("scale {scale} must divide patch size {size}")));
     }
     let sigma = 0.4 * scale as f32;
     let mut input = Tensor::zeros([n, 1, size, size]);
@@ -285,8 +280,20 @@ pub fn detection_batch(n: usize, rng: &mut StdRng) -> DetBatch {
         for y in y0..y0 + bh {
             for x in x0..x0 + bw {
                 let v = match class {
-                    0 => if y % 2 == 0 { 1.0 } else { 0.2 },
-                    _ => if (y + x) % 2 == 0 { 1.0 } else { 0.2 },
+                    0 => {
+                        if y % 2 == 0 {
+                            1.0
+                        } else {
+                            0.2
+                        }
+                    }
+                    _ => {
+                        if (y + x) % 2 == 0 {
+                            1.0
+                        } else {
+                            0.2
+                        }
+                    }
                 };
                 *images.at_mut(ni, 0, y, x) += v;
             }

@@ -42,13 +42,7 @@ pub struct SgdConfig {
 
 impl Default for SgdConfig {
     fn default() -> Self {
-        Self {
-            lr: 0.02,
-            momentum: 0.9,
-            weight_decay: 1e-4,
-            grad_clip: 1.0,
-            adam: false,
-        }
+        Self { lr: 0.02, momentum: 0.9, weight_decay: 1e-4, grad_clip: 1.0, adam: false }
     }
 }
 
@@ -75,10 +69,8 @@ fn update_params(
     if cfg.adam {
         let bc1 = 1.0 - ADAM_BETA1.powi(t as i32);
         let bc2 = 1.0 - ADAM_BETA2.powi(t as i32);
-        for ((p, &g0), (mv, vv)) in params
-            .iter_mut()
-            .zip(grads)
-            .zip(m.iter_mut().zip(v2.iter_mut()))
+        for ((p, &g0), (mv, vv)) in
+            params.iter_mut().zip(grads).zip(m.iter_mut().zip(v2.iter_mut()))
         {
             let g = clip(g0) + cfg.weight_decay * *p;
             *mv = ADAM_BETA1 * *mv + (1.0 - ADAM_BETA1) * g;
@@ -190,6 +182,7 @@ impl ConvLayer {
     }
 
     /// The grid and per-axis padding plans for an `h × w` input.
+    #[allow(clippy::type_complexity)]
     fn plan(
         &self,
         h: usize,
@@ -252,10 +245,7 @@ impl TrainLayer for ConvLayer {
             }
         }
         if train {
-            self.cache = Some(ConvCache {
-                padded_blocks,
-                input_dims: x.shape().dims(),
-            });
+            self.cache = Some(ConvCache { padded_blocks, input_dims: x.shape().dims() });
         }
         Ok(out)
     }
@@ -320,15 +310,8 @@ impl TrainLayer for ConvLayer {
                         }
                     }
                 }
-                let d_cropped = pad2d_backward(
-                    &d_padded,
-                    [n, c_in, b.bh, b.bw],
-                    pt,
-                    pb,
-                    pl,
-                    pr,
-                    mode,
-                )?;
+                let d_cropped =
+                    pad2d_backward(&d_padded, [n, c_in, b.bh, b.bw], pt, pb, pl, pr, mode)?;
                 // Scatter the block gradient back into the input gradient.
                 for ni in 0..n {
                     for c in 0..c_in {
@@ -572,8 +555,7 @@ impl TrainLayer for LinearLayer {
         for ni in 0..n {
             let xr = &x.data()[ni * in_f..(ni + 1) * in_f];
             let dr = &d_out.data()[ni * out_f..(ni + 1) * out_f];
-            for o in 0..out_f {
-                let dy = dr[o];
+            for (o, &dy) in dr.iter().enumerate() {
                 if dy == 0.0 {
                     continue;
                 }
@@ -699,18 +681,12 @@ mod tests {
 
     #[test]
     fn conv_gradcheck_blocked_zero() {
-        grad_check_conv(Blocking::Pattern(
-            BlockingPattern::hierarchical(2),
-            PadMode::Zero,
-        ));
+        grad_check_conv(Blocking::Pattern(BlockingPattern::hierarchical(2), PadMode::Zero));
     }
 
     #[test]
     fn conv_gradcheck_blocked_replicate() {
-        grad_check_conv(Blocking::Pattern(
-            BlockingPattern::hierarchical(2),
-            PadMode::Replicate,
-        ));
+        grad_check_conv(Blocking::Pattern(BlockingPattern::hierarchical(2), PadMode::Replicate));
     }
 
     #[test]
@@ -725,7 +701,8 @@ mod tests {
         // Finite difference on the same weight.
         let eps = 1e-2;
         let eval = |delta: f32| -> f32 {
-            let mut probe = ConvLayer::new(1, 1, 3, 1, Blocking::None, &mut seeded_rng(13)).unwrap();
+            let mut probe =
+                ConvLayer::new(1, 1, 3, 1, Blocking::None, &mut seeded_rng(13)).unwrap();
             *probe.conv.weight_mut().at_mut(0, 0, 1, 1) += delta;
             probe.forward(&x, false).unwrap().data().iter().sum()
         };

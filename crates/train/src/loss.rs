@@ -32,8 +32,7 @@ pub fn softmax_cross_entropy(
     }
     let mut loss = 0.0f64;
     let mut grad = Tensor::zeros(logits.shape());
-    for ni in 0..n {
-        let label = labels[ni];
+    for (ni, &label) in labels.iter().enumerate() {
         if label >= classes {
             return Err(TensorError::invalid(format!(
                 "label {label} out of range for {classes} classes"
@@ -44,10 +43,9 @@ pub fn softmax_cross_entropy(
         let exps: Vec<f32> = row.iter().map(|v| (v - max).exp()).collect();
         let sum: f32 = exps.iter().sum();
         loss += -((exps[label] / sum).ln() as f64);
-        for c in 0..classes {
-            let p = exps[c] / sum;
-            *grad.at_mut(ni, c, 0, 0) =
-                (p - if c == label { 1.0 } else { 0.0 }) / n as f32;
+        for (c, &e) in exps.iter().enumerate() {
+            let p = e / sum;
+            *grad.at_mut(ni, c, 0, 0) = (p - if c == label { 1.0 } else { 0.0 }) / n as f32;
         }
     }
     Ok(((loss / n as f64) as f32, grad))
@@ -71,12 +69,7 @@ pub fn mse(pred: &Tensor, target: &Tensor) -> Result<(f32, Tensor), TensorError>
     let count = pred.data().len() as f32;
     let mut grad = Tensor::zeros(pred.shape());
     let mut loss = 0.0f64;
-    for ((g, &p), &t) in grad
-        .data_mut()
-        .iter_mut()
-        .zip(pred.data())
-        .zip(target.data())
-    {
+    for ((g, &p), &t) in grad.data_mut().iter_mut().zip(pred.data()).zip(target.data()) {
         let d = p - t;
         loss += (d * d) as f64;
         *g = 2.0 * d / count;
@@ -102,12 +95,7 @@ pub fn smooth_l1(pred: &Tensor, target: &Tensor) -> Result<(f32, Tensor), Tensor
     let count = pred.data().len() as f32;
     let mut grad = Tensor::zeros(pred.shape());
     let mut loss = 0.0f64;
-    for ((g, &p), &t) in grad
-        .data_mut()
-        .iter_mut()
-        .zip(pred.data())
-        .zip(target.data())
-    {
+    for ((g, &p), &t) in grad.data_mut().iter_mut().zip(pred.data()).zip(target.data()) {
         let d = p - t;
         if d.abs() < 1.0 {
             loss += (0.5 * d * d) as f64;

@@ -21,7 +21,7 @@ pub fn top1_accuracy(logits: &Tensor, labels: &[usize]) -> Result<f64, TensorErr
         ));
     }
     let mut correct = 0usize;
-    for ni in 0..n {
+    for (ni, &label) in labels.iter().enumerate() {
         let mut best = 0usize;
         let mut best_v = f32::NEG_INFINITY;
         for c in 0..classes {
@@ -31,7 +31,7 @@ pub fn top1_accuracy(logits: &Tensor, labels: &[usize]) -> Result<f64, TensorErr
                 best = c;
             }
         }
-        if best == labels[ni] {
+        if best == label {
             correct += 1;
         }
     }
@@ -52,13 +52,9 @@ pub fn psnr(pred: &Tensor, target: &Tensor, peak: f32) -> Result<f64, TensorErro
             pred.shape().to_string(),
         ));
     }
-    let mse: f64 = pred
-        .data()
-        .iter()
-        .zip(target.data())
-        .map(|(&a, &b)| ((a - b) as f64).powi(2))
-        .sum::<f64>()
-        / pred.data().len() as f64;
+    let mse: f64 =
+        pred.data().iter().zip(target.data()).map(|(&a, &b)| ((a - b) as f64).powi(2)).sum::<f64>()
+            / pred.data().len() as f64;
     if mse == 0.0 {
         return Ok(f64::INFINITY);
     }
@@ -104,10 +100,7 @@ pub fn average_precision(
         } else {
             fp += 1;
         }
-        curve.push((
-            tp as f64 / ground_truth.len() as f64,
-            tp as f64 / (tp + fp) as f64,
-        ));
+        curve.push((tp as f64 / ground_truth.len() as f64, tp as f64 / (tp + fp) as f64));
     }
     // All-point interpolation: precision envelope from the right.
     let mut ap = 0.0;
@@ -138,10 +131,7 @@ pub struct ApSummary {
 }
 
 /// Computes the COCO-style AP summary.
-pub fn ap_summary(
-    detections: &[(usize, Detection)],
-    ground_truth: &[(BBox, usize)],
-) -> ApSummary {
+pub fn ap_summary(detections: &[(usize, Detection)], ground_truth: &[(BBox, usize)]) -> ApSummary {
     let mut total = 0.0;
     let mut ap50 = 0.0;
     let mut ap75 = 0.0;
@@ -156,11 +146,7 @@ pub fn ap_summary(
             ap75 = ap;
         }
     }
-    ApSummary {
-        ap: total / 10.0,
-        ap50,
-        ap75,
-    }
+    ApSummary { ap: total / 10.0, ap50, ap75 }
 }
 
 #[cfg(test)]
@@ -169,8 +155,7 @@ mod tests {
 
     #[test]
     fn top1_counts_argmax_matches() {
-        let logits =
-            Tensor::from_vec([2, 3, 1, 1], vec![1.0, 5.0, 0.0, 2.0, 0.0, 1.0]).unwrap();
+        let logits = Tensor::from_vec([2, 3, 1, 1], vec![1.0, 5.0, 0.0, 2.0, 0.0, 1.0]).unwrap();
         assert_eq!(top1_accuracy(&logits, &[1, 0]).unwrap(), 1.0);
         assert_eq!(top1_accuracy(&logits, &[0, 0]).unwrap(), 0.5);
     }
@@ -215,11 +200,7 @@ mod tests {
         // A box with IoU ~0.6 against the ground truth.
         let dets = vec![(
             0usize,
-            Detection {
-                bbox: BBox { y0: 0.0, x0: 2.0, y1: 10.0, x1: 12.0 },
-                class: 0,
-                score: 0.9,
-            },
+            Detection { bbox: BBox { y0: 0.0, x0: 2.0, y1: 10.0, x1: 12.0 }, class: 0, score: 0.9 },
         )];
         let ap50 = average_precision(&dets, &gt, 0.5);
         let ap75 = average_precision(&dets, &gt, 0.75);
@@ -232,11 +213,7 @@ mod tests {
         let gt = vec![(BBox { y0: 0.0, x0: 0.0, y1: 10.0, x1: 10.0 }, 0)];
         let dets = vec![(
             0usize,
-            Detection {
-                bbox: BBox { y0: 0.0, x0: 1.0, y1: 10.0, x1: 11.0 },
-                class: 0,
-                score: 0.9,
-            },
+            Detection { bbox: BBox { y0: 0.0, x0: 1.0, y1: 10.0, x1: 11.0 }, class: 0, score: 0.9 },
         )];
         let s = ap_summary(&dets, &gt);
         // AP@0.5 is the loosest criterion; the 0.50:0.95 mean can fall on

@@ -15,8 +15,7 @@ use bconv_tensor::{Tensor, TensorError};
 use rand::rngs::StdRng;
 
 use crate::layers::{
-    Blocking, ConvLayer, LinearLayer, MaxPoolLayer, ReluLayer, SgdConfig,
-    TrainLayer,
+    Blocking, ConvLayer, LinearLayer, MaxPoolLayer, ReluLayer, SgdConfig, TrainLayer,
 };
 
 /// Decides the blocking of a conv layer given its compute resolution.
@@ -101,6 +100,7 @@ impl TrainLayer for ResidualBlock {
 // ---------------------------------------------------------------------------
 
 /// One stage of a [`SmallClassifier`].
+#[allow(clippy::large_enum_variant)] // conv stages dominate by design
 pub enum Stage {
     /// Convolution (+ReLU), annotated with its compute resolution.
     Conv {
@@ -201,15 +201,9 @@ impl SmallClassifier {
                     relu: ReluLayer::new(),
                     res: 32,
                 });
-                stages.push(Stage::Residual {
-                    block: ResidualBlock::new(c, rng)?,
-                    res: 32,
-                });
+                stages.push(Stage::Residual { block: ResidualBlock::new(c, rng)?, res: 32 });
                 stages.push(Stage::Pool(MaxPoolLayer::new(2)));
-                stages.push(Stage::Residual {
-                    block: ResidualBlock::new(c, rng)?,
-                    res: 16,
-                });
+                stages.push(Stage::Residual { block: ResidualBlock::new(c, rng)?, res: 16 });
                 stages.push(Stage::Pool(MaxPoolLayer::new(2)));
                 stages.push(Stage::Conv {
                     layer: ConvLayer::new(c, 2 * c, 3, 1, Blocking::None, rng)?,
@@ -250,10 +244,7 @@ impl SmallClassifier {
         }
         // Every style ends at an 8x8 grid of 2c channels.
         let feat = 2 * c * 8 * 8;
-        Ok(Self {
-            stages,
-            fc: LinearLayer::new(feat, classes, rng)?,
-        })
+        Ok(Self { stages, fc: LinearLayer::new(feat, classes, rng)? })
     }
 
     /// Applies a blocking rule to every conv stage (by resolution). The
@@ -686,9 +677,7 @@ mod tests {
         let mut block = ResidualBlock::new(2, &mut rng).unwrap();
         let x = uniform_tensor([1, 2, 8, 8], -1.0, 1.0, &mut rng);
         let out = block.forward(&x, true).unwrap();
-        let d = block
-            .backward(&Tensor::filled(out.shape(), 1.0))
-            .unwrap();
+        let d = block.backward(&Tensor::filled(out.shape(), 1.0)).unwrap();
         // Finite-difference check at one pixel.
         let eps = 1e-2;
         let eval = |delta: f32| -> f32 {

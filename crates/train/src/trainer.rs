@@ -8,8 +8,8 @@
 use bconv_tensor::{Tensor, TensorError};
 
 use crate::datasets::{
-    classification_batch, detection_batch, experiment_rng, super_resolution_batch, BBox,
-    DetBatch, IMAGE_SIZE, NUM_DET_CLASSES,
+    classification_batch, detection_batch, experiment_rng, super_resolution_batch, BBox, DetBatch,
+    IMAGE_SIZE, NUM_DET_CLASSES,
 };
 use crate::layers::{SgdConfig, TrainLayer};
 use crate::loss::{mse, softmax_cross_entropy};
@@ -31,20 +31,15 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        Self {
-            steps: 300,
-            batch: 16,
-            sgd: SgdConfig::default(),
-            lr_halve_every: 120,
-        }
+        Self { steps: 300, batch: 16, sgd: SgdConfig::default(), lr_halve_every: 120 }
     }
 }
 
 fn lr_at(cfg: &TrainConfig, step: usize) -> f32 {
-    if cfg.lr_halve_every == 0 {
-        cfg.sgd.lr
-    } else {
-        cfg.sgd.lr * 0.5f32.powi((step / cfg.lr_halve_every) as i32)
+    match step.checked_div(cfg.lr_halve_every) {
+        // lr_halve_every == 0 disables the schedule.
+        None => cfg.sgd.lr,
+        Some(halvings) => cfg.sgd.lr * 0.5f32.powi(halvings as i32),
     }
 }
 
@@ -183,10 +178,8 @@ pub fn detection_loss(pred: &Tensor, batch: &DetBatch) -> Result<(f32, Tensor), 
     for ni in 0..n {
         let bb = &batch.boxes[ni];
         let (cy, cx) = ((bb.y0 + bb.y1) / 2.0, (bb.x0 + bb.x1) / 2.0);
-        let (gy, gx) = (
-            ((cy / cell) as usize).min(DET_GRID - 1),
-            ((cx / cell) as usize).min(DET_GRID - 1),
-        );
+        let (gy, gx) =
+            (((cy / cell) as usize).min(DET_GRID - 1), ((cx / cell) as usize).min(DET_GRID - 1));
 
         // 1. Cell softmax over the 64 objectness logits (channel 0).
         let mut max_l = f32::NEG_INFINITY;
@@ -214,9 +207,7 @@ pub fn detection_loss(pred: &Tensor, batch: &DetBatch) -> Result<(f32, Tensor), 
 
         // 2. Class cross-entropy at the positive cell.
         let class = batch.classes[ni];
-        let logits: Vec<f32> = (0..NUM_DET_CLASSES)
-            .map(|c| pred.at(ni, 1 + c, gy, gx))
-            .collect();
+        let logits: Vec<f32> = (0..NUM_DET_CLASSES).map(|c| pred.at(ni, 1 + c, gy, gx)).collect();
         let cmax = logits.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
         let csum: f32 = logits.iter().map(|v| (v - cmax).exp()).sum();
         for (c, &l) in logits.iter().enumerate() {
@@ -291,12 +282,7 @@ pub fn decode_detections(pred: &Tensor) -> Vec<Detection> {
         let h = th.exp() * IMAGE_SIZE as f32;
         let w = tw.exp() * IMAGE_SIZE as f32;
         out.push(Detection {
-            bbox: BBox {
-                y0: cy - h / 2.0,
-                x0: cx - w / 2.0,
-                y1: cy + h / 2.0,
-                x1: cx + w / 2.0,
-            },
+            bbox: BBox { y0: cy - h / 2.0, x0: cx - w / 2.0, y1: cy + h / 2.0, x1: cx + w / 2.0 },
             class,
             score,
         });
@@ -386,7 +372,16 @@ mod tests {
         let mut rng = seeded_rng(2);
         let mut net = SmallClassifier::new(NetStyle::Vgg, 8, 4, &mut rng).unwrap();
         net.apply_blocking(&fixed_rule(16));
-        train_classifier(&mut net, "trainer-test-blocked", &quick_cfg(150)).unwrap();
+        // Adam rather than plain SGD: the small classifiers escape the
+        // uniform-prediction plateau reliably across seeds only with
+        // per-parameter scaling (see bconv-bench's calibration note).
+        let cfg = TrainConfig {
+            steps: 150,
+            batch: 16,
+            sgd: SgdConfig { lr: 0.005, adam: true, ..SgdConfig::default() },
+            lr_halve_every: 60,
+        };
+        train_classifier(&mut net, "trainer-test-blocked", &cfg).unwrap();
         let acc = eval_classifier(&mut net, "trainer-test-blocked", 64).unwrap();
         assert!(acc > 0.4, "blocked accuracy {acc}");
     }
@@ -421,10 +416,8 @@ mod tests {
     fn trained_detector_has_nonzero_ap() {
         let mut rng = seeded_rng(5);
         let mut net = SmallDetector::new(4, &mut rng).unwrap();
-        let cfg = TrainConfig {
-            sgd: SgdConfig { lr: 0.02, ..SgdConfig::default() },
-            ..quick_cfg(200)
-        };
+        let cfg =
+            TrainConfig { sgd: SgdConfig { lr: 0.02, ..SgdConfig::default() }, ..quick_cfg(200) };
         train_detector(&mut net, "det-test-b", &cfg).unwrap();
         let ap = eval_detector(&mut net, "det-test-b", 48).unwrap();
         assert!(ap.ap50 > 0.1, "AP@0.5 = {}", ap.ap50);

@@ -31,15 +31,9 @@ fn main() {
     // Explore the fused design space.
     let points = explore_vgg16(&shapes, &platform, 8, 4);
     let feas = feasible(&points, &platform);
-    println!(
-        "design space: {} points, {} feasible on-chip",
-        points.len(),
-        feas.len()
-    );
-    let best = feas
-        .iter()
-        .min_by_key(|p| p.eval.real_cycles())
-        .expect("at least one feasible design");
+    println!("design space: {} points, {} feasible on-chip", points.len(), feas.len());
+    let best =
+        feas.iter().min_by_key(|p| p.eval.real_cycles()).expect("at least one feasible design");
     println!(
         "best feasible design: {} — {:.1} ms/image, {:.1} GOP/s, {} BRAM18",
         best.design.name,

@@ -1,15 +1,41 @@
-//! Classification scenario: train a baseline classifier, convert it to
-//! block convolution and fine-tune (the paper's Table I workflow), then
-//! quantize to 8 bits (Figure 7's deployment path).
+//! Classification scenario, led by the `Session` API: compile the VGG-16
+//! topology into a blocked/fused pipeline and inspect what deployment
+//! gains (off-chip traffic, on-chip buffers); then run the paper's
+//! Table I accuracy workflow — train a baseline classifier, convert it to
+//! block convolution and fine-tune, and quantize to 8 bits (Figure 7's
+//! deployment path).
 //!
 //! Run with: `cargo run --release --example classification`
 
-use bconv_tensor::init::seeded_rng;
-use bconv_train::models::{fixed_rule, NetStyle, SmallClassifier};
+use bconv::core::BlockingPattern;
+use bconv::models::small::vgg16_small;
+use bconv::tensor::init::seeded_rng;
+use bconv::tensor::init::uniform_tensor;
+use bconv::{Backend, Session};
 use bconv_train::layers::SgdConfig;
+use bconv_train::models::{fixed_rule, NetStyle, SmallClassifier};
 use bconv_train::trainer::{eval_classifier, train_classifier, TrainConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- Deployment view: compile the topology into a fused pipeline. ---
+    let session =
+        Session::builder().network(vgg16_small(32)).pattern(BlockingPattern::fixed(16)).build()?;
+    let input = uniform_tensor([1, 3, 32, 32], -1.0, 1.0, &mut seeded_rng(7));
+    let fused = session.run(&input)?;
+    let reference = Session::builder()
+        .network(vgg16_small(32))
+        .backend(Backend::Reference)
+        .build()?
+        .run(&input)?;
+    println!("{}", session.describe());
+    println!(
+        "off-chip traffic: fused {} vs layer-wise {} elements ({:.1}x less)\n",
+        fused.stats.offchip_elems,
+        reference.stats.offchip_elems,
+        reference.stats.offchip_elems as f64 / fused.stats.offchip_elems as f64
+    );
+
+    // --- Accuracy view: the paper's fine-tuning workflow. ---
     let cfg = TrainConfig {
         steps: 300,
         batch: 16,
@@ -27,10 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    fine-tune with unchanged hyperparameters.
     net.apply_blocking(&fixed_rule(16));
     let dropped = eval_classifier(&mut net, "example-cls", 256)?;
-    println!(
-        "after blocking, before fine-tuning: {:.1}% (boundary perturbation)",
-        dropped * 100.0
-    );
+    println!("after blocking, before fine-tuning: {:.1}% (boundary perturbation)", dropped * 100.0);
     let ft_cfg = TrainConfig { steps: 150, ..cfg };
     train_classifier(&mut net, "example-cls", &ft_cfg)?;
     let tuned = eval_classifier(&mut net, "example-cls", 256)?;

@@ -1,0 +1,311 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this shim provides
+//! the subset of the proptest API this workspace's property tests use:
+//! the [`proptest!`] macro with an optional `#![proptest_config(...)]`
+//! header, range and [`sample::select`] strategies, and the
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assume!` macros.
+//!
+//! Semantics: each test function runs `cases` times with values drawn from
+//! its strategies by a deterministic per-test RNG. Failures report the drawn
+//! values; there is no shrinking (a failing case is already fully printed).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Runner configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// A source of random values for strategies.
+pub type TestRng = StdRng;
+
+/// Deterministic RNG for case `case` of test `name`.
+pub fn rng_for_case(name: &str, case: u32) -> TestRng {
+    // FNV-1a over the test name, mixed with the case index.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(h ^ ((case as u64) << 32 | 0x5bd1_e995))
+}
+
+/// A value-generation strategy.
+pub trait Strategy {
+    /// The generated type.
+    type Value: core::fmt::Debug + Clone;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($t:ty) => {
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(*self.start()..*self.end() + 1 as $t)
+            }
+        }
+    };
+}
+
+impl_range_strategy!(usize);
+impl_range_strategy!(u8);
+impl_range_strategy!(u16);
+impl_range_strategy!(u32);
+impl_range_strategy!(u64);
+impl_range_strategy!(i32);
+impl_range_strategy!(i64);
+impl_range_strategy!(isize);
+
+impl Strategy for core::ops::Range<f32> {
+    type Value = f32;
+    fn sample(&self, rng: &mut TestRng) -> f32 {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// `prop::sample` strategies.
+pub mod sample {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Uniform choice from a fixed list.
+    #[derive(Debug, Clone)]
+    pub struct Select<T: core::fmt::Debug + Clone>(Vec<T>);
+
+    impl<T: core::fmt::Debug + Clone> Strategy for Select<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.0[rng.gen_range(0..self.0.len())].clone()
+        }
+    }
+
+    /// Strategy choosing uniformly from `options`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` is empty.
+    pub fn select<T: core::fmt::Debug + Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select requires at least one option");
+        Select(options)
+    }
+}
+
+/// Outcome of one generated case.
+#[doc(hidden)]
+pub enum CaseResult {
+    /// Case passed.
+    Pass,
+    /// `prop_assume!` rejected the inputs; the case is not counted.
+    Reject,
+    /// An assertion failed.
+    Fail(String),
+}
+
+/// Everything the generated tests need, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, CaseResult,
+        ProptestConfig, Strategy,
+    };
+
+    /// Alias module so `prop::sample::select` works as in upstream.
+    pub mod prop {
+        pub use crate::sample;
+    }
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return $crate::CaseResult::Fail(format!(
+                "prop_assert failed: {}", stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return $crate::CaseResult::Fail(format!($($fmt)+));
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return $crate::CaseResult::Fail(format!(
+                "prop_assert_eq failed: {:?} != {:?}", l, r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return $crate::CaseResult::Fail(format!($($fmt)+));
+        }
+    }};
+}
+
+/// Fails the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return $crate::CaseResult::Fail(format!("prop_assert_ne failed: both were {:?}", l));
+        }
+    }};
+}
+
+/// Discards the current case (does not count toward the case budget's
+/// failures) when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return $crate::CaseResult::Reject;
+        }
+    };
+}
+
+/// Property-test entry macro, mirroring `proptest::proptest!`.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_body! { ($cfg); $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_body! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    ( ($cfg:expr); ) => {};
+    (
+        ($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rejected: u32 = 0;
+            let mut case: u32 = 0;
+            while case < config.cases {
+                let mut __rng = $crate::rng_for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    case + rejected,
+                );
+                $(let $arg = $crate::Strategy::sample(&$strat, &mut __rng);)*
+                let __outcome = (|| -> $crate::CaseResult {
+                    $body
+                    $crate::CaseResult::Pass
+                })();
+                match __outcome {
+                    $crate::CaseResult::Pass => case += 1,
+                    $crate::CaseResult::Reject => {
+                        rejected += 1;
+                        assert!(
+                            rejected < 16 * config.cases,
+                            "proptest: too many prop_assume rejections in {}",
+                            stringify!($name),
+                        );
+                    }
+                    $crate::CaseResult::Fail(msg) => {
+                        panic!(
+                            "proptest case {} of {} failed: {}\n  inputs: {}",
+                            case,
+                            stringify!($name),
+                            msg,
+                            vec![$(format!("{} = {:?}", stringify!($arg), $arg)),*]
+                                .join(", "),
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_body! { ($cfg); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_are_respected(a in 1usize..10, b in 0.5f32..2.0) {
+            prop_assert!((1..10).contains(&a));
+            prop_assert!((0.5..2.0).contains(&b));
+        }
+
+        #[test]
+        fn assume_skips_cases(a in 0usize..10) {
+            prop_assume!(a % 2 == 0);
+            prop_assert_eq!(a % 2, 0);
+        }
+
+        #[test]
+        fn select_draws_from_options(v in prop::sample::select(vec![2usize, 4])) {
+            prop_assert!(v == 2 || v == 4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failures_panic_with_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            #[allow(unused)]
+            fn inner(a in 0usize..4) {
+                prop_assert!(a > 100, "a was {}", a);
+            }
+        }
+        inner();
+    }
+}

@@ -1,38 +1,44 @@
-//! Cross-crate integration tests: block convolution + models + quant +
-//! accelerator models working together.
+//! Cross-crate integration tests: the Session compiler, block convolution,
+//! models, quant and accelerator models working together.
 
 use bconv_core::analysis::boundary_error;
 use bconv_core::blocking::{BlockGrid, BlockingPattern};
-use bconv_core::fusion::{ChainOp, FusedChain, FusedPipeline};
 use bconv_core::BlockConv2d;
+use bconv_graph::{Graph, LowerOptions, Planner, PlannerOptions, Segment};
 use bconv_models::analysis::{conv_spatial, feature_map_series, plan_for};
+use bconv_models::builder::{conv, maxpool, NetBuilder};
 use bconv_models::vgg::vgg16;
+use bconv_models::ActShape;
 use bconv_quant::qconv::QConv2d;
 use bconv_quant::QParams;
 use bconv_tensor::conv::{Conv2d, ConvGeom};
 use bconv_tensor::init::{he_conv2d, seeded_rng, uniform_tensor};
 use bconv_tensor::pad::PadMode;
 
+/// A 16×16 three-conv descriptor (the paper's Figure 2(b) motif).
+fn three_conv_net() -> bconv_models::Network {
+    let mut b = NetBuilder::new("fig2b", ActShape { c: 3, h: 16, w: 16 });
+    b.push("conv1", conv(3, 1, 1, 3, 8));
+    b.push("conv2", conv(3, 1, 1, 8, 8));
+    b.push("conv3", conv(3, 1, 1, 8, 4));
+    b.build()
+}
+
 #[test]
 fn figure2b_three_layer_fusion_is_exact_and_transfer_free() {
-    // The motivating example: three consecutive conv layers fused
-    // block-by-block produce identical results with input+output-only
-    // off-chip traffic.
-    let mut rng = seeded_rng(1);
-    let grid = BlockGrid::from_pattern(16, 16, BlockingPattern::hierarchical(2)).unwrap();
-    let chain = FusedChain::plan(
-        vec![
-            ChainOp::Conv(he_conv2d(3, 8, ConvGeom::same(3), 1, &mut rng).unwrap()),
-            ChainOp::Relu,
-            ChainOp::Conv(he_conv2d(8, 8, ConvGeom::same(3), 1, &mut rng).unwrap()),
-            ChainOp::Relu,
-            ChainOp::Conv(he_conv2d(8, 4, ConvGeom::same(3), 1, &mut rng).unwrap()),
-        ],
-        grid,
-        PadMode::Zero,
-    )
-    .unwrap();
-    let input = uniform_tensor([1, 3, 16, 16], -1.0, 1.0, &mut rng);
+    // The motivating example: three consecutive conv layers (with ReLUs)
+    // compile into ONE fusion group whose fused execution is identical to
+    // layer-wise execution, with input+output-only off-chip traffic.
+    let graph =
+        Graph::lower(&three_conv_net(), &LowerOptions { seed: 1, relu_after_conv: true }).unwrap();
+    let plan = Planner::new(PlannerOptions::default()).plan(&graph).unwrap();
+    assert_eq!(plan.segments().len(), 1, "{}", plan.describe(&graph));
+    let Segment::Fused { chain, nodes, .. } = &plan.segments()[0] else {
+        panic!("expected a fused segment");
+    };
+    assert_eq!(nodes.len(), graph.nodes().len());
+
+    let input = uniform_tensor([1, 3, 16, 16], -1.0, 1.0, &mut seeded_rng(2));
     let (fused, fs) = chain.run_fused(&input).unwrap();
     let (layerwise, ls) = chain.run_layerwise(&input).unwrap();
     assert!(fused.approx_eq(&layerwise, 1e-5).unwrap());
@@ -86,10 +92,7 @@ fn quantized_block_convolution_stays_accurate() {
         }
     }
     let err = float_out.max_abs_diff(&q_out).unwrap();
-    let mag = float_out
-        .data()
-        .iter()
-        .fold(0.0f32, |m, &v| m.max(v.abs()));
+    let mag = float_out.data().iter().fold(0.0f32, |m, &v| m.max(v.abs()));
     assert!(err / mag < 0.1, "relative error {}", err / mag);
 }
 
@@ -102,26 +105,31 @@ fn feature_map_analysis_matches_direct_computation() {
 }
 
 #[test]
-fn fused_pipeline_over_two_stages_matches_reference() {
-    // Fixed blocking with merge at a pooling boundary (Figure 10) across
-    // two fusion groups equals the unfused computation.
-    let mut rng = seeded_rng(5);
-    let g1_grid = BlockGrid::from_pattern(16, 16, BlockingPattern::fixed(8)).unwrap();
-    let conv1 = he_conv2d(2, 4, ConvGeom::same(3), 1, &mut rng).unwrap();
-    let conv2 = he_conv2d(4, 2, ConvGeom::same(3), 1, &mut rng).unwrap();
-    let g1 = FusedChain::plan(
-        vec![ChainOp::Conv(conv1.clone()), ChainOp::MaxPool { k: 2 }],
-        g1_grid,
-        PadMode::Zero,
-    )
+fn planner_fuses_across_a_pooling_boundary() {
+    // Fixed blocking through conv -> pool -> conv: the planner carries the
+    // grid across the pooling downscale, and the fused schedule matches
+    // the layer-wise one exactly (Figure 10's scenario, now compiled
+    // rather than hand-assembled).
+    let mut b = NetBuilder::new("two-stage", ActShape { c: 2, h: 16, w: 16 });
+    b.push("conv1", conv(3, 1, 1, 2, 4));
+    b.push("pool1", maxpool(2, 2, 0));
+    b.push("conv2", conv(3, 1, 1, 4, 2));
+    let net = b.build();
+    let graph = Graph::lower(&net, &LowerOptions { seed: 5, relu_after_conv: false }).unwrap();
+    let plan = Planner::new(PlannerOptions {
+        pattern: BlockingPattern::fixed(8),
+        ..PlannerOptions::default()
+    })
+    .plan(&graph)
     .unwrap();
-    let g2_grid = g1.out_grid().clone().merge(2).unwrap();
-    let g2 = FusedChain::plan(vec![ChainOp::Conv(conv2.clone())], g2_grid, PadMode::Zero)
-        .unwrap();
-    let pipeline = FusedPipeline::new(vec![g1, g2]).unwrap();
-    let input = uniform_tensor([1, 2, 16, 16], -1.0, 1.0, &mut rng);
-    let (fused, _) = pipeline.run_fused(&input).unwrap();
-    let (layerwise, _) = pipeline.run_layerwise(&input).unwrap();
+    assert_eq!(plan.fusion_groups(), 1, "{}", plan.describe(&graph));
+    let Segment::Fused { chain, .. } = &plan.segments()[0] else {
+        panic!("expected fused segment");
+    };
+    assert_eq!(chain.len(), 3);
+    let input = uniform_tensor([1, 2, 16, 16], -1.0, 1.0, &mut seeded_rng(6));
+    let (fused, _) = chain.run_fused(&input).unwrap();
+    let (layerwise, _) = chain.run_layerwise(&input).unwrap();
     assert!(fused.approx_eq(&layerwise, 1e-5).unwrap());
     assert_eq!(fused.shape().dims(), [1, 2, 8, 8]);
 }
@@ -155,8 +163,7 @@ fn identity_conv_is_invariant_to_blocking() {
         BlockingPattern::Hierarchical { gh: 1, gw: 4 },
     ] {
         for mode in PadMode::ALL {
-            let bconv =
-                BlockConv2d::from_pattern(conv.clone(), 12, 12, pattern, mode).unwrap();
+            let bconv = BlockConv2d::from_pattern(conv.clone(), 12, 12, pattern, mode).unwrap();
             let out = bconv.forward(&input).unwrap();
             assert!(out.approx_eq(&input, 1e-6).unwrap(), "{pattern} {mode:?}");
         }

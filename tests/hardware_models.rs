@@ -39,12 +39,8 @@ fn fused_designs_beat_baseline_end_to_end() {
         &platform,
         16,
     );
-    let base8 = run_baseline(
-        &shapes,
-        &TileConfig { tr: 14, tc: 14, tm: 64, tn: 64, npe: 4 },
-        &platform,
-        8,
-    );
+    let base8 =
+        run_baseline(&shapes, &TileConfig { tr: 14, tc: 14, tm: 64, tn: 64, npe: 4 }, &platform, 8);
     for design in table6_configs() {
         let eval = design.evaluate(&shapes, &platform);
         let base = if design.bits == 16 { &base16 } else { &base8 };

@@ -1,18 +1,21 @@
 //! Workspace-level property tests on cross-crate invariants.
 
 use bconv_core::blocking::{BlockGrid, BlockingPattern};
-use bconv_core::fusion::{ChainOp, FusedChain};
-use bconv_quant::{fake_quant_dynamic, quantize, dequantize, QParams};
-use bconv_tensor::conv::ConvGeom;
-use bconv_tensor::init::{he_conv2d, seeded_rng, uniform_tensor};
+use bconv_graph::{Graph, LowerOptions, Planner, PlannerOptions, Segment};
+use bconv_models::builder::{conv, maxpool, NetBuilder};
+use bconv_models::ActShape;
+use bconv_quant::{dequantize, fake_quant_dynamic, quantize, QParams};
+use bconv_tensor::init::{seeded_rng, uniform_tensor};
 use bconv_tensor::pad::PadMode;
 use proptest::prelude::*;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
-    /// Fused execution equals layer-wise execution for arbitrary chains:
-    /// fusion is a schedule change, never a numerical one.
+    /// Fused execution equals layer-wise execution for arbitrary
+    /// planner-compiled chains: fusion is a schedule change, never a
+    /// numerical one. Chains are produced by lowering a random descriptor
+    /// through the Session compiler stages, not assembled by hand.
     #[test]
     fn fusion_is_schedule_invariant(
         g in 1usize..3,
@@ -21,20 +24,31 @@ proptest! {
         seed in 0u64..500,
         mode_idx in 0usize..3,
     ) {
-        let mut rng = seeded_rng(seed);
         let mode = PadMode::ALL[mode_idx];
-        let grid = BlockGrid::from_pattern(16, 16, BlockingPattern::hierarchical(g)).unwrap();
-        let chain = FusedChain::plan(
-            vec![
-                ChainOp::Conv(he_conv2d(2, c1, ConvGeom::same(3), 1, &mut rng).unwrap()),
-                ChainOp::Relu,
-                ChainOp::Conv(he_conv2d(c1, c2, ConvGeom::same(3), 1, &mut rng).unwrap()),
-                ChainOp::MaxPool { k: 2 },
-            ],
-            grid,
-            mode,
-        )
-        .unwrap();
+        let mut b = NetBuilder::new("prop", ActShape { c: 2, h: 16, w: 16 });
+        b.push("conv1", conv(3, 1, 1, 2, c1));
+        b.push("conv2", conv(3, 1, 1, c1, c2));
+        b.push("pool", maxpool(2, 2, 0));
+        let net = b.build();
+        let graph = Graph::lower(
+            &net,
+            &LowerOptions { seed, relu_after_conv: true },
+        ).unwrap();
+        let plan = Planner::new(PlannerOptions {
+            pattern: BlockingPattern::hierarchical(g),
+            pad_mode: mode,
+            ..PlannerOptions::default()
+        }).plan(&graph).unwrap();
+
+        // The whole conv/relu/pool body compiles into one fusion group
+        // (16 is divisible by every g here, so pooling stays aligned).
+        prop_assert_eq!(plan.fusion_groups(), 1);
+        prop_assert!(matches!(plan.segments()[0], Segment::Fused { .. }));
+        let Segment::Fused { chain, .. } = &plan.segments()[0] else {
+            unreachable!()
+        };
+
+        let mut rng = seeded_rng(seed ^ 0xF00D);
         let input = uniform_tensor([1, 2, 16, 16], -1.0, 1.0, &mut rng);
         let (fused, fs) = chain.run_fused(&input).unwrap();
         let (layerwise, ls) = chain.run_layerwise(&input).unwrap();
@@ -70,7 +84,7 @@ proptest! {
         s in prop::sample::select(vec![2usize, 4]),
     ) {
         let size = 32usize;
-        prop_assume!(size % (g * s) == 0 && (size / g) % s == 0);
+        prop_assume!(size.is_multiple_of(g * s) && (size / g).is_multiple_of(s));
         let grid = BlockGrid::from_pattern(size, size, BlockingPattern::hierarchical(g)).unwrap();
         let down = grid.downscale(s).unwrap();
         prop_assert_eq!(down.num_blocks(), grid.num_blocks());
