@@ -18,7 +18,8 @@ use bconv_quant::qconv::QConv2d;
 use bconv_quant::QParams;
 use bconv_tensor::conv::{Conv2d, ConvGeom};
 use bconv_tensor::init::{he_conv2d, seeded_rng, uniform_tensor};
-use bconv_tensor::pad::PadMode;
+use bconv_tensor::kernel::{ConvScratch, KernelKind};
+use bconv_tensor::pad::{pad2d, PadMode};
 use bconv_tensor::Tensor;
 
 fn conv_fixture(c: usize, h: usize) -> (Conv2d, Tensor) {
@@ -45,6 +46,42 @@ fn bench_conv_kernels(c: &mut Criterion) {
         .unwrap();
         group.bench_function(format!("block_h2_{ch}x{res}"), |b| {
             b.iter(|| black_box(bconv.forward(black_box(&input)).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_kernel_impls(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_impls");
+    for (ch, res) in [(16usize, 32usize), (32, 56)] {
+        let (conv, input) = conv_fixture(ch, res);
+        let padded = pad2d(&input, 1, 1, PadMode::Zero).unwrap();
+        for kind in [KernelKind::Direct, KernelKind::Im2colGemm] {
+            let mut out = Tensor::default();
+            let mut scratch = ConvScratch::new();
+            group.bench_function(format!("{}_{ch}x{res}", kind.name()), |b| {
+                b.iter(|| {
+                    conv.forward_prepadded_into(black_box(&padded), kind, &mut out, &mut scratch)
+                        .unwrap();
+                    black_box(out.data()[0])
+                })
+            });
+        }
+    }
+    // Depthwise: the measurement behind Auto's choice of GEMM even at m=1.
+    let mut rng = seeded_rng(5);
+    let dw = he_conv2d(32, 32, ConvGeom::same(3), 32, &mut rng).unwrap();
+    let input = uniform_tensor([1, 32, 32, 32], -1.0, 1.0, &mut rng);
+    let padded = pad2d(&input, 1, 1, PadMode::Zero).unwrap();
+    for kind in [KernelKind::Direct, KernelKind::Im2colGemm] {
+        let mut out = Tensor::default();
+        let mut scratch = ConvScratch::new();
+        group.bench_function(format!("{}_depthwise_32x32", kind.name()), |b| {
+            b.iter(|| {
+                dw.forward_prepadded_into(black_box(&padded), kind, &mut out, &mut scratch)
+                    .unwrap();
+                black_box(out.data()[0])
+            })
         });
     }
     group.finish();
@@ -113,6 +150,7 @@ fn bench_dse(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_conv_kernels,
+    bench_kernel_impls,
     bench_padding_modes,
     bench_fused_chain,
     bench_quantized_conv,

@@ -1,0 +1,143 @@
+//! Kernel-layer benchmark: direct vs im2col+GEMM conv kernels, serial vs
+//! thread-parallel block dispatch, on the vgg16_small fused pipeline.
+//!
+//! Writes `BENCH_kernels.json` (machine-readable, one entry per
+//! configuration, speedups relative to the direct serial baseline — the
+//! seed repo's execution mode) so successive PRs accumulate a perf
+//! trajectory. `--quick` trims repetitions for CI.
+//!
+//! Usage: `bench_kernels [--quick] [--out PATH]`
+
+use std::time::Instant;
+
+use bconv_core::BlockingPattern;
+use bconv_graph::{KernelPolicy, Session};
+use bconv_models::small::vgg16_small;
+use bconv_tensor::init::{seeded_rng, uniform_tensor};
+use bconv_tensor::Tensor;
+
+struct Config {
+    name: &'static str,
+    kernel: KernelPolicy,
+    threads: usize,
+}
+
+struct Measurement {
+    name: String,
+    kernel: &'static str,
+    threads: usize,
+    median_us: f64,
+    speedup: f64,
+    output_matches_baseline: bool,
+}
+
+fn build(kernel: KernelPolicy, threads: usize) -> Session {
+    Session::builder()
+        .network(vgg16_small(32))
+        .pattern(BlockingPattern::hierarchical(2))
+        .kernel(kernel)
+        .threads(threads)
+        .seed(2018)
+        .build()
+        .expect("vgg16_small session builds")
+}
+
+fn median_us(session: &Session, input: &Tensor, reps: usize) -> f64 {
+    // One warm-up run grows scratch buffers and faults in weights.
+    session.run(input).expect("bench run");
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            std::hint::black_box(session.run(input).expect("bench run"));
+            t.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_kernels.json".to_string());
+    let reps = if quick { 5 } else { 30 };
+    let avail = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let many = avail.max(2);
+
+    let configs = [
+        Config { name: "direct_t1", kernel: KernelPolicy::Direct, threads: 1 },
+        Config { name: "gemm_t1", kernel: KernelPolicy::Im2colGemm, threads: 1 },
+        Config { name: "direct_tN", kernel: KernelPolicy::Direct, threads: many },
+        Config { name: "gemm_tN", kernel: KernelPolicy::Im2colGemm, threads: many },
+    ];
+
+    let input = uniform_tensor([1, 3, 32, 32], -1.0, 1.0, &mut seeded_rng(7));
+    let baseline_session = build(configs[0].kernel, configs[0].threads);
+    let baseline_out = baseline_session.run(&input).expect("baseline run").output;
+    let baseline_us = median_us(&baseline_session, &input, reps);
+
+    println!("vgg16_small fused pipeline, {reps} reps, {many} worker threads for tN configs");
+    let mut results = Vec::new();
+    for cfg in &configs {
+        let session = build(cfg.kernel, cfg.threads);
+        let us =
+            if cfg.name == "direct_t1" { baseline_us } else { median_us(&session, &input, reps) };
+        let out = session.run(&input).expect("bench run").output;
+        let matches = out.data() == baseline_out.data();
+        let speedup = baseline_us / us;
+        println!(
+            "{:<10} kernel={:<12} threads={:<2} median {:>9.1} us  speedup {:>5.2}x  bitwise-match {}",
+            cfg.name,
+            cfg.kernel.name(),
+            cfg.threads,
+            us,
+            speedup,
+            matches
+        );
+        results.push(Measurement {
+            name: cfg.name.to_string(),
+            kernel: cfg.kernel.name(),
+            threads: cfg.threads,
+            median_us: us,
+            speedup,
+            output_matches_baseline: matches,
+        });
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"kernels\",\n");
+    json.push_str("  \"network\": \"vgg16_small\",\n");
+    json.push_str("  \"pattern\": \"H2x2\",\n");
+    json.push_str(&format!("  \"reps\": {reps},\n"));
+    json.push_str(&format!("  \"quick\": {quick},\n"));
+    json.push_str(&format!("  \"available_parallelism\": {avail},\n"));
+    json.push_str("  \"baseline\": \"direct_t1\",\n");
+    json.push_str("  \"results\": [\n");
+    for (i, m) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"kernel\": \"{}\", \"threads\": {}, \
+             \"median_us\": {:.1}, \"speedup_vs_direct_t1\": {:.3}, \
+             \"output_matches_baseline\": {}}}{}\n",
+            m.name,
+            m.kernel,
+            m.threads,
+            m.median_us,
+            m.speedup,
+            m.output_matches_baseline,
+            if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, json).expect("write bench json");
+    println!("wrote {out_path}");
+
+    assert!(
+        results.iter().all(|m| m.output_matches_baseline),
+        "kernel/thread configurations must agree bitwise"
+    );
+}

@@ -6,23 +6,46 @@
 //! FLOPs are identical to the conventional convolution; only pixels whose
 //! receptive field crosses a block boundary can differ.
 
+use std::sync::Arc;
+
 use bconv_tensor::conv::Conv2d;
-use bconv_tensor::pad::{pad2d_asym, PadMode};
+use bconv_tensor::kernel::{ConvScratch, KernelKind, KernelPolicy};
+use bconv_tensor::pad::{pad2d_asym_into, PadMode};
 use bconv_tensor::{Tensor, TensorError};
 
 use crate::blocking::{BlockGrid, BlockingPattern};
 use crate::padding_solver::{plan_axis, AxisPlan};
 
 /// A planned block convolution: a dense convolution plus a block grid, the
-/// per-block padding schedule derived from the paper's Equation 2, and a
-/// block-padding mode.
+/// per-block padding schedule derived from the paper's Equation 2, a
+/// block-padding mode, and the conv kernel the blocks execute through.
+///
+/// The convolution weights are held behind an [`Arc`], shared with
+/// whoever planned the block convolution (e.g. a `bconv-graph` `Graph`
+/// node) — planning never deep-clones weights.
 #[derive(Debug, Clone)]
 pub struct BlockConv2d {
-    conv: Conv2d,
+    conv: Arc<Conv2d>,
     grid: BlockGrid,
     rows: AxisPlan,
     cols: AxisPlan,
     pad_mode: PadMode,
+    kernel: KernelKind,
+}
+
+/// Reusable temporaries for per-block convolution: the padded block and
+/// the kernel's own scratch. One per worker thread.
+#[derive(Debug, Default)]
+pub struct BlockConvScratch {
+    padded: Tensor,
+    conv: ConvScratch,
+}
+
+impl BlockConvScratch {
+    /// A fresh, empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
 }
 
 impl BlockConv2d {
@@ -51,11 +74,32 @@ impl BlockConv2d {
     /// # Ok(())
     /// # }
     /// ```
-    pub fn plan(conv: Conv2d, grid: BlockGrid, pad_mode: PadMode) -> Result<Self, TensorError> {
+    pub fn plan(
+        conv: impl Into<Arc<Conv2d>>,
+        grid: BlockGrid,
+        pad_mode: PadMode,
+    ) -> Result<Self, TensorError> {
+        Self::plan_with_kernel(conv, grid, pad_mode, KernelPolicy::default())
+    }
+
+    /// [`plan`](Self::plan) with an explicit [`KernelPolicy`] deciding how
+    /// each block is convolved (direct loop vs im2col+GEMM).
+    ///
+    /// # Errors
+    ///
+    /// See [`BlockConv2d::plan`].
+    pub fn plan_with_kernel(
+        conv: impl Into<Arc<Conv2d>>,
+        grid: BlockGrid,
+        pad_mode: PadMode,
+        policy: KernelPolicy,
+    ) -> Result<Self, TensorError> {
+        let conv = conv.into();
         let g = conv.geom();
         let rows = plan_axis(grid.row_segments(), g.kernel, g.stride, g.padding)?;
         let cols = plan_axis(grid.col_segments(), g.kernel, g.stride, g.padding)?;
-        Ok(Self { conv, grid, rows, cols, pad_mode })
+        let kernel = policy.resolve(&conv);
+        Ok(Self { conv, grid, rows, cols, pad_mode, kernel })
     }
 
     /// Plans a block convolution from a [`BlockingPattern`] on an `h × w`
@@ -65,7 +109,7 @@ impl BlockConv2d {
     ///
     /// See [`BlockConv2d::plan`].
     pub fn from_pattern(
-        conv: Conv2d,
+        conv: impl Into<Arc<Conv2d>>,
         h: usize,
         w: usize,
         pattern: BlockingPattern,
@@ -78,6 +122,16 @@ impl BlockConv2d {
     /// The underlying dense convolution.
     pub fn conv(&self) -> &Conv2d {
         &self.conv
+    }
+
+    /// The shared weight handle (the same allocation the planner was given).
+    pub fn conv_arc(&self) -> &Arc<Conv2d> {
+        &self.conv
+    }
+
+    /// The kernel implementation blocks execute through.
+    pub fn kernel(&self) -> KernelKind {
+        self.kernel
     }
 
     /// The block grid on the input.
@@ -129,6 +183,29 @@ impl BlockConv2d {
         row: usize,
         col: usize,
     ) -> Result<Tensor, TensorError> {
+        let mut scratch = BlockConvScratch::default();
+        let mut out = Tensor::zeros([0, 0, 0, 0]);
+        self.forward_block_into(block, row, col, &mut out, &mut scratch)?;
+        Ok(out)
+    }
+
+    /// [`forward_block`](Self::forward_block) into a caller-provided
+    /// output, drawing the padded-block temporary and the kernel's patch
+    /// matrix from `scratch`. Fused executors call this once per block
+    /// per stage with a per-worker scratch, so steady-state execution
+    /// performs no allocation.
+    ///
+    /// # Errors
+    ///
+    /// See [`forward_block`](Self::forward_block).
+    pub fn forward_block_into(
+        &self,
+        block: &Tensor,
+        row: usize,
+        col: usize,
+        out: &mut Tensor,
+        scratch: &mut BlockConvScratch,
+    ) -> Result<(), TensorError> {
         let rp = &self.rows.blocks[row];
         let cp = &self.cols.blocks[col];
         let [_, _, bh, bw] = block.shape().dims();
@@ -139,8 +216,16 @@ impl BlockConv2d {
                 format!("[{bh},{bw}]"),
             ));
         }
-        let padded = pad2d_asym(block, rp.pad_lo, rp.pad_hi, cp.pad_lo, cp.pad_hi, self.pad_mode)?;
-        self.conv.forward_prepadded(&padded)
+        pad2d_asym_into(
+            block,
+            rp.pad_lo,
+            rp.pad_hi,
+            cp.pad_lo,
+            cp.pad_hi,
+            self.pad_mode,
+            &mut scratch.padded,
+        )?;
+        self.conv.forward_prepadded_into(&scratch.padded, self.kernel, out, &mut scratch.conv)
     }
 
     /// Full block convolution: split by the grid, convolve each block via
@@ -160,12 +245,16 @@ impl BlockConv2d {
         }
         let out_grid = self.output_grid()?;
         let mut out = Tensor::zeros([n, self.conv.c_out(), out_grid.h(), out_grid.w()]);
+        // One scratch set reused across every block of the map.
+        let mut scratch = BlockConvScratch::default();
+        let mut cropped = Tensor::zeros([0, 0, 0, 0]);
+        let mut conv_out = Tensor::zeros([0, 0, 0, 0]);
         for row in 0..self.grid.num_rows() {
             for col in 0..self.grid.num_cols() {
                 let b = self.grid.block(row, col);
                 let ob = out_grid.block(row, col);
-                let cropped = input.crop(b.h0, b.w0, b.bh, b.bw)?;
-                let conv_out = self.forward_block(&cropped, row, col)?;
+                input.crop_into(b.h0, b.w0, b.bh, b.bw, &mut cropped)?;
+                self.forward_block_into(&cropped, row, col, &mut conv_out, &mut scratch)?;
                 out.paste(&conv_out, ob.h0, ob.w0)?;
             }
         }

@@ -8,20 +8,27 @@
 //! on-chip "extra buffer" concatenation between them (Figure 10's CONV4
 //! stage, where fixed blocking splices pooled blocks back together).
 
+use std::sync::Arc;
+
 use bconv_tensor::activation::relu_inplace;
 use bconv_tensor::conv::Conv2d;
+use bconv_tensor::kernel::KernelPolicy;
 use bconv_tensor::pad::PadMode;
-use bconv_tensor::pool::max_pool2d;
+use bconv_tensor::pool::{max_pool2d, max_pool2d_into};
 use bconv_tensor::{Tensor, TensorError};
 
-use crate::block_conv::BlockConv2d;
+use crate::block_conv::{BlockConv2d, BlockConvScratch};
 use crate::blocking::BlockGrid;
 
 /// One operation in a fusion group.
+///
+/// Convolution weights are held behind an [`Arc`]: planning a chain from
+/// a weight-bound graph shares the graph's weight tensors instead of
+/// deep-cloning them.
 #[derive(Debug, Clone)]
 pub enum ChainOp {
     /// A stride-1 convolution, executed as a block convolution.
-    Conv(Conv2d),
+    Conv(Arc<Conv2d>),
     /// Element-wise ReLU.
     Relu,
     /// `k × k` max pooling with stride `k` (the paper's baselines replace
@@ -30,6 +37,14 @@ pub enum ChainOp {
         /// Pooling window and stride.
         k: usize,
     },
+}
+
+impl ChainOp {
+    /// Convenience constructor wrapping a convolution (owned or shared)
+    /// into the chain.
+    pub fn conv(conv: impl Into<Arc<Conv2d>>) -> Self {
+        Self::Conv(conv.into())
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -42,6 +57,14 @@ enum Stage {
 
 /// Memory and traffic statistics of one execution, in **elements** (multiply
 /// by the bitwidth to get bits, as Figures 1/9 and Table IX do).
+///
+/// These model the paper's **accelerator dataflow** — feature-map block
+/// buffers and off-chip feature-map transfers — not host-process memory.
+/// CPU-side kernel temporaries (the padded block, the im2col patch
+/// matrix of [`bconv_tensor::kernel`]) are execution details of *this*
+/// reference implementation and are excluded, as is weight storage.
+/// Both fields are scheduling-invariant: identical for any worker-thread
+/// count and any kernel choice.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct MemStats {
     /// Peak number of elements simultaneously alive in working buffers.
@@ -49,6 +72,31 @@ pub struct MemStats {
     /// Elements transferred across the off-chip boundary (reads + writes of
     /// feature maps; weights excluded).
     pub offchip_elems: usize,
+}
+
+/// Reusable per-worker buffers for block-by-block chain execution: the
+/// ping-pong block pair (Figure 10's intermediate buffers) plus the
+/// convolution temporaries. Buffers grow to the largest block seen and
+/// are reused across blocks and chain stages — steady-state fused
+/// execution allocates nothing.
+#[derive(Debug, Default)]
+pub struct BlockScratch {
+    cur: Tensor,
+    next: Tensor,
+    conv: BlockConvScratch,
+}
+
+impl BlockScratch {
+    /// A fresh scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The output block left behind by the last
+    /// [`FusedChain::run_block_scratch`] call.
+    pub fn output(&self) -> &Tensor {
+        &self.cur
+    }
 }
 
 /// A fusion group: a chain of ops executed block-by-block under one grid.
@@ -75,6 +123,22 @@ impl FusedChain {
         grid: BlockGrid,
         pad_mode: PadMode,
     ) -> Result<Self, TensorError> {
+        Self::plan_with_kernel(ops, grid, pad_mode, KernelPolicy::default())
+    }
+
+    /// [`plan`](Self::plan) with an explicit [`KernelPolicy`]: every conv
+    /// stage resolves its kernel (direct loop vs im2col+GEMM) under the
+    /// policy at plan time, so execution carries no per-run dispatch.
+    ///
+    /// # Errors
+    ///
+    /// See [`FusedChain::plan`].
+    pub fn plan_with_kernel(
+        ops: Vec<ChainOp>,
+        grid: BlockGrid,
+        pad_mode: PadMode,
+        policy: KernelPolicy,
+    ) -> Result<Self, TensorError> {
         let in_grid = grid.clone();
         let mut cur = grid;
         let mut stages = Vec::with_capacity(ops.len());
@@ -86,7 +150,7 @@ impl FusedChain {
                             "fused convolutions must be stride-1; express stride as conv + pool",
                         ));
                     }
-                    let bconv = BlockConv2d::plan(conv, cur.clone(), pad_mode)?;
+                    let bconv = BlockConv2d::plan_with_kernel(conv, cur.clone(), pad_mode, policy)?;
                     cur = bconv.output_grid()?;
                     stages.push(Stage::Conv(bconv));
                 }
@@ -128,29 +192,61 @@ impl FusedChain {
         })
     }
 
-    fn run_block(
+    /// The block convolutions of the chain's conv stages, in order.
+    pub fn convs(&self) -> impl Iterator<Item = &BlockConv2d> {
+        self.stages.iter().filter_map(|s| match s {
+            Stage::Conv(b) => Some(b),
+            _ => None,
+        })
+    }
+
+    /// Runs a single block `(row, col)` of `input` through every stage of
+    /// the chain, reusing `scratch` for all intermediates; the result is
+    /// left in [`BlockScratch::output`]. Blocks are independent by
+    /// construction (paper §II-C), so callers may invoke this from
+    /// multiple threads — one scratch per thread — in any order.
+    ///
+    /// `stats` accumulates the per-block working-set peak; off-chip
+    /// traffic is accounted by the caller at the chain boundary.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors if `input` does not match the planned grid.
+    pub fn run_block_scratch(
         &self,
-        mut block: Tensor,
+        input: &Tensor,
         row: usize,
         col: usize,
+        scratch: &mut BlockScratch,
         stats: &mut MemStats,
-    ) -> Result<Tensor, TensorError> {
+    ) -> Result<(), TensorError> {
+        let b = self.in_grid.block(row, col);
+        input.crop_into(b.h0, b.w0, b.bh, b.bw, &mut scratch.cur)?;
         for stage in &self.stages {
-            let next = match stage {
-                Stage::Conv(bconv) => bconv.forward_block(&block, row, col)?,
+            match stage {
+                Stage::Conv(bconv) => {
+                    bconv.forward_block_into(
+                        &scratch.cur,
+                        row,
+                        col,
+                        &mut scratch.next,
+                        &mut scratch.conv,
+                    )?;
+                }
                 Stage::Relu => {
-                    relu_inplace(&mut block);
+                    relu_inplace(&mut scratch.cur);
                     continue;
                 }
-                Stage::Pool { k } => max_pool2d(&block, *k, *k)?,
-            };
+                Stage::Pool { k } => max_pool2d_into(&scratch.cur, *k, *k, &mut scratch.next)?,
+            }
             // Input and output block buffers are alive simultaneously
             // (the paper's ping-pong intermediate buffers, Figure 10).
-            stats.peak_working_elems =
-                stats.peak_working_elems.max(block.shape().numel() + next.shape().numel());
-            block = next;
+            stats.peak_working_elems = stats
+                .peak_working_elems
+                .max(scratch.cur.shape().numel() + scratch.next.shape().numel());
+            std::mem::swap(&mut scratch.cur, &mut scratch.next);
         }
-        Ok(block)
+        Ok(())
     }
 
     /// Executes the group block-by-block (*fused* dataflow): only the input
@@ -160,6 +256,27 @@ impl FusedChain {
     ///
     /// Returns shape errors if `input` does not match the planned grid.
     pub fn run_fused(&self, input: &Tensor) -> Result<(Tensor, MemStats), TensorError> {
+        self.run_fused_threads(input, 1)
+    }
+
+    /// [`run_fused`](Self::run_fused) with the blocks dispatched across
+    /// `threads` scoped worker threads (clamped to the block count; `<= 1`
+    /// runs serially). Blocks are independent by construction and write
+    /// disjoint output regions, so every block runs the same per-block
+    /// routine as the serial path, each worker reuses one [`BlockScratch`]
+    /// across its contiguous chunk, and the output is **bitwise identical
+    /// at any thread count**. [`MemStats`] stay exact: off-chip traffic is
+    /// the group input + output and the working-set peak is a max over
+    /// blocks — both scheduling-invariant.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors if `input` does not match the planned grid.
+    pub fn run_fused_threads(
+        &self,
+        input: &Tensor,
+        threads: usize,
+    ) -> Result<(Tensor, MemStats), TensorError> {
         let [n, c, h, w] = input.shape().dims();
         if h != self.in_grid.h() || w != self.in_grid.w() {
             return Err(TensorError::shape_mismatch(
@@ -174,15 +291,50 @@ impl FusedChain {
             peak_working_elems: 0,
             offchip_elems: input.shape().numel() + out.shape().numel(),
         };
-        for row in 0..self.in_grid.num_rows() {
-            for col in 0..self.in_grid.num_cols() {
-                let b = self.in_grid.block(row, col);
-                let block = input.crop(b.h0, b.w0, b.bh, b.bw)?;
-                let result = self.run_block(block, row, col, &mut stats)?;
+        let blocks: Vec<(usize, usize)> = (0..self.in_grid.num_rows())
+            .flat_map(|r| (0..self.in_grid.num_cols()).map(move |c| (r, c)))
+            .collect();
+        let workers = threads.min(blocks.len()).max(1);
+
+        if workers <= 1 {
+            // One scratch set serves every block and stage of the run.
+            let mut scratch = BlockScratch::default();
+            for &(row, col) in &blocks {
+                self.run_block_scratch(input, row, col, &mut scratch, &mut stats)?;
                 let ob = self.out_grid.block(row, col);
-                out.paste(&result, ob.h0, ob.w0)?;
+                out.paste(scratch.output(), ob.h0, ob.w0)?;
             }
+            return Ok((out, stats));
         }
+
+        // Static contiguous partition; workers paste their (disjoint)
+        // output blocks under a short-held lock, so no per-block result
+        // tensors are materialised and the outcome cannot depend on
+        // timing.
+        let chunk = blocks.len().div_ceil(workers);
+        let out_slot = std::sync::Mutex::new(&mut out);
+        std::thread::scope(|scope| -> Result<(), TensorError> {
+            let mut handles = Vec::with_capacity(workers);
+            for block_chunk in blocks.chunks(chunk) {
+                let out_slot = &out_slot;
+                handles.push(scope.spawn(move || -> Result<MemStats, TensorError> {
+                    let mut scratch = BlockScratch::new();
+                    let mut local = MemStats::default();
+                    for &(row, col) in block_chunk {
+                        self.run_block_scratch(input, row, col, &mut scratch, &mut local)?;
+                        let ob = self.out_grid.block(row, col);
+                        let mut guard = out_slot.lock().expect("output mutex poisoned");
+                        guard.paste(scratch.output(), ob.h0, ob.w0)?;
+                    }
+                    Ok(local)
+                }));
+            }
+            for handle in handles {
+                let local = handle.join().expect("block worker panicked")?;
+                stats.peak_working_elems = stats.peak_working_elems.max(local.peak_working_elems);
+            }
+            Ok(())
+        })?;
         Ok((out, stats))
     }
 
@@ -319,11 +471,11 @@ mod tests {
         // The Figure 2(b) scenario: three consecutive 3x3 convolutions.
         FusedChain::plan(
             vec![
-                ChainOp::Conv(conv(2, 4, 1)),
+                ChainOp::conv(conv(2, 4, 1)),
                 ChainOp::Relu,
-                ChainOp::Conv(conv(4, 4, 2)),
+                ChainOp::conv(conv(4, 4, 2)),
                 ChainOp::Relu,
-                ChainOp::Conv(conv(4, 2, 3)),
+                ChainOp::conv(conv(4, 2, 3)),
             ],
             grid,
             PadMode::Zero,
@@ -359,7 +511,7 @@ mod tests {
     fn fused_working_set_is_block_sized() {
         let grid = BlockGrid::from_pattern(16, 16, BlockingPattern::hierarchical(4)).unwrap();
         let chain = FusedChain::plan(
-            vec![ChainOp::Conv(conv(2, 2, 7)), ChainOp::Conv(conv(2, 2, 8))],
+            vec![ChainOp::conv(conv(2, 2, 7)), ChainOp::conv(conv(2, 2, 8))],
             grid,
             PadMode::Zero,
         )
@@ -378,10 +530,10 @@ mod tests {
         let grid = BlockGrid::from_pattern(8, 8, BlockingPattern::hierarchical(2)).unwrap();
         let chain = FusedChain::plan(
             vec![
-                ChainOp::Conv(conv(1, 2, 11)),
+                ChainOp::conv(conv(1, 2, 11)),
                 ChainOp::Relu,
                 ChainOp::MaxPool { k: 2 },
-                ChainOp::Conv(conv(2, 1, 12)),
+                ChainOp::conv(conv(2, 1, 12)),
             ],
             grid,
             PadMode::Zero,
@@ -399,7 +551,7 @@ mod tests {
         let grid = BlockGrid::single(8, 8);
         let mut rng = seeded_rng(14);
         let strided = he_conv2d(1, 1, ConvGeom::new(3, 2, 1), 1, &mut rng).unwrap();
-        assert!(FusedChain::plan(vec![ChainOp::Conv(strided)], grid, PadMode::Zero).is_err());
+        assert!(FusedChain::plan(vec![ChainOp::conv(strided)], grid, PadMode::Zero).is_err());
     }
 
     #[test]
@@ -408,7 +560,7 @@ mod tests {
         // 2x2 blocks; splice into a single block for group 2 (Figure 10).
         let g1_grid = BlockGrid::from_pattern(16, 16, BlockingPattern::fixed(4)).unwrap();
         let g1 = FusedChain::plan(
-            vec![ChainOp::Conv(conv(1, 2, 21)), ChainOp::MaxPool { k: 2 }],
+            vec![ChainOp::conv(conv(1, 2, 21)), ChainOp::MaxPool { k: 2 }],
             g1_grid,
             PadMode::Zero,
         )
@@ -416,7 +568,7 @@ mod tests {
         let g2_grid = g1.out_grid().clone().merge(4).unwrap();
         assert_eq!(g2_grid.num_blocks(), 1);
         let g2 =
-            FusedChain::plan(vec![ChainOp::Conv(conv(2, 1, 22))], g2_grid, PadMode::Zero).unwrap();
+            FusedChain::plan(vec![ChainOp::conv(conv(2, 1, 22))], g2_grid, PadMode::Zero).unwrap();
         let pipeline = FusedPipeline::new(vec![g1, g2]).unwrap();
         let input = uniform_tensor([1, 1, 16, 16], -1.0, 1.0, &mut seeded_rng(23));
         let (fused, fs) = pipeline.run_fused(&input).unwrap();

@@ -37,7 +37,7 @@ pub mod overlap;
 pub mod padding_solver;
 pub mod plan;
 
-pub use block_conv::BlockConv2d;
+pub use block_conv::{BlockConv2d, BlockConvScratch};
 pub use blocking::{Block, BlockGrid, BlockingPattern};
-pub use fusion::{ChainOp, FusedChain, FusedPipeline, MemStats};
+pub use fusion::{BlockScratch, ChainOp, FusedChain, FusedPipeline, MemStats};
 pub use plan::{LayerBlocking, NetworkPlan};

@@ -186,24 +186,39 @@ fn release_used(values: &mut [Option<Tensor>], remaining: &mut [usize], node: &c
 
 /// Blocked/fused backend: executes an [`ExecPlan`], streaming fusion
 /// groups block-by-block so their intermediates never cross the off-chip
-/// boundary.
+/// boundary. Blocks of a fusion group are spatially independent by
+/// construction (paper §II-C), so with `threads > 1` they are dispatched
+/// across scoped worker threads, each with its own scratch buffers;
+/// outputs are bitwise-identical at any thread count.
 #[derive(Debug, Clone)]
 pub struct BlockedExecutor {
     graph: Arc<Graph>,
     plan: Arc<ExecPlan>,
+    threads: usize,
 }
 
 impl BlockedExecutor {
-    /// Compiles the backend from a graph and a planned segment list. The
-    /// plan is shared, not cloned — its `FusedChain`s own per-stage weight
-    /// copies, so duplicating it would double blocked-conv weight memory.
+    /// Compiles a single-threaded backend from a graph and a planned
+    /// segment list. The plan is shared, not cloned; its `FusedChain`
+    /// stages in turn share the graph's `Arc<Conv2d>` weights.
     pub fn new(graph: Arc<Graph>, plan: Arc<ExecPlan>) -> Self {
-        Self { graph, plan }
+        Self::with_threads(graph, plan, 1)
+    }
+
+    /// [`new`](Self::new) with an explicit worker-thread count for block
+    /// dispatch (`0` is treated as `1`).
+    pub fn with_threads(graph: Arc<Graph>, plan: Arc<ExecPlan>, threads: usize) -> Self {
+        Self { graph, plan, threads: threads.max(1) }
     }
 
     /// The compiled plan.
     pub fn plan(&self) -> &ExecPlan {
         &self.plan
+    }
+
+    /// Worker threads used for block dispatch.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 }
 
@@ -228,7 +243,7 @@ impl Executor for BlockedExecutor {
             let (out_id, out) = match seg {
                 Segment::Fused { nodes: ids, chain, input: src } => {
                     let in_t = resolve(&values, input, *src)?;
-                    let (out, gs) = chain.run_fused(in_t)?;
+                    let (out, gs) = chain.run_fused_threads(in_t, self.threads)?;
                     // Per-block buffers are the group's working set; its
                     // input/output traffic is accounted at the segment
                     // boundaries below.

@@ -6,6 +6,8 @@
 //! every executor compiled from the same graph (and every session built
 //! with the same seed) computes on identical parameters.
 
+use std::sync::Arc;
+
 use bconv_models::{ActShape, LayerKind, Network};
 use bconv_tensor::conv::{Conv2d, ConvGeom};
 use bconv_tensor::init::{he_conv2d, he_linear, seeded_rng};
@@ -31,8 +33,11 @@ pub enum NodeOp {
     /// this convolution among the source network's conv layers — the index
     /// a [`bconv_core::plan::NetworkPlan`] decision list is keyed by.
     Conv {
-        /// The dense convolution (weights bound at lowering).
-        conv: Conv2d,
+        /// The dense convolution (weights bound at lowering). Shared: the
+        /// planner hands the same allocation to every `FusedChain` stage
+        /// built from this node, so blocked-conv weights exist once per
+        /// session.
+        conv: Arc<Conv2d>,
         /// Conv-layer ordinal in the source network.
         conv_ordinal: usize,
     },
@@ -174,7 +179,7 @@ impl Graph {
                     // Weight stream depends only on (seed, conv ordinal).
                     let mut rng = seeded_rng(layer_seed(opts.seed, 0x434F_4E56, conv_ordinal));
                     let conv = he_conv2d(c_in, c_out, ConvGeom::new(k, s, p), groups, &mut rng)?;
-                    let op = NodeOp::Conv { conv, conv_ordinal };
+                    let op = NodeOp::Conv { conv: Arc::new(conv), conv_ordinal };
                     conv_ordinal += 1;
                     op
                 }

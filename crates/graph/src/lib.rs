@@ -45,4 +45,8 @@ pub mod session;
 pub use exec::{BlockedExecutor, Executor, ReferenceExecutor, RunReport};
 pub use ir::{Graph, LowerOptions, Node, NodeId, NodeOp, NodeRef};
 pub use plan::{ExecPlan, Planner, PlannerOptions, Segment};
-pub use session::{Backend, Session, SessionBuilder};
+pub use session::{Backend, Session, SessionBuilder, THREADS_ENV};
+
+// Re-exported so session callers can pick a conv kernel without a direct
+// bconv-tensor dependency.
+pub use bconv_tensor::kernel::{KernelKind, KernelPolicy};

@@ -9,10 +9,13 @@
 //! non-matching pooling, residual `Add`, FC, GAP, upsampling) become
 //! whole-map segments with an off-chip boundary on either side.
 
+use std::sync::Arc;
+
 use bconv_core::blocking::{BlockGrid, BlockingPattern};
 use bconv_core::fusion::{ChainOp, FusedChain};
 use bconv_core::plan::{LayerBlocking, NetworkPlan};
 use bconv_core::BlockConv2d;
+use bconv_tensor::kernel::KernelPolicy;
 use bconv_tensor::pad::PadMode;
 use bconv_tensor::TensorError;
 
@@ -30,8 +33,14 @@ pub struct PlannerOptions {
     pub pad_mode: PadMode,
     /// On-chip working-buffer budget in **elements**: a fusion group is cut
     /// when extending it would push the per-block ping-pong buffer pair
-    /// past the budget. `None` fuses maximal chains.
+    /// past the budget. `None` fuses maximal chains. Like
+    /// [`bconv_core::fusion::MemStats`], this models the accelerator's
+    /// feature-map buffers; host-side kernel temporaries (e.g. the im2col
+    /// patch matrix) are CPU execution details outside the budget.
     pub budget_elems: Option<usize>,
+    /// Per-layer conv kernel selection for blocked convolutions (direct
+    /// loop vs im2col+GEMM; see [`bconv_tensor::kernel`]).
+    pub kernel: KernelPolicy,
 }
 
 impl Default for PlannerOptions {
@@ -41,6 +50,7 @@ impl Default for PlannerOptions {
             plan: None,
             pad_mode: PadMode::Zero,
             budget_elems: None,
+            kernel: KernelPolicy::default(),
         }
     }
 }
@@ -231,7 +241,7 @@ impl Planner {
                 }
                 // The node did not join: close the group.
                 let closed = open.take().expect("checked above");
-                segments.push(Self::finalize(closed, self.opts.pad_mode)?);
+                segments.push(Self::finalize(closed, self.opts.pad_mode, self.opts.kernel)?);
             }
 
             // Try to open a new group at this node; otherwise run it whole.
@@ -243,7 +253,7 @@ impl Planner {
             }
         }
         if let Some(chain) = open.take() {
-            segments.push(Self::finalize(chain, self.opts.pad_mode)?);
+            segments.push(Self::finalize(chain, self.opts.pad_mode, self.opts.kernel)?);
         }
 
         Ok(ExecPlan {
@@ -279,7 +289,14 @@ impl Planner {
         let Ok(grid) = BlockGrid::from_pattern(node.in_shape.h, node.in_shape.w, pattern) else {
             return Ok(None); // resolution too small to split
         };
-        let Ok(bconv) = BlockConv2d::plan(conv.clone(), grid.clone(), self.opts.pad_mode) else {
+        // Weights are shared, not cloned: the chain stage and the graph
+        // node hold the same Arc<Conv2d> allocation.
+        let Ok(bconv) = BlockConv2d::plan_with_kernel(
+            Arc::clone(conv),
+            grid.clone(),
+            self.opts.pad_mode,
+            self.opts.kernel,
+        ) else {
             return Ok(None); // Equation 2 unsolvable for this geometry
         };
         let out_grid = bconv.output_grid()?;
@@ -289,7 +306,7 @@ impl Planner {
         // invariant under any budget.
         Ok(Some(OpenChain {
             nodes: vec![id],
-            ops: vec![ChainOp::Conv(conv.clone())],
+            ops: vec![ChainOp::Conv(Arc::clone(conv))],
             input: node.input,
             start_grid: grid,
             cur_grid: out_grid,
@@ -339,9 +356,12 @@ impl Planner {
                 if pattern != self.opts.pattern {
                     return Extend::Cut;
                 }
-                let Ok(bconv) =
-                    BlockConv2d::plan(conv.clone(), chain.cur_grid.clone(), self.opts.pad_mode)
-                else {
+                let Ok(bconv) = BlockConv2d::plan_with_kernel(
+                    Arc::clone(conv),
+                    chain.cur_grid.clone(),
+                    self.opts.pad_mode,
+                    self.opts.kernel,
+                ) else {
                     return Extend::Cut;
                 };
                 let Ok(out_grid) = bconv.output_grid() else {
@@ -353,7 +373,7 @@ impl Planner {
                 chain.cur_grid = out_grid;
                 chain.cur_channels = conv.c_out();
                 chain.nodes.push(id);
-                chain.ops.push(ChainOp::Conv(conv.clone()));
+                chain.ops.push(ChainOp::Conv(Arc::clone(conv)));
                 Extend::Extended
             }
             _ => Extend::Cut,
@@ -380,9 +400,13 @@ impl Planner {
     /// at least one blocked conv (groups only open at one), so even a
     /// single-op chain must execute through the blocked path to preserve
     /// the plan's numerics.
-    fn finalize(chain: OpenChain, pad_mode: PadMode) -> Result<Segment, TensorError> {
+    fn finalize(
+        chain: OpenChain,
+        pad_mode: PadMode,
+        kernel: KernelPolicy,
+    ) -> Result<Segment, TensorError> {
         debug_assert!(chain.has_blocked_conv);
-        let fused = FusedChain::plan(chain.ops, chain.start_grid, pad_mode)?;
+        let fused = FusedChain::plan_with_kernel(chain.ops, chain.start_grid, pad_mode, kernel)?;
         Ok(Segment::Fused { nodes: chain.nodes, chain: fused, input: chain.input })
     }
 }

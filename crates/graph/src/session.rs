@@ -24,6 +24,7 @@ use std::sync::Arc;
 use bconv_core::blocking::BlockingPattern;
 use bconv_core::plan::NetworkPlan;
 use bconv_models::Network;
+use bconv_tensor::kernel::KernelPolicy;
 use bconv_tensor::pad::PadMode;
 use bconv_tensor::{Tensor, TensorError};
 
@@ -41,6 +42,38 @@ pub enum Backend {
     Blocked,
 }
 
+/// Environment variable consulted for the worker-thread count when the
+/// builder does not set one explicitly.
+pub const THREADS_ENV: &str = "BCONV_THREADS";
+
+/// Resolves the blocked backend's worker-thread count: an explicit
+/// builder setting wins, then a [`THREADS_ENV`] override, then the
+/// machine's available parallelism.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidParameter`] when the requested count is
+/// zero or the environment variable does not parse as a positive integer.
+fn resolve_threads(requested: Option<usize>) -> Result<usize, TensorError> {
+    if let Some(n) = requested {
+        if n == 0 {
+            return Err(TensorError::invalid(
+                "SessionBuilder::threads must be >= 1 (0 worker threads cannot execute)",
+            ));
+        }
+        return Ok(n);
+    }
+    if let Ok(raw) = std::env::var(THREADS_ENV) {
+        return match raw.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(n),
+            _ => Err(TensorError::invalid(format!(
+                "{THREADS_ENV}={raw:?} is not a valid thread count; expected an integer >= 1"
+            ))),
+        };
+    }
+    Ok(std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
 /// Builder for [`Session`].
 #[derive(Debug, Clone, Default)]
 pub struct SessionBuilder {
@@ -52,6 +85,8 @@ pub struct SessionBuilder {
     backend: Backend,
     seed: Option<u64>,
     relu_after_conv: bool,
+    kernel: KernelPolicy,
+    threads: Option<usize>,
 }
 
 impl SessionBuilder {
@@ -109,6 +144,23 @@ impl SessionBuilder {
         self
     }
 
+    /// Selects the conv kernel policy for blocked convolutions (default
+    /// [`KernelPolicy::Auto`]: im2col+GEMM wherever the patch matrix pays
+    /// for itself, the direct loop for degenerate single-tap layers).
+    pub fn kernel(mut self, policy: KernelPolicy) -> Self {
+        self.kernel = policy;
+        self
+    }
+
+    /// Sets the worker-thread count for block dispatch on the blocked
+    /// backend. When unset, the `BCONV_THREADS` environment variable is
+    /// consulted, then the machine's available parallelism. Outputs are
+    /// bitwise-identical at any thread count.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
     /// Compiles the session: lowers the descriptor to a [`Graph`], plans
     /// fusion groups, and builds the selected executor.
     ///
@@ -128,15 +180,19 @@ impl SessionBuilder {
             plan: self.plan,
             pad_mode: self.pad,
             budget_elems: self.budget_elems,
+            kernel: self.kernel,
         };
         let exec_plan = Arc::new(Planner::new(planner_opts).plan(&graph)?);
+        let threads = resolve_threads(self.threads)?;
         let executor: Box<dyn Executor> = match self.backend {
             Backend::Reference => Box::new(ReferenceExecutor::new(Arc::clone(&graph))),
-            Backend::Blocked => {
-                Box::new(BlockedExecutor::new(Arc::clone(&graph), Arc::clone(&exec_plan)))
-            }
+            Backend::Blocked => Box::new(BlockedExecutor::with_threads(
+                Arc::clone(&graph),
+                Arc::clone(&exec_plan),
+                threads,
+            )),
         };
-        Ok(Session { graph, exec_plan, backend: self.backend, executor })
+        Ok(Session { graph, exec_plan, backend: self.backend, threads, executor })
     }
 }
 
@@ -145,6 +201,7 @@ pub struct Session {
     graph: Arc<Graph>,
     exec_plan: Arc<ExecPlan>,
     backend: Backend,
+    threads: usize,
     executor: Box<dyn Executor>,
 }
 
@@ -178,6 +235,12 @@ impl Session {
         self.backend
     }
 
+    /// Worker threads the blocked backend dispatches blocks across (the
+    /// reference backend ignores this).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
     /// Human-readable summary of what this session will execute. The
     /// reference backend ignores the fused plan, so its description says
     /// so rather than listing segments it won't run.
@@ -189,11 +252,13 @@ impl Session {
                 self.graph.nodes().len(),
             ),
             Backend::Blocked => format!(
-                "{} on blocked backend: {} segments, {} fusion groups, blocking ratio {:.0}%\n{}",
+                "{} on blocked backend: {} segments, {} fusion groups, blocking ratio {:.0}%, \
+                 {} worker thread(s)\n{}",
                 self.graph.name(),
                 self.exec_plan.segments().len(),
                 self.exec_plan.fusion_groups(),
                 self.exec_plan.blocking_ratio() * 100.0,
+                self.threads,
                 self.exec_plan.describe(&self.graph),
             ),
         }

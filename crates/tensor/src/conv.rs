@@ -4,6 +4,7 @@
 //! (MobileNet-V1); a 1×1 kernel is pointwise convolution. Both are required
 //! by the paper's §II-E evaluation.
 
+use crate::kernel::{ConvScratch, KernelKind};
 use crate::pad::{pad2d, PadMode};
 use crate::shape::conv_out_dim;
 use crate::{Tensor, TensorError};
@@ -183,55 +184,43 @@ impl Conv2d {
     /// Returns an error if the input channel count does not match or the
     /// input is smaller than the kernel.
     pub fn forward_prepadded(&self, padded: &Tensor) -> Result<Tensor, TensorError> {
-        let [n, c_in, ph, pw] = padded.shape().dims();
-        if c_in != self.c_in() {
-            return Err(TensorError::shape_mismatch(
-                "Conv2d input channels",
-                format!("{}", self.c_in()),
-                format!("{c_in}"),
-            ));
-        }
-        let k = self.geom.kernel;
-        let s = self.geom.stride;
-        let oh = conv_out_dim(ph, k, s, 0)?;
-        let ow = conv_out_dim(pw, k, s, 0)?;
-        let c_out = self.c_out();
-        let cin_per_group = c_in / self.groups;
-        let cout_per_group = c_out / self.groups;
+        self.forward_prepadded_with(padded, KernelKind::Direct)
+    }
 
-        let mut out = Tensor::zeros([n, c_out, oh, ow]);
-        let wshape = self.weight.shape();
-        let wdata = self.weight.data();
-        let idata = padded.data();
-        let ishape = padded.shape();
-
-        for ni in 0..n {
-            for g in 0..self.groups {
-                for mo in 0..cout_per_group {
-                    let m = g * cout_per_group + mo;
-                    let bias = self.bias[m];
-                    for ohi in 0..oh {
-                        for owi in 0..ow {
-                            let mut acc = bias;
-                            for ci in 0..cin_per_group {
-                                let c = g * cin_per_group + ci;
-                                for khi in 0..k {
-                                    let ih = ohi * s + khi;
-                                    let w_row = wshape.index(m, ci, khi, 0);
-                                    let i_row = ishape.index(ni, c, ih, owi * s);
-                                    // Inner product over the kernel row.
-                                    for kwi in 0..k {
-                                        acc += wdata[w_row + kwi] * idata[i_row + kwi];
-                                    }
-                                }
-                            }
-                            *out.at_mut(ni, m, ohi, owi) = acc;
-                        }
-                    }
-                }
-            }
-        }
+    /// [`forward_prepadded`](Self::forward_prepadded) through an explicit
+    /// [`KernelKind`] (see [`crate::kernel`] for the implementations).
+    ///
+    /// # Errors
+    ///
+    /// See [`forward_prepadded`](Self::forward_prepadded).
+    pub fn forward_prepadded_with(
+        &self,
+        padded: &Tensor,
+        kind: KernelKind,
+    ) -> Result<Tensor, TensorError> {
+        let mut out = Tensor::zeros([0, 0, 0, 0]);
+        let mut scratch = ConvScratch::new();
+        self.forward_prepadded_into(padded, kind, &mut out, &mut scratch)?;
         Ok(out)
+    }
+
+    /// Scratch-buffer variant of
+    /// [`forward_prepadded_with`](Self::forward_prepadded_with): writes
+    /// into `out` (reshaped to fit) and reuses `scratch` across calls —
+    /// the entry point for per-block executors that must not allocate in
+    /// steady state.
+    ///
+    /// # Errors
+    ///
+    /// See [`forward_prepadded`](Self::forward_prepadded).
+    pub fn forward_prepadded_into(
+        &self,
+        padded: &Tensor,
+        kind: KernelKind,
+        out: &mut Tensor,
+        scratch: &mut ConvScratch,
+    ) -> Result<(), TensorError> {
+        kind.kernel().forward_prepadded_into(self, padded, out, scratch)
     }
 
     /// Multiply–accumulate count (FLOPs/2) for an input of `(h, w)`,

@@ -1,0 +1,469 @@
+//! Pluggable convolution kernels: the *how* of a [`Conv2d`], separated
+//! from the *what*.
+//!
+//! The layer definition ([`Conv2d`]) fixes the mathematics; a
+//! [`ConvKernel`] chooses the loop structure that evaluates it:
+//!
+//! * [`DirectKernel`] — the naive seven-loop direct convolution. Minimal
+//!   working memory, competitive for depthwise and tiny reductions.
+//! * [`Im2colGemmKernel`] — lowers each (batch, group) to a `K×N` patch
+//!   matrix (im2col) and multiplies it with the `M×K` weight matrix
+//!   through a small register-blocked sgemm. Much better locality for
+//!   dense convolutions: the weight row is streamed once per output tile
+//!   instead of once per output pixel.
+//!
+//! Both kernels accumulate each output element in the same order
+//! (bias first, then taps in `(c_in, kh, kw)` order), so for a given
+//! layer they produce bitwise-identical results — [`KernelPolicy::Auto`]
+//! can therefore pick per layer without perturbing numerics. This is an
+//! implementation property, not an API guarantee; parity tests assert a
+//! 1e-4 relative tolerance.
+//!
+//! Kernels write into caller-provided output tensors and draw temporary
+//! storage from a [`ConvScratch`], so a blocked executor can run thousands
+//! of per-block convolutions with zero steady-state allocation.
+
+use crate::conv::Conv2d;
+use crate::shape::conv_out_dim;
+use crate::{Tensor, TensorError};
+
+/// How to choose the kernel implementation for a layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelPolicy {
+    /// Choose per layer: im2col+GEMM wherever the patch matrix pays for
+    /// itself (measured: everything except degenerate single-tap
+    /// per-channel layers, which stay on the direct loop).
+    #[default]
+    Auto,
+    /// Always the direct loop.
+    Direct,
+    /// Always im2col+GEMM.
+    Im2colGemm,
+}
+
+impl KernelPolicy {
+    /// Resolves the policy for one layer.
+    pub fn resolve(self, conv: &Conv2d) -> KernelKind {
+        match self {
+            Self::Direct => KernelKind::Direct,
+            Self::Im2colGemm => KernelKind::Im2colGemm,
+            Self::Auto => {
+                let g = conv.geom();
+                let m = conv.c_out() / conv.groups();
+                let k = g.kernel * g.kernel * (conv.c_in() / conv.groups());
+                // Measured across dense, grouped, depthwise and pointwise
+                // shapes at both whole-map and per-block sizes, the patch
+                // matrix pays for itself essentially always — even at
+                // m = 1 (depthwise) the contiguous columns beat the direct
+                // loop's strided reads. Only a fully degenerate GEMM
+                // (scalar per-channel scaling: one output channel per
+                // group, single-tap reduction) stays direct.
+                if m == 1 && k == 1 {
+                    KernelKind::Direct
+                } else {
+                    KernelKind::Im2colGemm
+                }
+            }
+        }
+    }
+
+    /// Short human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Auto => "auto",
+            Self::Direct => "direct",
+            Self::Im2colGemm => "im2col-gemm",
+        }
+    }
+}
+
+/// A resolved kernel choice for one layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelKind {
+    /// The direct loop.
+    #[default]
+    Direct,
+    /// im2col + GEMM.
+    Im2colGemm,
+}
+
+impl KernelKind {
+    /// The kernel implementation behind this choice.
+    pub fn kernel(self) -> &'static dyn ConvKernel {
+        match self {
+            Self::Direct => &DirectKernel,
+            Self::Im2colGemm => &Im2colGemmKernel,
+        }
+    }
+
+    /// Short human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Direct => "direct",
+            Self::Im2colGemm => "im2col-gemm",
+        }
+    }
+}
+
+/// Reusable temporary storage for kernel execution. One scratch per
+/// worker thread; buffers grow to the largest layer seen and stay there.
+#[derive(Debug, Default)]
+pub struct ConvScratch {
+    /// im2col patch matrix (`K × N`, reused across calls).
+    cols: Vec<f32>,
+}
+
+impl ConvScratch {
+    /// A fresh, empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// A convolution evaluation strategy.
+///
+/// `padded` must already carry the layer's spatial padding (kernels never
+/// pad); `out` is shaped by the caller to `[n, c_out, oh, ow]` and every
+/// element is overwritten.
+pub trait ConvKernel: Sync {
+    /// Kernel name for reports and plan dumps.
+    fn name(&self) -> &'static str;
+
+    /// Evaluates `conv` on a pre-padded input, writing into `out`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError`] on channel/shape mismatch.
+    fn forward_prepadded_into(
+        &self,
+        conv: &Conv2d,
+        padded: &Tensor,
+        out: &mut Tensor,
+        scratch: &mut ConvScratch,
+    ) -> Result<(), TensorError>;
+}
+
+/// Validates the padded input against `conv` and shapes `out`; returns
+/// `(n, oh, ow)`.
+fn prepare_out(
+    conv: &Conv2d,
+    padded: &Tensor,
+    out: &mut Tensor,
+) -> Result<(usize, usize, usize), TensorError> {
+    let [n, c_in, ph, pw] = padded.shape().dims();
+    if c_in != conv.c_in() {
+        return Err(TensorError::shape_mismatch(
+            "Conv2d input channels",
+            format!("{}", conv.c_in()),
+            format!("{c_in}"),
+        ));
+    }
+    let g = conv.geom();
+    let oh = conv_out_dim(ph, g.kernel, g.stride, 0)?;
+    let ow = conv_out_dim(pw, g.kernel, g.stride, 0)?;
+    out.reset([n, conv.c_out(), oh, ow]);
+    Ok((n, oh, ow))
+}
+
+/// The naive direct convolution: seven nested loops, one accumulator per
+/// output element.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DirectKernel;
+
+impl ConvKernel for DirectKernel {
+    fn name(&self) -> &'static str {
+        "direct"
+    }
+
+    fn forward_prepadded_into(
+        &self,
+        conv: &Conv2d,
+        padded: &Tensor,
+        out: &mut Tensor,
+        _scratch: &mut ConvScratch,
+    ) -> Result<(), TensorError> {
+        let (n, oh, ow) = prepare_out(conv, padded, out)?;
+        let g = conv.geom();
+        let (k, s) = (g.kernel, g.stride);
+        let c_in = conv.c_in();
+        let c_out = conv.c_out();
+        let groups = conv.groups();
+        let cin_per_group = c_in / groups;
+        let cout_per_group = c_out / groups;
+        let wshape = conv.weight().shape();
+        let wdata = conv.weight().data();
+        let idata = padded.data();
+        let ishape = padded.shape();
+        let oshape = out.shape();
+        let odata = out.data_mut();
+
+        for ni in 0..n {
+            for grp in 0..groups {
+                for mo in 0..cout_per_group {
+                    let m = grp * cout_per_group + mo;
+                    let bias = conv.bias()[m];
+                    for ohi in 0..oh {
+                        for owi in 0..ow {
+                            let mut acc = bias;
+                            for ci in 0..cin_per_group {
+                                let c = grp * cin_per_group + ci;
+                                for khi in 0..k {
+                                    let ih = ohi * s + khi;
+                                    let w_row = wshape.index(m, ci, khi, 0);
+                                    let i_row = ishape.index(ni, c, ih, owi * s);
+                                    // Inner product over the kernel row.
+                                    for kwi in 0..k {
+                                        acc += wdata[w_row + kwi] * idata[i_row + kwi];
+                                    }
+                                }
+                            }
+                            odata[oshape.index(ni, m, ohi, owi)] = acc;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// im2col + GEMM: lower each (batch, group) to a patch matrix and run a
+/// register-blocked matrix multiply against the weight matrix.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Im2colGemmKernel;
+
+impl ConvKernel for Im2colGemmKernel {
+    fn name(&self) -> &'static str {
+        "im2col-gemm"
+    }
+
+    fn forward_prepadded_into(
+        &self,
+        conv: &Conv2d,
+        padded: &Tensor,
+        out: &mut Tensor,
+        scratch: &mut ConvScratch,
+    ) -> Result<(), TensorError> {
+        let (n, oh, ow) = prepare_out(conv, padded, out)?;
+        let g = conv.geom();
+        let (k, s) = (g.kernel, g.stride);
+        let groups = conv.groups();
+        let cin_per_group = conv.c_in() / groups;
+        let cout_per_group = conv.c_out() / groups;
+        let kk = cin_per_group * k * k; // GEMM reduction length K
+        let nn = oh * ow; // GEMM width N
+
+        // 1×1 stride-1 (pointwise): the patch matrix would be bit-for-bit
+        // the input's channel planes, so skip im2col and feed the input
+        // slice to the GEMM directly (same layout, same result).
+        let pointwise = k == 1 && s == 1;
+        if !pointwise {
+            scratch.cols.resize(kk * nn, 0.0);
+        }
+        let ishape = padded.shape();
+        let idata = padded.data();
+        let wdata = conv.weight().data();
+        let oshape = out.shape();
+        let odata = out.data_mut();
+
+        for ni in 0..n {
+            for grp in 0..groups {
+                let b: &[f32] = if pointwise {
+                    let i0 = ishape.index(ni, grp * cin_per_group, 0, 0);
+                    &idata[i0..i0 + kk * nn]
+                } else {
+                    // im2col: row l = (ci, khi, kwi) of the patch at each
+                    // output position, matching the direct loop's tap order
+                    // so the sequential GEMM accumulation reproduces it
+                    // exactly.
+                    for ci in 0..cin_per_group {
+                        let c = grp * cin_per_group + ci;
+                        for khi in 0..k {
+                            for kwi in 0..k {
+                                let row = (ci * k + khi) * k + kwi;
+                                let dst = &mut scratch.cols[row * nn..(row + 1) * nn];
+                                for ohi in 0..oh {
+                                    let src = &idata[ishape.index(ni, c, ohi * s + khi, 0)..];
+                                    let drow = &mut dst[ohi * ow..(ohi + 1) * ow];
+                                    if s == 1 {
+                                        drow.copy_from_slice(&src[kwi..kwi + ow]);
+                                    } else {
+                                        for (owi, d) in drow.iter_mut().enumerate() {
+                                            *d = src[owi * s + kwi];
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    &scratch.cols
+                };
+                // GEMM: out[g] = bias[g] + W[g] (M×K) · B (K×N).
+                let a = &wdata[grp * cout_per_group * kk..(grp + 1) * cout_per_group * kk];
+                let bias = &conv.bias()[grp * cout_per_group..(grp + 1) * cout_per_group];
+                let c0 = oshape.index(ni, grp * cout_per_group, 0, 0);
+                let cdst = &mut odata[c0..c0 + cout_per_group * nn];
+                gemm_bias(a, b, bias, cdst, cout_per_group, kk, nn);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Microkernel tile height (output channels per register block).
+const MR: usize = 4;
+/// Microkernel tile width (output positions per register block).
+const NR: usize = 8;
+
+/// `c[i][j] = bias[i] + Σ_l a[i][l]·b[l][j]` with an `MR×NR` register
+/// tile. Each output element uses one accumulator updated sequentially
+/// over `l`, so the summation order matches the direct kernel's.
+fn gemm_bias(a: &[f32], b: &[f32], bias: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(c.len(), m * n);
+    let mut jt = 0;
+    while jt < n {
+        let nr = NR.min(n - jt);
+        let mut it = 0;
+        while it < m {
+            let mr = MR.min(m - it);
+            if mr == MR && nr == NR {
+                // Full tile: fixed-size accumulators the compiler keeps in
+                // registers; the b-row slice is reused by all MR rows.
+                let mut acc = [[0.0f32; NR]; MR];
+                for (i, row) in acc.iter_mut().enumerate() {
+                    *row = [bias[it + i]; NR];
+                }
+                for l in 0..k {
+                    let brow = &b[l * n + jt..l * n + jt + NR];
+                    for (i, row) in acc.iter_mut().enumerate() {
+                        let a_il = a[(it + i) * k + l];
+                        for (j, acc_ij) in row.iter_mut().enumerate() {
+                            *acc_ij += a_il * brow[j];
+                        }
+                    }
+                }
+                for (i, row) in acc.iter().enumerate() {
+                    c[(it + i) * n + jt..(it + i) * n + jt + NR].copy_from_slice(row);
+                }
+            } else {
+                // Remainder tile: same accumulation order, variable size.
+                for i in 0..mr {
+                    let arow = &a[(it + i) * k..(it + i + 1) * k];
+                    let mut acc = [0.0f32; NR];
+                    acc[..nr].fill(bias[it + i]);
+                    for (l, &a_il) in arow.iter().enumerate() {
+                        let brow = &b[l * n + jt..l * n + jt + nr];
+                        for (j, &b_lj) in brow.iter().enumerate() {
+                            acc[j] += a_il * b_lj;
+                        }
+                    }
+                    c[(it + i) * n + jt..(it + i) * n + jt + nr].copy_from_slice(&acc[..nr]);
+                }
+            }
+            it += MR;
+        }
+        jt += NR;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conv::ConvGeom;
+    use crate::init::{he_conv2d, seeded_rng, uniform_tensor};
+    use crate::pad::{pad2d, PadMode};
+
+    fn run(kind: KernelKind, conv: &Conv2d, input: &Tensor) -> Tensor {
+        let padded = pad2d(input, conv.geom().padding, conv.geom().padding, PadMode::Zero).unwrap();
+        let mut out = Tensor::zeros([1, 1, 1, 1]);
+        let mut scratch = ConvScratch::new();
+        kind.kernel().forward_prepadded_into(conv, &padded, &mut out, &mut scratch).unwrap();
+        out
+    }
+
+    #[test]
+    fn gemm_matches_direct_bitwise_on_dense_conv() {
+        let mut rng = seeded_rng(3);
+        let conv = he_conv2d(3, 8, ConvGeom::same(3), 1, &mut rng).unwrap();
+        let input = uniform_tensor([2, 3, 11, 9], -1.0, 1.0, &mut rng);
+        let d = run(KernelKind::Direct, &conv, &input);
+        let g = run(KernelKind::Im2colGemm, &conv, &input);
+        assert_eq!(d.shape(), g.shape());
+        assert_eq!(d.data(), g.data(), "same accumulation order must be bit-exact");
+    }
+
+    #[test]
+    fn gemm_handles_stride_groups_and_bias() {
+        let mut rng = seeded_rng(7);
+        let mut conv = he_conv2d(4, 6, ConvGeom::new(3, 2, 1), 2, &mut rng).unwrap();
+        for (i, b) in conv.bias_mut().iter_mut().enumerate() {
+            *b = i as f32 * 0.25 - 0.5;
+        }
+        let input = uniform_tensor([1, 4, 13, 10], -1.0, 1.0, &mut rng);
+        let d = run(KernelKind::Direct, &conv, &input);
+        let g = run(KernelKind::Im2colGemm, &conv, &input);
+        assert_eq!(d.data(), g.data());
+    }
+
+    #[test]
+    fn gemm_handles_depthwise_and_pointwise() {
+        let mut rng = seeded_rng(11);
+        let dw = he_conv2d(5, 5, ConvGeom::same(3), 5, &mut rng).unwrap();
+        let pw = he_conv2d(5, 7, ConvGeom::new(1, 1, 0), 1, &mut rng).unwrap();
+        let input = uniform_tensor([1, 5, 9, 9], -1.0, 1.0, &mut rng);
+        for conv in [&dw, &pw] {
+            let d = run(KernelKind::Direct, conv, &input);
+            let g = run(KernelKind::Im2colGemm, conv, &input);
+            assert_eq!(d.data(), g.data());
+        }
+    }
+
+    #[test]
+    fn auto_policy_resolution() {
+        let mut rng = seeded_rng(13);
+        let dense = he_conv2d(16, 16, ConvGeom::same(3), 1, &mut rng).unwrap();
+        let depthwise = he_conv2d(16, 16, ConvGeom::same(3), 16, &mut rng).unwrap();
+        let scale = he_conv2d(16, 16, ConvGeom::new(1, 1, 0), 16, &mut rng).unwrap();
+        assert_eq!(KernelPolicy::Auto.resolve(&dense), KernelKind::Im2colGemm);
+        assert_eq!(KernelPolicy::Auto.resolve(&depthwise), KernelKind::Im2colGemm);
+        // 1x1 depthwise is a per-channel scale: a degenerate GEMM.
+        assert_eq!(KernelPolicy::Auto.resolve(&scale), KernelKind::Direct);
+        assert_eq!(KernelPolicy::Direct.resolve(&dense), KernelKind::Direct);
+        assert_eq!(KernelPolicy::Im2colGemm.resolve(&depthwise), KernelKind::Im2colGemm);
+    }
+
+    #[test]
+    fn kernels_reject_channel_mismatch() {
+        let conv = Conv2d::zeros(3, 4, ConvGeom::same(3)).unwrap();
+        let bad = Tensor::zeros([1, 2, 8, 8]);
+        let mut out = Tensor::zeros([1, 1, 1, 1]);
+        let mut scratch = ConvScratch::new();
+        for kind in [KernelKind::Direct, KernelKind::Im2colGemm] {
+            assert!(kind
+                .kernel()
+                .forward_prepadded_into(&conv, &bad, &mut out, &mut scratch)
+                .is_err());
+        }
+    }
+
+    #[test]
+    fn gemm_bias_remainder_tiles() {
+        // m=5, n=9, k=3 exercises both the full 4x8 tile and all remainders.
+        let (m, k, n) = (5usize, 3usize, 9usize);
+        let a: Vec<f32> = (0..m * k).map(|i| i as f32 * 0.5 - 3.0).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| (i % 7) as f32 - 2.0).collect();
+        let bias: Vec<f32> = (0..m).map(|i| i as f32).collect();
+        let mut c = vec![0.0f32; m * n];
+        gemm_bias(&a, &b, &bias, &mut c, m, k, n);
+        for i in 0..m {
+            for j in 0..n {
+                let mut want = bias[i];
+                for l in 0..k {
+                    want += a[i * k + l] * b[l * n + j];
+                }
+                assert_eq!(c[i * n + j], want, "({i},{j})");
+            }
+        }
+    }
+}

@@ -7,8 +7,11 @@
 //!   crop/paste views (the primitives block convolution is built from);
 //! * [`pad`] — zero / replicate / reflect spatial padding (paper §II-F
 //!   evaluates all three as *block padding* modes);
-//! * [`conv`] — direct 2-D convolution with stride, padding and groups
+//! * [`conv`] — 2-D convolution with stride, padding and groups
 //!   (grouped convolution covers the depthwise case of MobileNet-V1);
+//! * [`kernel`] — pluggable conv kernels behind the [`ConvKernel`] trait:
+//!   the direct loop and an im2col+GEMM path with a register-blocked
+//!   sgemm, selected per layer by a [`KernelPolicy`];
 //! * [`pool`] — max / average / global-average pooling;
 //! * [`activation`], [`elementwise`], [`upsample`], [`linear`] — the rest of
 //!   the operators required by the seven networks evaluated in the paper;
@@ -34,6 +37,7 @@ pub mod conv;
 pub mod elementwise;
 pub mod error;
 pub mod init;
+pub mod kernel;
 pub mod linear;
 pub mod pad;
 pub mod pool;
@@ -42,6 +46,7 @@ pub mod tensor;
 pub mod upsample;
 
 pub use error::TensorError;
+pub use kernel::{ConvKernel, ConvScratch, KernelKind, KernelPolicy};
 pub use pad::PadMode;
 pub use shape::Shape;
 pub use tensor::Tensor;

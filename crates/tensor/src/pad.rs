@@ -84,6 +84,27 @@ pub fn pad2d_asym(
     pw_right: usize,
     mode: PadMode,
 ) -> Result<Tensor, TensorError> {
+    let mut out = Tensor::zeros([0, 0, 0, 0]);
+    pad2d_asym_into(input, ph_top, ph_bottom, pw_left, pw_right, mode, &mut out)?;
+    Ok(out)
+}
+
+/// [`pad2d_asym`] into a caller-provided tensor, reusing its allocation
+/// (`out` is reshaped to fit). The scratch-buffer variant block executors
+/// call once per block.
+///
+/// # Errors
+///
+/// See [`pad2d_asym`].
+pub fn pad2d_asym_into(
+    input: &Tensor,
+    ph_top: usize,
+    ph_bottom: usize,
+    pw_left: usize,
+    pw_right: usize,
+    mode: PadMode,
+    out: &mut Tensor,
+) -> Result<(), TensorError> {
     let [n, c, h, w] = input.shape().dims();
     if mode == PadMode::Reflect {
         let max_h = ph_top.max(ph_bottom);
@@ -96,7 +117,7 @@ pub fn pad2d_asym(
     }
     let oh = h + ph_top + ph_bottom;
     let ow = w + pw_left + pw_right;
-    let mut out = Tensor::zeros([n, c, oh, ow]);
+    out.reset([n, c, oh, ow]);
     for ni in 0..n {
         for ci in 0..c {
             for hi in 0..oh {
@@ -112,7 +133,7 @@ pub fn pad2d_asym(
             }
         }
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Symmetric spatial padding by `(ph, pw)` on each side.

@@ -24,7 +24,25 @@ use crate::{Tensor, TensorError};
 /// # Ok::<(), bconv_tensor::TensorError>(())
 /// ```
 pub fn max_pool2d(input: &Tensor, k: usize, s: usize) -> Result<Tensor, TensorError> {
-    pool2d(input, k, s, PoolKind::Max)
+    let mut out = Tensor::zeros([0, 0, 0, 0]);
+    max_pool2d_into(input, k, s, &mut out)?;
+    Ok(out)
+}
+
+/// [`max_pool2d`] into a caller-provided tensor, reusing its allocation
+/// (`out` is reshaped to fit). The scratch-buffer variant block executors
+/// call once per block.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidParameter`] for degenerate geometry.
+pub fn max_pool2d_into(
+    input: &Tensor,
+    k: usize,
+    s: usize,
+    out: &mut Tensor,
+) -> Result<(), TensorError> {
+    pool2d_into(input, k, s, PoolKind::Max, out)
 }
 
 /// Average pooling with window `k` and stride `s`.
@@ -43,10 +61,22 @@ enum PoolKind {
 }
 
 fn pool2d(input: &Tensor, k: usize, s: usize, kind: PoolKind) -> Result<Tensor, TensorError> {
+    let mut out = Tensor::zeros([0, 0, 0, 0]);
+    pool2d_into(input, k, s, kind, &mut out)?;
+    Ok(out)
+}
+
+fn pool2d_into(
+    input: &Tensor,
+    k: usize,
+    s: usize,
+    kind: PoolKind,
+    out: &mut Tensor,
+) -> Result<(), TensorError> {
     let [n, c, h, w] = input.shape().dims();
     let oh = conv_out_dim(h, k, s, 0)?;
     let ow = conv_out_dim(w, k, s, 0)?;
-    let mut out = Tensor::zeros([n, c, oh, ow]);
+    out.reset([n, c, oh, ow]);
     for ni in 0..n {
         for ci in 0..c {
             for ohi in 0..oh {
@@ -72,7 +102,7 @@ fn pool2d(input: &Tensor, k: usize, s: usize, kind: PoolKind) -> Result<Tensor, 
             }
         }
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Global average pooling: collapses each channel map to a single value,

@@ -92,6 +92,15 @@ impl Tensor {
         self.data
     }
 
+    /// Reshapes the tensor in place, reusing its allocation. Element
+    /// values after a reset are unspecified — this is a scratch-buffer
+    /// primitive for writers that overwrite every element (conv kernels,
+    /// pad, crop, pool).
+    pub fn reset(&mut self, dims: impl Into<Shape>) {
+        self.shape = dims.into();
+        self.data.resize(self.shape.numel(), 0.0);
+    }
+
     /// Element at `(n, c, h, w)`.
     ///
     /// # Panics
@@ -130,6 +139,25 @@ impl Tensor {
     /// # Ok::<(), bconv_tensor::TensorError>(())
     /// ```
     pub fn crop(&self, h0: usize, w0: usize, bh: usize, bw: usize) -> Result<Self, TensorError> {
+        let mut out = Self::zeros([0, 0, 0, 0]);
+        self.crop_into(h0, w0, bh, bw, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`crop`](Self::crop) into a caller-provided tensor, reusing its
+    /// allocation (`out` is reshaped to fit).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::OutOfBounds`] if the region does not fit.
+    pub fn crop_into(
+        &self,
+        h0: usize,
+        w0: usize,
+        bh: usize,
+        bw: usize,
+        out: &mut Self,
+    ) -> Result<(), TensorError> {
         let [n, c, h, w] = self.shape.dims();
         if h0 + bh > h || w0 + bw > w {
             return Err(TensorError::out_of_bounds(format!(
@@ -139,7 +167,7 @@ impl Tensor {
                 self.shape
             )));
         }
-        let mut out = Self::zeros([n, c, bh, bw]);
+        out.reset([n, c, bh, bw]);
         for ni in 0..n {
             for ci in 0..c {
                 for hi in 0..bh {
@@ -149,7 +177,7 @@ impl Tensor {
                 }
             }
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Writes `block` into the spatial region starting at `(h0, w0)` — the
@@ -232,6 +260,14 @@ impl Tensor {
     /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
     pub fn approx_eq(&self, other: &Tensor, tol: f32) -> Result<bool, TensorError> {
         Ok(self.max_abs_diff(other)? <= tol)
+    }
+}
+
+impl Default for Tensor {
+    /// An empty (zero-element) tensor — the natural seed for scratch
+    /// buffers that are [`reset`](Tensor::reset) before first use.
+    fn default() -> Self {
+        Self::zeros([0, 0, 0, 0])
     }
 }
 

@@ -31,4 +31,4 @@ pub use bconv_quant as quant;
 pub use bconv_tensor as tensor;
 pub use bconv_train as train;
 
-pub use bconv_graph::{Backend, Session};
+pub use bconv_graph::{Backend, KernelPolicy, Session};
