@@ -134,7 +134,7 @@ fn bench_quantized_conv(c: &mut Criterion) {
         b.iter(|| black_box(conv.forward(black_box(&input)).unwrap()))
     });
     group.bench_function("int8", |b| {
-        b.iter(|| black_box(qconv.forward(black_box(&input), act).unwrap()))
+        b.iter(|| black_box(qconv.forward(black_box(&input), act, PadMode::Zero).unwrap()))
     });
     group.finish();
 }

@@ -11,7 +11,7 @@
 use std::time::Instant;
 
 use bconv_core::BlockingPattern;
-use bconv_graph::{KernelPolicy, Session};
+use bconv_graph::{KernelPolicy, Segment, Session};
 use bconv_models::small::vgg16_small;
 use bconv_tensor::init::{seeded_rng, uniform_tensor};
 use bconv_tensor::Tensor;
@@ -25,7 +25,8 @@ struct Config {
 struct Measurement {
     name: String,
     kernel: &'static str,
-    threads: usize,
+    threads_requested: usize,
+    threads_effective: usize,
     median_us: f64,
     speedup: f64,
     output_matches_baseline: bool,
@@ -68,19 +69,34 @@ fn main() {
     let avail = std::thread::available_parallelism().map_or(1, |n| n.get());
     let many = avail.max(2);
 
-    let configs = [
+    // On a 1-core host the *_tN configs cannot run in parallel: reporting
+    // their (slower, contention-only) timings reads as a threading
+    // regression, so they are skipped and flagged in the JSON instead.
+    let threaded_configs_skipped = avail == 1;
+    let mut configs = vec![
         Config { name: "direct_t1", kernel: KernelPolicy::Direct, threads: 1 },
         Config { name: "gemm_t1", kernel: KernelPolicy::Im2colGemm, threads: 1 },
-        Config { name: "direct_tN", kernel: KernelPolicy::Direct, threads: many },
-        Config { name: "gemm_tN", kernel: KernelPolicy::Im2colGemm, threads: many },
     ];
+    if threaded_configs_skipped {
+        println!(
+            "available_parallelism is 1: skipping direct_tN/gemm_tN (no parallel speedup is \
+             measurable on this host)"
+        );
+    } else {
+        configs.push(Config { name: "direct_tN", kernel: KernelPolicy::Direct, threads: many });
+        configs.push(Config { name: "gemm_tN", kernel: KernelPolicy::Im2colGemm, threads: many });
+    }
 
     let input = uniform_tensor([1, 3, 32, 32], -1.0, 1.0, &mut seeded_rng(7));
     let baseline_session = build(configs[0].kernel, configs[0].threads);
     let baseline_out = baseline_session.run(&input).expect("baseline run").output;
     let baseline_us = median_us(&baseline_session, &input, reps);
 
-    println!("vgg16_small fused pipeline, {reps} reps, {many} worker threads for tN configs");
+    if threaded_configs_skipped {
+        println!("vgg16_small fused pipeline, {reps} reps, serial configs only");
+    } else {
+        println!("vgg16_small fused pipeline, {reps} reps, {many} worker threads for tN configs");
+    }
     let mut results = Vec::new();
     for cfg in &configs {
         let session = build(cfg.kernel, cfg.threads);
@@ -89,11 +105,27 @@ fn main() {
         let out = session.run(&input).expect("bench run").output;
         let matches = out.data() == baseline_out.data();
         let speedup = baseline_us / us;
+        // Requested = what the config asks the session for; effective =
+        // how many workers can actually run concurrently: the executor
+        // clamps to the fusion group's block count, the host to its cores.
+        let blocks = session
+            .plan()
+            .segments()
+            .iter()
+            .filter_map(|s| match s {
+                Segment::Fused { chain, .. } => Some(chain.in_grid().num_blocks()),
+                Segment::Single(_) => None,
+            })
+            .max()
+            .unwrap_or(1);
+        let effective = cfg.threads.min(avail).min(blocks);
         println!(
-            "{:<10} kernel={:<12} threads={:<2} median {:>9.1} us  speedup {:>5.2}x  bitwise-match {}",
+            "{:<10} kernel={:<12} threads={:<2} (effective {:<2}) median {:>9.1} us  \
+             speedup {:>5.2}x  bitwise-match {}",
             cfg.name,
             cfg.kernel.name(),
             cfg.threads,
+            effective,
             us,
             speedup,
             matches
@@ -101,7 +133,8 @@ fn main() {
         results.push(Measurement {
             name: cfg.name.to_string(),
             kernel: cfg.kernel.name(),
-            threads: cfg.threads,
+            threads_requested: cfg.threads,
+            threads_effective: effective,
             median_us: us,
             speedup,
             output_matches_baseline: matches,
@@ -116,16 +149,18 @@ fn main() {
     json.push_str(&format!("  \"reps\": {reps},\n"));
     json.push_str(&format!("  \"quick\": {quick},\n"));
     json.push_str(&format!("  \"available_parallelism\": {avail},\n"));
+    json.push_str(&format!("  \"threaded_configs_skipped\": {threaded_configs_skipped},\n"));
     json.push_str("  \"baseline\": \"direct_t1\",\n");
     json.push_str("  \"results\": [\n");
     for (i, m) in results.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"kernel\": \"{}\", \"threads\": {}, \
-             \"median_us\": {:.1}, \"speedup_vs_direct_t1\": {:.3}, \
-             \"output_matches_baseline\": {}}}{}\n",
+            "    {{\"name\": \"{}\", \"kernel\": \"{}\", \"threads_requested\": {}, \
+             \"threads_effective\": {}, \"median_us\": {:.1}, \
+             \"speedup_vs_direct_t1\": {:.3}, \"output_matches_baseline\": {}}}{}\n",
             m.name,
             m.kernel,
-            m.threads,
+            m.threads_requested,
+            m.threads_effective,
             m.median_us,
             m.speedup,
             m.output_matches_baseline,

@@ -206,6 +206,29 @@ impl BlockConv2d {
         out: &mut Tensor,
         scratch: &mut BlockConvScratch,
     ) -> Result<(), TensorError> {
+        self.pad_block_into(block, row, col, &mut scratch.padded)?;
+        self.conv.forward_prepadded_into(&scratch.padded, self.kernel, out, &mut scratch.conv)
+    }
+
+    /// Applies only the planned Equation 2 block padding for grid position
+    /// `(row, col)` to an already-cropped block, in the planned pad mode.
+    ///
+    /// This exposes the padding half of [`forward_block_into`]
+    /// (Self::forward_block_into) so alternative per-block kernels — e.g.
+    /// the quantized integer path — can consume locally-padded blocks
+    /// without padding twice.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors if `block` does not match the planned block
+    /// size at `(row, col)`.
+    pub fn pad_block_into(
+        &self,
+        block: &Tensor,
+        row: usize,
+        col: usize,
+        padded: &mut Tensor,
+    ) -> Result<(), TensorError> {
         let rp = &self.rows.blocks[row];
         let cp = &self.cols.blocks[col];
         let [_, _, bh, bw] = block.shape().dims();
@@ -216,16 +239,7 @@ impl BlockConv2d {
                 format!("[{bh},{bw}]"),
             ));
         }
-        pad2d_asym_into(
-            block,
-            rp.pad_lo,
-            rp.pad_hi,
-            cp.pad_lo,
-            cp.pad_hi,
-            self.pad_mode,
-            &mut scratch.padded,
-        )?;
-        self.conv.forward_prepadded_into(&scratch.padded, self.kernel, out, &mut scratch.conv)
+        pad2d_asym_into(block, rp.pad_lo, rp.pad_hi, cp.pad_lo, cp.pad_hi, self.pad_mode, padded)
     }
 
     /// Full block convolution: split by the grid, convolve each block via

@@ -10,6 +10,8 @@
 
 use std::sync::Arc;
 
+use bconv_quant::qconv::{QConvScratch, QuantChainOp};
+use bconv_quant::QParams;
 use bconv_tensor::activation::relu_inplace;
 use bconv_tensor::conv::Conv2d;
 use bconv_tensor::kernel::KernelPolicy;
@@ -51,8 +53,18 @@ impl ChainOp {
 #[allow(clippy::large_enum_variant)] // conv stages dominate by design
 enum Stage {
     Conv(BlockConv2d),
+    /// A quantized block convolution: `plan` carries the Equation 2 padding
+    /// schedule and grids, `op` the integer arithmetic. The block executor
+    /// pads once via the plan and hands the padded block to the quantized
+    /// kernel — no double padding.
+    QConv {
+        plan: BlockConv2d,
+        op: QuantChainOp,
+    },
     Relu,
-    Pool { k: usize },
+    Pool {
+        k: usize,
+    },
 }
 
 /// Memory and traffic statistics of one execution, in **elements** (multiply
@@ -65,13 +77,39 @@ enum Stage {
 /// reference implementation and are excluded, as is weight storage.
 /// Both fields are scheduling-invariant: identical for any worker-thread
 /// count and any kernel choice.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+///
+/// Element counts are bitwidth-agnostic; `bits_per_elem` records the word
+/// width one feature-map element occupies on the wire (32 for the float
+/// backends, the activation bitwidth for the quantized backend), so
+/// [`offchip_bits`](Self::offchip_bits) reports traffic the way the paper's
+/// memory figures do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemStats {
     /// Peak number of elements simultaneously alive in working buffers.
     pub peak_working_elems: usize,
     /// Elements transferred across the off-chip boundary (reads + writes of
     /// feature maps; weights excluded).
     pub offchip_elems: usize,
+    /// Bits per feature-map element at the executing precision (32 = f32).
+    pub bits_per_elem: u8,
+}
+
+impl Default for MemStats {
+    fn default() -> Self {
+        Self { peak_working_elems: 0, offchip_elems: 0, bits_per_elem: 32 }
+    }
+}
+
+impl MemStats {
+    /// Off-chip traffic in bits at the executing precision.
+    pub fn offchip_bits(&self) -> u64 {
+        self.offchip_elems as u64 * self.bits_per_elem as u64
+    }
+
+    /// Peak working-buffer footprint in bits at the executing precision.
+    pub fn peak_working_bits(&self) -> u64 {
+        self.peak_working_elems as u64 * self.bits_per_elem as u64
+    }
 }
 
 /// Reusable per-worker buffers for block-by-block chain execution: the
@@ -84,6 +122,8 @@ pub struct BlockScratch {
     cur: Tensor,
     next: Tensor,
     conv: BlockConvScratch,
+    qpad: Tensor,
+    qconv: QConvScratch,
 }
 
 impl BlockScratch {
@@ -164,6 +204,91 @@ impl FusedChain {
         Ok(Self { stages, in_grid, out_grid: cur })
     }
 
+    /// Plans a **quantized** fusion group: every convolution executes
+    /// through the integer path of [`bconv_quant::qconv::QConv2d`] — i32
+    /// activations, i64 accumulators — with its input activations
+    /// requantized at the stage's calibrated parameters. Block padding
+    /// follows the same Equation 2 schedule and `pad_mode` as the float
+    /// plan, applied once per block (the quantized kernel runs prepadded).
+    ///
+    /// `act_params` holds the frozen input-activation [`QParams`] of each
+    /// [`ChainOp::Conv`], in op order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidParameter`] when a stage cannot be
+    /// blocked under the running grid, when `act_params` does not cover
+    /// exactly the chain's convolutions, or when a convolution's weights
+    /// are all zero (no quantized form).
+    pub fn plan_quantized(
+        ops: Vec<ChainOp>,
+        grid: BlockGrid,
+        pad_mode: PadMode,
+        weight_bits: u8,
+        act_params: &[QParams],
+    ) -> Result<Self, TensorError> {
+        let in_grid = grid.clone();
+        let mut cur = grid;
+        let mut stages = Vec::with_capacity(ops.len());
+        let mut conv_idx = 0usize;
+        for op in ops {
+            match op {
+                ChainOp::Conv(conv) => {
+                    if conv.geom().stride != 1 {
+                        return Err(TensorError::invalid(
+                            "fused convolutions must be stride-1; express stride as conv + pool",
+                        ));
+                    }
+                    let params = act_params.get(conv_idx).copied().ok_or_else(|| {
+                        TensorError::invalid(format!(
+                            "plan_quantized: {} act-param sets for conv stage {}",
+                            act_params.len(),
+                            conv_idx + 1
+                        ))
+                    })?;
+                    conv_idx += 1;
+                    // The quantized path runs its own integer loops; the
+                    // kernel policy only concerns the float kernels.
+                    let plan = BlockConv2d::plan_with_kernel(
+                        Arc::clone(&conv),
+                        cur.clone(),
+                        pad_mode,
+                        KernelPolicy::Direct,
+                    )?;
+                    cur = plan.output_grid()?;
+                    let op =
+                        QuantChainOp::from_conv(&conv, weight_bits, params).ok_or_else(|| {
+                            TensorError::invalid("plan_quantized: all-zero conv weights")
+                        })?;
+                    stages.push(Stage::QConv { plan, op });
+                }
+                ChainOp::Relu => stages.push(Stage::Relu),
+                ChainOp::MaxPool { k } => {
+                    cur = cur.downscale(k)?;
+                    stages.push(Stage::Pool { k });
+                }
+            }
+        }
+        if conv_idx != act_params.len() {
+            return Err(TensorError::invalid(format!(
+                "plan_quantized: {} act-param sets for {} conv stages",
+                act_params.len(),
+                conv_idx
+            )));
+        }
+        Ok(Self { stages, in_grid, out_grid: cur })
+    }
+
+    /// Activation bitwidth of the chain's quantized stages, `None` for a
+    /// float chain. Quantized chains are planned with one activation
+    /// bitwidth throughout, so the first quantized stage is authoritative.
+    pub fn act_bits(&self) -> Option<u8> {
+        self.stages.iter().find_map(|s| match s {
+            Stage::QConv { op, .. } => Some(op.act_params().bits()),
+            _ => None,
+        })
+    }
+
     /// Grid on the group's input.
     pub fn in_grid(&self) -> &BlockGrid {
         &self.in_grid
@@ -188,14 +313,17 @@ impl FusedChain {
     pub fn out_channels(&self, c_in: usize) -> usize {
         self.stages.iter().fold(c_in, |c, s| match s {
             Stage::Conv(b) => b.conv().c_out(),
+            Stage::QConv { op, .. } => op.qconv().c_out(),
             _ => c,
         })
     }
 
-    /// The block convolutions of the chain's conv stages, in order.
+    /// The block-convolution plans of the chain's conv stages (float and
+    /// quantized), in order.
     pub fn convs(&self) -> impl Iterator<Item = &BlockConv2d> {
         self.stages.iter().filter_map(|s| match s {
             Stage::Conv(b) => Some(b),
+            Stage::QConv { plan, .. } => Some(plan),
             _ => None,
         })
     }
@@ -231,6 +359,16 @@ impl FusedChain {
                         col,
                         &mut scratch.next,
                         &mut scratch.conv,
+                    )?;
+                }
+                Stage::QConv { plan, op } => {
+                    // Pad once (Equation 2 schedule, session pad mode), then
+                    // hand the padded block to the integer kernel.
+                    plan.pad_block_into(&scratch.cur, row, col, &mut scratch.qpad)?;
+                    op.forward_prepadded_into(
+                        &scratch.qpad,
+                        &mut scratch.next,
+                        &mut scratch.qconv,
                     )?;
                 }
                 Stage::Relu => {
@@ -290,6 +428,7 @@ impl FusedChain {
         let mut stats = MemStats {
             peak_working_elems: 0,
             offchip_elems: input.shape().numel() + out.shape().numel(),
+            bits_per_elem: self.act_bits().unwrap_or(32),
         };
         let blocks: Vec<(usize, usize)> = (0..self.in_grid.num_rows())
             .flat_map(|r| (0..self.in_grid.num_cols()).map(move |c| (r, c)))
@@ -349,7 +488,11 @@ impl FusedChain {
     ///
     /// Returns shape errors if `input` does not match the planned grid.
     pub fn run_layerwise(&self, input: &Tensor) -> Result<(Tensor, MemStats), TensorError> {
-        let mut stats = MemStats { peak_working_elems: 0, offchip_elems: input.shape().numel() };
+        let mut stats = MemStats {
+            peak_working_elems: 0,
+            offchip_elems: input.shape().numel(),
+            bits_per_elem: self.act_bits().unwrap_or(32),
+        };
         let mut cur = input.clone();
         // The chain output is whatever the last *materialising* stage
         // produces — a trailing in-place ReLU must not push the final conv
@@ -358,6 +501,7 @@ impl FusedChain {
         for (idx, stage) in self.stages.iter().enumerate() {
             let next = match stage {
                 Stage::Conv(bconv) => bconv.forward(&cur)?,
+                Stage::QConv { plan, op } => qconv_forward_map(plan, op, &cur)?,
                 Stage::Relu => {
                     relu_inplace(&mut cur);
                     continue;
@@ -376,6 +520,43 @@ impl FusedChain {
     }
 }
 
+/// Whole-map quantized block convolution: split by the plan's grid, pad
+/// each block locally, run the integer kernel, concatenate — the
+/// layer-wise counterpart of the fused [`Stage::QConv`] path (same
+/// mathematics, conventional schedule).
+fn qconv_forward_map(
+    plan: &BlockConv2d,
+    op: &QuantChainOp,
+    input: &Tensor,
+) -> Result<Tensor, TensorError> {
+    let [n, _, h, w] = input.shape().dims();
+    let grid = plan.grid();
+    if h != grid.h() || w != grid.w() {
+        return Err(TensorError::shape_mismatch(
+            "quantized chain stage input",
+            format!("[{},{}]", grid.h(), grid.w()),
+            format!("[{h},{w}]"),
+        ));
+    }
+    let out_grid = plan.output_grid()?;
+    let mut out = Tensor::zeros([n, op.qconv().c_out(), out_grid.h(), out_grid.w()]);
+    let mut cropped = Tensor::zeros([0, 0, 0, 0]);
+    let mut padded = Tensor::zeros([0, 0, 0, 0]);
+    let mut block_out = Tensor::zeros([0, 0, 0, 0]);
+    let mut scratch = QConvScratch::new();
+    for row in 0..grid.num_rows() {
+        for col in 0..grid.num_cols() {
+            let b = grid.block(row, col);
+            let ob = out_grid.block(row, col);
+            input.crop_into(b.h0, b.w0, b.bh, b.bw, &mut cropped)?;
+            plan.pad_block_into(&cropped, row, col, &mut padded)?;
+            op.forward_prepadded_into(&padded, &mut block_out, &mut scratch)?;
+            out.paste(&block_out, ob.h0, ob.w0)?;
+        }
+    }
+    Ok(out)
+}
+
 /// A pipeline of fusion groups. Between groups the (now smaller) feature
 /// map is concatenated in an on-chip extra buffer and re-gridded — the
 /// fixed-blocking splice of Figure 4(a)/Figure 10.
@@ -386,11 +567,15 @@ pub struct FusedPipeline {
 
 impl FusedPipeline {
     /// Builds a pipeline from planned groups, validating that each group's
-    /// output map feeds the next group's input map.
+    /// output map feeds the next group's input map and that all groups
+    /// execute at one precision ([`MemStats`] carries a single
+    /// `bits_per_elem`, so a mixed float/quantized pipeline would
+    /// misreport its traffic in bits).
     ///
     /// # Errors
     ///
-    /// Returns [`TensorError::ShapeMismatch`] on inconsistent group sizes.
+    /// Returns [`TensorError::ShapeMismatch`] on inconsistent group sizes
+    /// and [`TensorError::InvalidParameter`] on mixed-precision groups.
     pub fn new(groups: Vec<FusedChain>) -> Result<Self, TensorError> {
         for pair in groups.windows(2) {
             let (a, b) = (&pair[0], &pair[1]);
@@ -400,6 +585,13 @@ impl FusedPipeline {
                     format!("[{},{}]", a.out_grid().h(), a.out_grid().w()),
                     format!("[{},{}]", b.in_grid().h(), b.in_grid().w()),
                 ));
+            }
+            if a.act_bits() != b.act_bits() {
+                return Err(TensorError::invalid(format!(
+                    "FusedPipeline groups must share one precision, got {:?} then {:?} act bits",
+                    a.act_bits(),
+                    b.act_bits()
+                )));
             }
         }
         Ok(Self { groups })
@@ -419,7 +611,11 @@ impl FusedPipeline {
     /// Propagates per-group execution errors.
     pub fn run_fused(&self, input: &Tensor) -> Result<(Tensor, MemStats), TensorError> {
         let mut cur = input.clone();
-        let mut stats = MemStats { peak_working_elems: 0, offchip_elems: input.shape().numel() };
+        let mut stats = MemStats {
+            peak_working_elems: 0,
+            offchip_elems: input.shape().numel(),
+            bits_per_elem: self.groups.iter().find_map(FusedChain::act_bits).unwrap_or(32),
+        };
         let last = self.groups.len().saturating_sub(1);
         for (idx, group) in self.groups.iter().enumerate() {
             let (next, gs) = group.run_fused(&cur)?;
@@ -442,7 +638,11 @@ impl FusedPipeline {
     /// Propagates per-group execution errors.
     pub fn run_layerwise(&self, input: &Tensor) -> Result<(Tensor, MemStats), TensorError> {
         let mut cur = input.clone();
-        let mut stats = MemStats { peak_working_elems: 0, offchip_elems: input.shape().numel() };
+        let mut stats = MemStats {
+            peak_working_elems: 0,
+            offchip_elems: input.shape().numel(),
+            bits_per_elem: self.groups.iter().find_map(FusedChain::act_bits).unwrap_or(32),
+        };
         let last = self.groups.len().saturating_sub(1);
         for (idx, group) in self.groups.iter().enumerate() {
             let (next, gs) = group.run_layerwise(&cur)?;
@@ -577,6 +777,109 @@ mod tests {
         assert!(fs.offchip_elems < ls.offchip_elems);
         // Fused pipeline off-chip = input + final output only.
         assert_eq!(fs.offchip_elems, 16 * 16 + 8 * 8);
+    }
+
+    /// Per-tensor abs-max params, as a calibration pass would freeze them.
+    fn calibrated(t: &Tensor, bits: u8) -> QParams {
+        let m = t.data().iter().fold(1e-6f32, |m, &v| m.max(v.abs()));
+        QParams::from_abs_max(m, bits)
+    }
+
+    #[test]
+    fn quantized_chain_is_schedule_invariant_and_tracks_float() {
+        let grid = BlockGrid::from_pattern(8, 8, BlockingPattern::hierarchical(2)).unwrap();
+        let ops = vec![ChainOp::conv(conv(2, 4, 31)), ChainOp::Relu, ChainOp::conv(conv(4, 2, 32))];
+        let input = uniform_tensor([1, 2, 8, 8], -1.0, 1.0, &mut seeded_rng(33));
+        let float_chain = FusedChain::plan(ops.clone(), grid.clone(), PadMode::Zero).unwrap();
+        assert_eq!(float_chain.act_bits(), None);
+        let (float_out, fs) = float_chain.run_fused(&input).unwrap();
+        // Calibrate each conv stage's input from the float path.
+        let head = FusedChain::plan(ops[..2].to_vec(), grid.clone(), PadMode::Zero).unwrap();
+        let (mid, _) = head.run_fused(&input).unwrap();
+        let params = [calibrated(&input, 8), calibrated(&mid, 8)];
+        let qchain = FusedChain::plan_quantized(ops, grid, PadMode::Zero, 8, &params).unwrap();
+        assert_eq!(qchain.act_bits(), Some(8));
+        let (q_fused, qs) = qchain.run_fused(&input).unwrap();
+        let (q_layer, _) = qchain.run_layerwise(&input).unwrap();
+        assert_eq!(
+            q_fused.data(),
+            q_layer.data(),
+            "quantized fusion must be a schedule change only"
+        );
+        // Same element traffic, narrower words: bits shrink 32 -> 8.
+        assert_eq!(qs.offchip_elems, fs.offchip_elems);
+        assert_eq!(qs.bits_per_elem, 8);
+        assert_eq!(fs.bits_per_elem, 32);
+        assert_eq!(qs.offchip_bits(), qs.offchip_elems as u64 * 8);
+        assert_eq!(fs.offchip_bits(), 4 * qs.offchip_bits());
+        let mag = float_out.data().iter().fold(1e-6f32, |m, &v| m.max(v.abs()));
+        let err = float_out.max_abs_diff(&q_fused).unwrap() / mag;
+        assert!(err < 0.1, "8-bit quantized chain error too large: {err}");
+    }
+
+    #[test]
+    fn quantized_chain_honors_block_pad_mode() {
+        // The motivating bug: quantized block execution under replicate
+        // padding must track the replicate float chain, not zero padding.
+        let grid = BlockGrid::from_pattern(8, 8, BlockingPattern::hierarchical(2)).unwrap();
+        let cv = conv(1, 1, 35);
+        let input = uniform_tensor([1, 1, 8, 8], 0.5, 1.0, &mut seeded_rng(36));
+        let params = [calibrated(&input, 8)];
+        let run = |mode| {
+            let chain = FusedChain::plan_quantized(
+                vec![ChainOp::conv(cv.clone())],
+                grid.clone(),
+                mode,
+                8,
+                &params,
+            )
+            .unwrap();
+            chain.run_fused(&input).unwrap().0
+        };
+        let float_rep =
+            FusedChain::plan(vec![ChainOp::conv(cv.clone())], grid.clone(), PadMode::Replicate)
+                .unwrap()
+                .run_fused(&input)
+                .unwrap()
+                .0;
+        let mag = float_rep.data().iter().fold(1e-6f32, |m, &v| m.max(v.abs()));
+        let err_rep = float_rep.max_abs_diff(&run(PadMode::Replicate)).unwrap() / mag;
+        let err_zero = float_rep.max_abs_diff(&run(PadMode::Zero)).unwrap() / mag;
+        assert!(err_rep < 0.05, "replicate quant chain diverges: {err_rep}");
+        assert!(err_zero > 4.0 * err_rep, "zero padding should visibly differ");
+    }
+
+    #[test]
+    fn plan_quantized_validates_param_count() {
+        let grid = BlockGrid::single(8, 8);
+        let ops = vec![ChainOp::conv(conv(2, 2, 41))];
+        let p = QParams::from_abs_max(1.0, 8);
+        assert!(
+            FusedChain::plan_quantized(ops.clone(), grid.clone(), PadMode::Zero, 8, &[]).is_err()
+        );
+        assert!(FusedChain::plan_quantized(ops, grid, PadMode::Zero, 8, &[p, p]).is_err());
+    }
+
+    #[test]
+    fn pipeline_rejects_mixed_precision_groups() {
+        // One MemStats word width per pipeline: float + quantized groups
+        // cannot share a run without misreporting offchip_bits.
+        let f = FusedChain::plan(
+            vec![ChainOp::conv(conv(1, 1, 51))],
+            BlockGrid::single(8, 8),
+            PadMode::Zero,
+        )
+        .unwrap();
+        let q = FusedChain::plan_quantized(
+            vec![ChainOp::conv(conv(1, 1, 52))],
+            BlockGrid::single(8, 8),
+            PadMode::Zero,
+            8,
+            &[QParams::from_abs_max(1.0, 8)],
+        )
+        .unwrap();
+        assert!(FusedPipeline::new(vec![f.clone(), q]).is_err());
+        assert!(FusedPipeline::new(vec![f.clone(), f]).is_ok());
     }
 
     #[test]

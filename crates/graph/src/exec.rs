@@ -1,6 +1,6 @@
 //! Executors: pluggable backends that run a compiled [`Graph`].
 //!
-//! Two backends ship with the crate:
+//! Three backends ship with the crate:
 //!
 //! * [`ReferenceExecutor`] — dense layer-wise execution on whole feature
 //!   maps; every intermediate makes a DRAM round trip. The numerical and
@@ -9,10 +9,16 @@
 //!   block-by-block through [`bconv_core::fusion::FusedChain`], whole-map
 //!   segments run densely, and [`MemStats`] records the off-chip traffic
 //!   the fused schedule avoids.
+//! * [`crate::quantize::QuantizedExecutor`] — the blocked schedule with
+//!   every convolution in calibrated integer arithmetic (the paper's
+//!   deployment path; see [`crate::quantize`]).
 //!
-//! Both backends share one node evaluator, so a graph with an unblocked
-//! plan produces bit-identical outputs on either backend; blocking itself
-//! only perturbs block-boundary pixels (paper §II-C).
+//! The float backends share one node evaluator, so a graph with an
+//! unblocked plan produces bit-identical outputs on `Reference` and
+//! `Blocked`; blocking itself only perturbs block-boundary pixels (paper
+//! §II-C). The quantized backend reuses the same segment loop and
+//! evaluator but substitutes integer convolutions, so it tracks — rather
+//! than matches — the float results.
 
 use std::sync::Arc;
 
@@ -53,7 +59,7 @@ pub trait Executor {
 }
 
 /// Validates the per-element input shape against the graph.
-fn check_input(graph: &Graph, input: &Tensor) -> Result<(), TensorError> {
+pub(crate) fn check_input(graph: &Graph, input: &Tensor) -> Result<(), TensorError> {
     let [_, c, h, w] = input.shape().dims();
     let want = graph.input_shape();
     if (c, h, w) != (want.c, want.h, want.w) {
@@ -80,8 +86,12 @@ fn max_pool_padded(input: &Tensor, k: usize, s: usize, p: usize) -> Result<Tenso
 }
 
 /// Shared node evaluator: the single source of truth for what each op
-/// computes, used by both backends.
-fn eval_node(op: &NodeOp, input: &Tensor, aux: Option<&Tensor>) -> Result<Tensor, TensorError> {
+/// computes, used by every backend.
+pub(crate) fn eval_node(
+    op: &NodeOp,
+    input: &Tensor,
+    aux: Option<&Tensor>,
+) -> Result<Tensor, TensorError> {
     match op {
         NodeOp::Conv { conv, .. } => conv.forward(input),
         NodeOp::Relu => Ok(relu(input)),
@@ -97,7 +107,7 @@ fn eval_node(op: &NodeOp, input: &Tensor, aux: Option<&Tensor>) -> Result<Tensor
 }
 
 /// Resolves a [`NodeRef`] against stored values.
-fn resolve<'a>(
+pub(crate) fn resolve<'a>(
     values: &'a [Option<Tensor>],
     input: &'a Tensor,
     r: NodeRef,
@@ -130,22 +140,13 @@ impl Executor for ReferenceExecutor {
     }
 
     fn run(&self, input: &Tensor) -> Result<RunReport, TensorError> {
-        check_input(&self.graph, input)?;
-        let nodes = self.graph.nodes();
-        let mut values: Vec<Option<Tensor>> = vec![None; nodes.len()];
-        // Remaining-use counters so intermediates are freed after their
-        // last consumer instead of accumulating for the whole run.
-        let mut remaining: Vec<usize> =
-            (0..nodes.len()).map(|i| self.graph.consumer_count(i)).collect();
-        let mut stats = MemStats { peak_working_elems: 0, offchip_elems: input.shape().numel() };
         let last = self.graph.output_id();
-        for (id, node) in nodes.iter().enumerate() {
-            let in_t = resolve(&values, input, node.input)?;
-            let aux = match node.op {
-                NodeOp::Add { other } => Some(resolve(&values, input, other)?),
-                _ => None,
-            };
-            let out = eval_node(&node.op, in_t, aux)?;
+        let mut stats = MemStats {
+            peak_working_elems: 0,
+            offchip_elems: input.shape().numel(),
+            ..MemStats::default()
+        };
+        let output = run_dense(&self.graph, input, |id, node, in_t, aux, out| {
             let live =
                 in_t.shape().numel() + out.shape().numel() + aux.map_or(0, |t| t.shape().numel());
             stats.peak_working_elems = stats.peak_working_elems.max(live);
@@ -155,19 +156,48 @@ impl Executor for ReferenceExecutor {
                 stats.offchip_elems +=
                     if id == last { out.shape().numel() } else { 2 * out.shape().numel() };
             }
-            values[id] = Some(out);
-            release_used(&mut values, &mut remaining, node);
-        }
-        let output =
-            values[last].take().ok_or_else(|| TensorError::invalid("graph produced no output"))?;
-        Ok(RunReport { output, stats, segments: nodes.len() })
+        })?;
+        Ok(RunReport { output, stats, segments: self.graph.nodes().len() })
     }
+}
+
+/// The dense layer-wise graph walk shared by the reference backend and the
+/// calibration pass: resolve inputs (including `Add` second operands),
+/// evaluate through [`eval_node`], free intermediates after their last
+/// consumer, return the graph output. `observe` sees every node's inputs
+/// and output as it executes — the reference backend accumulates
+/// [`MemStats`] there, calibration feeds conv inputs to its range
+/// trackers. Keeping the walk here once guarantees calibration runs
+/// exactly the numerics the reference backend reports.
+pub(crate) fn run_dense(
+    graph: &Graph,
+    input: &Tensor,
+    mut observe: impl FnMut(crate::ir::NodeId, &crate::ir::Node, &Tensor, Option<&Tensor>, &Tensor),
+) -> Result<Tensor, TensorError> {
+    check_input(graph, input)?;
+    let nodes = graph.nodes();
+    let mut values: Vec<Option<Tensor>> = vec![None; nodes.len()];
+    // Remaining-use counters so intermediates are freed after their
+    // last consumer instead of accumulating for the whole run.
+    let mut remaining: Vec<usize> = (0..nodes.len()).map(|i| graph.consumer_count(i)).collect();
+    for (id, node) in nodes.iter().enumerate() {
+        let in_t = resolve(&values, input, node.input)?;
+        let aux = match node.op {
+            NodeOp::Add { other } => Some(resolve(&values, input, other)?),
+            _ => None,
+        };
+        let out = eval_node(&node.op, in_t, aux)?;
+        observe(id, node, in_t, aux, &out);
+        values[id] = Some(out);
+        release_used(&mut values, &mut remaining, node);
+    }
+    values[graph.output_id()].take().ok_or_else(|| TensorError::invalid("graph produced no output"))
 }
 
 /// Decrements one reference's remaining-use counter, dropping the value
 /// once all its consumers have run. The graph output has consumer count 0
 /// and is therefore never dropped here.
-fn release_ref(values: &mut [Option<Tensor>], remaining: &mut [usize], r: NodeRef) {
+pub(crate) fn release_ref(values: &mut [Option<Tensor>], remaining: &mut [usize], r: NodeRef) {
     if let NodeRef::Node(i) = r {
         remaining[i] = remaining[i].saturating_sub(1);
         if remaining[i] == 0 {
@@ -177,7 +207,11 @@ fn release_ref(values: &mut [Option<Tensor>], remaining: &mut [usize], r: NodeRe
 }
 
 /// Releases every tensor `node` just read.
-fn release_used(values: &mut [Option<Tensor>], remaining: &mut [usize], node: &crate::ir::Node) {
+pub(crate) fn release_used(
+    values: &mut [Option<Tensor>],
+    remaining: &mut [usize],
+    node: &crate::ir::Node,
+) {
     release_ref(values, remaining, node.input);
     if let NodeOp::Add { other } = node.op {
         release_ref(values, remaining, other);
@@ -228,63 +262,98 @@ impl Executor for BlockedExecutor {
     }
 
     fn run(&self, input: &Tensor) -> Result<RunReport, TensorError> {
-        check_input(&self.graph, input)?;
-        let nodes = self.graph.nodes();
-        let mut values: Vec<Option<Tensor>> = vec![None; nodes.len()];
-        // Remaining-use counters, as in the reference backend. Fused-group
-        // interiors are never materialised, so only segment inputs (and
-        // Add second operands) are counted down here.
-        let mut remaining: Vec<usize> =
-            (0..nodes.len()).map(|i| self.graph.consumer_count(i)).collect();
-        let mut stats = MemStats { peak_working_elems: 0, offchip_elems: input.shape().numel() };
-        let segments = self.plan.segments();
-        let last_seg = segments.len().saturating_sub(1);
-        for (si, seg) in segments.iter().enumerate() {
-            let (out_id, out) = match seg {
-                Segment::Fused { nodes: ids, chain, input: src } => {
-                    let in_t = resolve(&values, input, *src)?;
-                    let (out, gs) = chain.run_fused_threads(in_t, self.threads)?;
-                    // Per-block buffers are the group's working set; its
-                    // input/output traffic is accounted at the segment
-                    // boundaries below.
-                    stats.peak_working_elems = stats.peak_working_elems.max(gs.peak_working_elems);
-                    (*ids.last().expect("non-empty group"), out)
-                }
-                Segment::Single(id) => {
-                    let node = &nodes[*id];
-                    let in_t = resolve(&values, input, node.input)?;
-                    let aux = match node.op {
-                        NodeOp::Add { other } => Some(resolve(&values, input, other)?),
-                        _ => None,
-                    };
-                    let out = eval_node(&node.op, in_t, aux)?;
-                    let live = in_t.shape().numel()
-                        + out.shape().numel()
-                        + aux.map_or(0, |t| t.shape().numel());
-                    stats.peak_working_elems = stats.peak_working_elems.max(live);
-                    (*id, out)
-                }
-            };
-            // Segment outputs are materialised off-chip: written once, and
-            // read back unless this is the network output. In-place ReLU
-            // singles transfer nothing (parity with the reference backend).
-            let in_place_relu =
-                matches!(seg, Segment::Single(id) if matches!(nodes[*id].op, NodeOp::Relu));
-            if !in_place_relu {
-                stats.offchip_elems +=
-                    if si == last_seg { out.shape().numel() } else { 2 * out.shape().numel() };
-            }
-            values[out_id] = Some(out);
-            match seg {
-                Segment::Fused { input: src, .. } => {
-                    release_ref(&mut values, &mut remaining, *src);
-                }
-                Segment::Single(id) => release_used(&mut values, &mut remaining, &nodes[*id]),
-            }
+        // A quantized plan carries integer fused chains and whole-map convs
+        // that expect quantized dispatch: running it here would mix float
+        // and integer numerics and report traffic at the wrong width.
+        if let Some(bits) = self.plan.act_bits() {
+            return Err(TensorError::invalid(format!(
+                "plan was compiled for {bits}-bit quantized execution; \
+                 use the quantized backend"
+            )));
         }
-        let output = values[self.graph.output_id()]
-            .take()
-            .ok_or_else(|| TensorError::invalid("plan did not produce the graph output"))?;
-        Ok(RunReport { output, stats, segments: segments.len() })
+        run_plan(&self.graph, &self.plan, self.threads, 32, input, |_, node, in_t, aux| {
+            eval_node(&node.op, in_t, aux)
+        })
     }
+}
+
+/// The segment-loop shared by the blocked and quantized backends: fused
+/// segments run their chains block-by-block across `threads` workers,
+/// whole-map nodes go through `eval_single` (the only point where the
+/// backends differ — the quantized backend substitutes `QConv2d` for conv
+/// nodes there). All [`MemStats`] accounting conventions — peak-working
+/// tracking, the write + read-back rule for non-final segment outputs, the
+/// in-place-ReLU exemption — live here once, so the two backends cannot
+/// drift apart.
+pub(crate) fn run_plan(
+    graph: &Graph,
+    plan: &ExecPlan,
+    threads: usize,
+    bits_per_elem: u8,
+    input: &Tensor,
+    eval_single: impl Fn(
+        crate::ir::NodeId,
+        &crate::ir::Node,
+        &Tensor,
+        Option<&Tensor>,
+    ) -> Result<Tensor, TensorError>,
+) -> Result<RunReport, TensorError> {
+    check_input(graph, input)?;
+    let nodes = graph.nodes();
+    let mut values: Vec<Option<Tensor>> = vec![None; nodes.len()];
+    // Remaining-use counters, as in the reference backend. Fused-group
+    // interiors are never materialised, so only segment inputs (and
+    // Add second operands) are counted down here.
+    let mut remaining: Vec<usize> = (0..nodes.len()).map(|i| graph.consumer_count(i)).collect();
+    let mut stats =
+        MemStats { peak_working_elems: 0, offchip_elems: input.shape().numel(), bits_per_elem };
+    let segments = plan.segments();
+    let last_seg = segments.len().saturating_sub(1);
+    for (si, seg) in segments.iter().enumerate() {
+        let (out_id, out) = match seg {
+            Segment::Fused { nodes: ids, chain, input: src } => {
+                let in_t = resolve(&values, input, *src)?;
+                let (out, gs) = chain.run_fused_threads(in_t, threads)?;
+                // Per-block buffers are the group's working set; its
+                // input/output traffic is accounted at the segment
+                // boundaries below.
+                stats.peak_working_elems = stats.peak_working_elems.max(gs.peak_working_elems);
+                (*ids.last().expect("non-empty group"), out)
+            }
+            Segment::Single(id) => {
+                let node = &nodes[*id];
+                let in_t = resolve(&values, input, node.input)?;
+                let aux = match node.op {
+                    NodeOp::Add { other } => Some(resolve(&values, input, other)?),
+                    _ => None,
+                };
+                let out = eval_single(*id, node, in_t, aux)?;
+                let live = in_t.shape().numel()
+                    + out.shape().numel()
+                    + aux.map_or(0, |t| t.shape().numel());
+                stats.peak_working_elems = stats.peak_working_elems.max(live);
+                (*id, out)
+            }
+        };
+        // Segment outputs are materialised off-chip: written once, and
+        // read back unless this is the network output. In-place ReLU
+        // singles transfer nothing (parity with the reference backend).
+        let in_place_relu =
+            matches!(seg, Segment::Single(id) if matches!(nodes[*id].op, NodeOp::Relu));
+        if !in_place_relu {
+            stats.offchip_elems +=
+                if si == last_seg { out.shape().numel() } else { 2 * out.shape().numel() };
+        }
+        values[out_id] = Some(out);
+        match seg {
+            Segment::Fused { input: src, .. } => {
+                release_ref(&mut values, &mut remaining, *src);
+            }
+            Segment::Single(id) => release_used(&mut values, &mut remaining, &nodes[*id]),
+        }
+    }
+    let output = values[graph.output_id()]
+        .take()
+        .ok_or_else(|| TensorError::invalid("plan did not produce the graph output"))?;
+    Ok(RunReport { output, stats, segments: segments.len() })
 }

@@ -40,12 +40,14 @@
 pub mod exec;
 pub mod ir;
 pub mod plan;
+pub mod quantize;
 pub mod session;
 
 pub use exec::{BlockedExecutor, Executor, ReferenceExecutor, RunReport};
 pub use ir::{Graph, LowerOptions, Node, NodeId, NodeOp, NodeRef};
 pub use plan::{ExecPlan, Planner, PlannerOptions, Segment};
-pub use session::{Backend, Session, SessionBuilder, THREADS_ENV};
+pub use quantize::{GraphQuantSpec, QuantizedExecutor};
+pub use session::{Backend, Session, SessionBuilder, DEFAULT_CALIBRATION_BATCHES, THREADS_ENV};
 
 // Re-exported so session callers can pick a conv kernel without a direct
 // bconv-tensor dependency.

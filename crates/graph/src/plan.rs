@@ -20,6 +20,7 @@ use bconv_tensor::pad::PadMode;
 use bconv_tensor::TensorError;
 
 use crate::ir::{Graph, NodeId, NodeOp, NodeRef};
+use crate::quantize::GraphQuantSpec;
 
 /// Planner configuration.
 #[derive(Debug, Clone)]
@@ -93,9 +94,19 @@ pub struct ExecPlan {
     pattern: BlockingPattern,
     blocked_convs: usize,
     total_convs: usize,
+    act_bits: Option<u8>,
 }
 
 impl ExecPlan {
+    /// Activation bitwidth the plan was compiled for: `Some` for a
+    /// [`Planner::plan_quantized`] plan (whose fused chains carry integer
+    /// stages and whose whole-map convs expect quantized dispatch), `None`
+    /// for a float plan. Executors must match — see
+    /// [`crate::exec::BlockedExecutor`].
+    pub fn act_bits(&self) -> Option<u8> {
+        self.act_bits
+    }
+
     /// Ordered segments.
     pub fn segments(&self) -> &[Segment] {
         &self.segments
@@ -217,6 +228,32 @@ impl Planner {
     /// cover exactly the graph's conv layers, or if a planned chain fails
     /// to re-validate (cannot happen for grids the trial walk accepted).
     pub fn plan(&self, graph: &Graph) -> Result<ExecPlan, TensorError> {
+        self.plan_inner(graph, None)
+    }
+
+    /// [`plan`](Self::plan) with every fused convolution compiled to the
+    /// quantized integer path: the fusion-group walk (and therefore the
+    /// segment structure) is identical to the float plan, but chains are
+    /// built through [`FusedChain::plan_quantized`] with `spec`'s weight
+    /// bitwidth and the calibrated per-node activation ranges.
+    ///
+    /// # Errors
+    ///
+    /// As [`plan`](Self::plan), plus [`TensorError::InvalidParameter`] when
+    /// a fused conv node has no calibrated activation range in `spec`.
+    pub fn plan_quantized(
+        &self,
+        graph: &Graph,
+        spec: &GraphQuantSpec,
+    ) -> Result<ExecPlan, TensorError> {
+        self.plan_inner(graph, Some(spec))
+    }
+
+    fn plan_inner(
+        &self,
+        graph: &Graph,
+        quant: Option<&GraphQuantSpec>,
+    ) -> Result<ExecPlan, TensorError> {
         let decisions = self.decisions(graph)?;
         let mut segments: Vec<Segment> = Vec::new();
         let mut open: Option<OpenChain> = None;
@@ -241,7 +278,7 @@ impl Planner {
                 }
                 // The node did not join: close the group.
                 let closed = open.take().expect("checked above");
-                segments.push(Self::finalize(closed, self.opts.pad_mode, self.opts.kernel)?);
+                segments.push(Self::finalize(closed, graph, &self.opts, quant)?);
             }
 
             // Try to open a new group at this node; otherwise run it whole.
@@ -253,7 +290,7 @@ impl Planner {
             }
         }
         if let Some(chain) = open.take() {
-            segments.push(Self::finalize(chain, self.opts.pad_mode, self.opts.kernel)?);
+            segments.push(Self::finalize(chain, graph, &self.opts, quant)?);
         }
 
         Ok(ExecPlan {
@@ -261,6 +298,7 @@ impl Planner {
             pattern: self.opts.pattern,
             blocked_convs,
             total_convs: graph.conv_count(),
+            act_bits: quant.map(|spec| spec.act_bits),
         })
     }
 
@@ -399,14 +437,44 @@ impl Planner {
     /// Converts an open chain into a fused segment. Chains always contain
     /// at least one blocked conv (groups only open at one), so even a
     /// single-op chain must execute through the blocked path to preserve
-    /// the plan's numerics.
+    /// the plan's numerics. With a quantization spec, the chain is built
+    /// on the integer path, each conv stage carrying the calibrated
+    /// activation range of its graph node.
     fn finalize(
         chain: OpenChain,
-        pad_mode: PadMode,
-        kernel: KernelPolicy,
+        graph: &Graph,
+        opts: &PlannerOptions,
+        quant: Option<&GraphQuantSpec>,
     ) -> Result<Segment, TensorError> {
         debug_assert!(chain.has_blocked_conv);
-        let fused = FusedChain::plan_with_kernel(chain.ops, chain.start_grid, pad_mode, kernel)?;
+        let fused = match quant {
+            None => FusedChain::plan_with_kernel(
+                chain.ops,
+                chain.start_grid,
+                opts.pad_mode,
+                opts.kernel,
+            )?,
+            Some(spec) => {
+                let mut params = Vec::new();
+                for (&node_id, op) in chain.nodes.iter().zip(&chain.ops) {
+                    if matches!(op, ChainOp::Conv(_)) {
+                        params.push(spec.act_params(node_id).ok_or_else(|| {
+                            TensorError::invalid(format!(
+                                "no calibrated activation range for conv node {}",
+                                graph.nodes()[node_id].name
+                            ))
+                        })?);
+                    }
+                }
+                FusedChain::plan_quantized(
+                    chain.ops,
+                    chain.start_grid,
+                    opts.pad_mode,
+                    spec.weight_bits,
+                    &params,
+                )?
+            }
+        };
         Ok(Segment::Fused { nodes: chain.nodes, chain: fused, input: chain.input })
     }
 }

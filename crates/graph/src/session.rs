@@ -28,9 +28,12 @@ use bconv_tensor::kernel::KernelPolicy;
 use bconv_tensor::pad::PadMode;
 use bconv_tensor::{Tensor, TensorError};
 
+use bconv_tensor::init::{seeded_rng, uniform_tensor};
+
 use crate::exec::{BlockedExecutor, Executor, ReferenceExecutor, RunReport};
 use crate::ir::{Graph, LowerOptions};
 use crate::plan::{ExecPlan, Planner, PlannerOptions};
+use crate::quantize::{GraphQuantSpec, QuantizedExecutor};
 
 /// Which executor backend a session compiles.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -40,11 +43,42 @@ pub enum Backend {
     /// Blocked, fused execution per the compiled plan (the default).
     #[default]
     Blocked,
+    /// The blocked schedule with every convolution in calibrated integer
+    /// arithmetic — the paper's deployment path (§III-C, Figure 7:
+    /// `weight_bits: 8, act_bits: 16` for the VGG-16 accelerator,
+    /// `weight_bits: 4, act_bits: 8` for VDSR). Building this backend runs
+    /// a post-training calibration pass (see [`crate::quantize`]);
+    /// [`RunReport`] traffic is reported at
+    /// `act_bits` per feature-map element.
+    Quantized {
+        /// Convolution weight bitwidth (2..=16).
+        weight_bits: u8,
+        /// Activation bitwidth (2..=16); also the off-chip word width.
+        act_bits: u8,
+    },
 }
 
 /// Environment variable consulted for the worker-thread count when the
 /// builder does not set one explicitly.
 pub const THREADS_ENV: &str = "BCONV_THREADS";
+
+/// Number of synthesised calibration batches when the quantized backend is
+/// built without [`SessionBuilder::calibration`] data.
+pub const DEFAULT_CALIBRATION_BATCHES: usize = 4;
+
+/// Deterministic stand-in calibration set: seeded uniform batches over the
+/// network's input shape. Real calibration data gives real activation
+/// ranges; this keeps `Backend::Quantized` buildable out of the box with
+/// the same reproducibility guarantees as weight binding.
+fn default_calibration(graph: &Graph, seed: u64) -> Vec<Tensor> {
+    let s = graph.input_shape();
+    (0..DEFAULT_CALIBRATION_BATCHES)
+        .map(|i| {
+            let mut rng = seeded_rng(seed ^ 0x5143_414C ^ ((i as u64 + 1) << 32));
+            uniform_tensor([1, s.c, s.h, s.w], -1.0, 1.0, &mut rng)
+        })
+        .collect()
+}
 
 /// Resolves the blocked backend's worker-thread count: an explicit
 /// builder setting wins, then a [`THREADS_ENV`] override, then the
@@ -87,6 +121,7 @@ pub struct SessionBuilder {
     relu_after_conv: bool,
     kernel: KernelPolicy,
     threads: Option<usize>,
+    calibration: Option<Vec<Tensor>>,
 }
 
 impl SessionBuilder {
@@ -161,6 +196,16 @@ impl SessionBuilder {
         self
     }
 
+    /// Calibration inputs for the quantized backend's post-training range
+    /// calibration (ignored by the float backends). When unset, the build
+    /// synthesises [`DEFAULT_CALIBRATION_BATCHES`] seeded uniform batches
+    /// over the network's input shape — deterministic, like weight binding,
+    /// but real data gives real activation ranges.
+    pub fn calibration(mut self, inputs: Vec<Tensor>) -> Self {
+        self.calibration = Some(inputs);
+        self
+    }
+
     /// Compiles the session: lowers the descriptor to a [`Graph`], plans
     /// fusion groups, and builds the selected executor.
     ///
@@ -182,15 +227,31 @@ impl SessionBuilder {
             budget_elems: self.budget_elems,
             kernel: self.kernel,
         };
-        let exec_plan = Arc::new(Planner::new(planner_opts).plan(&graph)?);
+        let planner = Planner::new(planner_opts);
         let threads = resolve_threads(self.threads)?;
-        let executor: Box<dyn Executor> = match self.backend {
-            Backend::Reference => Box::new(ReferenceExecutor::new(Arc::clone(&graph))),
-            Backend::Blocked => Box::new(BlockedExecutor::with_threads(
-                Arc::clone(&graph),
-                Arc::clone(&exec_plan),
-                threads,
-            )),
+        let (exec_plan, executor): (Arc<ExecPlan>, Box<dyn Executor>) = match self.backend {
+            Backend::Reference => {
+                let plan = Arc::new(planner.plan(&graph)?);
+                (plan, Box::new(ReferenceExecutor::new(Arc::clone(&graph))))
+            }
+            Backend::Blocked => {
+                let plan = Arc::new(planner.plan(&graph)?);
+                let exec =
+                    BlockedExecutor::with_threads(Arc::clone(&graph), Arc::clone(&plan), threads);
+                (plan, Box::new(exec))
+            }
+            Backend::Quantized { weight_bits, act_bits } => {
+                let inputs = match self.calibration {
+                    Some(inputs) => inputs,
+                    None => default_calibration(&graph, lower_opts.seed),
+                };
+                let spec =
+                    Arc::new(GraphQuantSpec::calibrate(&graph, &inputs, weight_bits, act_bits)?);
+                let plan = Arc::new(planner.plan_quantized(&graph, &spec)?);
+                let exec =
+                    QuantizedExecutor::new(Arc::clone(&graph), Arc::clone(&plan), spec, threads)?;
+                (plan, Box::new(exec))
+            }
         };
         Ok(Session { graph, exec_plan, backend: self.backend, threads, executor })
     }
@@ -261,6 +322,16 @@ impl Session {
                 self.threads,
                 self.exec_plan.describe(&self.graph),
             ),
+            Backend::Quantized { weight_bits, act_bits } => format!(
+                "{} on quantized backend (w{weight_bits}a{act_bits}): {} segments, {} fusion \
+                 groups, blocking ratio {:.0}%, {} worker thread(s)\n{}",
+                self.graph.name(),
+                self.exec_plan.segments().len(),
+                self.exec_plan.fusion_groups(),
+                self.exec_plan.blocking_ratio() * 100.0,
+                self.threads,
+                self.exec_plan.describe(&self.graph),
+            ),
         }
     }
 }
@@ -304,5 +375,51 @@ mod tests {
         let d = s.describe();
         assert!(d.contains("blocked"), "{d}");
         assert!(d.contains("fusion groups"), "{d}");
+    }
+
+    #[test]
+    fn quantized_backend_builds_and_describes_bitwidths() {
+        let s = Session::builder()
+            .network(vgg16_small(32))
+            .backend(Backend::Quantized { weight_bits: 8, act_bits: 8 })
+            .build()
+            .unwrap();
+        assert_eq!(s.backend(), Backend::Quantized { weight_bits: 8, act_bits: 8 });
+        assert!(s.plan().fusion_groups() > 0, "quantized plan keeps the fused structure");
+        let d = s.describe();
+        assert!(d.contains("quantized") && d.contains("w8a8"), "{d}");
+        let report = s.run(&Tensor::filled([1, 3, 32, 32], 0.5)).unwrap();
+        assert_eq!(report.output.shape().dims(), [1, 10, 1, 1]);
+        assert_eq!(report.stats.bits_per_elem, 8);
+    }
+
+    #[test]
+    fn quantized_backend_rejects_bad_bitwidths() {
+        for (w, a) in [(1, 8), (8, 32), (0, 0)] {
+            let r = Session::builder()
+                .network(vgg16_small(32))
+                .backend(Backend::Quantized { weight_bits: w, act_bits: a })
+                .build();
+            assert!(r.is_err(), "w{w}a{a} should be rejected");
+        }
+    }
+
+    #[test]
+    fn quantized_backend_accepts_explicit_calibration_data() {
+        let cal: Vec<Tensor> = (0..2).map(|i| Tensor::filled([1, 3, 32, 32], i as f32)).collect();
+        let s = Session::builder()
+            .network(vgg16_small(32))
+            .backend(Backend::Quantized { weight_bits: 8, act_bits: 8 })
+            .calibration(cal)
+            .build()
+            .unwrap();
+        assert!(s.run(&Tensor::filled([1, 3, 32, 32], 0.5)).is_ok());
+        // An empty calibration set is an error, not a silent default.
+        let r = Session::builder()
+            .network(vgg16_small(32))
+            .backend(Backend::Quantized { weight_bits: 8, act_bits: 8 })
+            .calibration(Vec::new())
+            .build();
+        assert!(r.is_err());
     }
 }

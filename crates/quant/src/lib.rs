@@ -11,8 +11,10 @@
 //! * [`QTensor`] / [`quantize`] / [`dequantize`] — integer tensors;
 //! * [`fake_quant`] — the QAT forward hook (quantize–dequantize round trip);
 //! * [`calibrate::Calibrator`] — absolute-max range calibration for PTQ;
-//! * [`qconv`] — integer convolution simulation with i64 accumulators,
-//!   verifying quantized inference end to end.
+//! * [`qconv`] — integer convolution simulation with i64 accumulators:
+//!   [`qconv::QConv2d`] pads in any block-padding mode (or runs prepadded
+//!   inside fusion groups) and [`qconv::QuantChainOp`] packages one
+//!   quantized fused-chain stage with its calibrated activation range.
 //!
 //! # Example
 //!

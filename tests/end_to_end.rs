@@ -87,7 +87,7 @@ fn quantized_block_convolution_stays_accurate() {
         for col in 0..grid.num_cols() {
             let b = grid.block(row, col);
             let block = input.crop(b.h0, b.w0, b.bh, b.bw).unwrap();
-            let out = qconv.forward(&block, act).unwrap();
+            let out = qconv.forward(&block, act, PadMode::Zero).unwrap();
             q_out.paste(&out, b.h0, b.w0).unwrap();
         }
     }

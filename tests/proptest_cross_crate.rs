@@ -1,11 +1,14 @@
 //! Workspace-level property tests on cross-crate invariants.
 
 use bconv_core::blocking::{BlockGrid, BlockingPattern};
+use bconv_core::fusion::{ChainOp, FusedChain};
 use bconv_graph::{Graph, LowerOptions, Planner, PlannerOptions, Segment};
 use bconv_models::builder::{conv, maxpool, NetBuilder};
 use bconv_models::ActShape;
+use bconv_quant::qconv::QConv2d;
 use bconv_quant::{dequantize, fake_quant_dynamic, quantize, QParams};
-use bconv_tensor::init::{seeded_rng, uniform_tensor};
+use bconv_tensor::conv::ConvGeom;
+use bconv_tensor::init::{he_conv2d, seeded_rng, uniform_tensor};
 use bconv_tensor::pad::PadMode;
 use proptest::prelude::*;
 
@@ -74,6 +77,53 @@ proptest! {
         let fq = fake_quant_dynamic(&t, bits);
         let fq2 = fake_quant_dynamic(&fq, bits);
         prop_assert!(fq.max_abs_diff(&fq2).unwrap() <= params.step() * 0.51 + 1e-6);
+    }
+
+    /// Blocked-quantized and dense-quantized execution agree **bitwise** on
+    /// pixels whose 3x3 receptive field stays inside one block: block
+    /// convolution only perturbs boundary pixels (paper §II-C), and the
+    /// integer path quantizes identical pixel values to identical integers
+    /// and accumulates them in the same order.
+    #[test]
+    fn blocked_quant_interior_matches_dense_quant_bitwise(
+        g in prop::sample::select(vec![2usize, 4]),
+        c_in in 1usize..3,
+        c_out in 1usize..3,
+        seed in 0u64..500,
+    ) {
+        let mut rng = seeded_rng(seed ^ 0x1B17);
+        let cv = he_conv2d(c_in, c_out, ConvGeom::same(3), 1, &mut rng).unwrap();
+        let input = uniform_tensor([1, c_in, 16, 16], -1.0, 1.0, &mut rng);
+        let act = QParams::from_abs_max(1.0, 8);
+        let qconv = QConv2d::from_conv(&cv, 8).unwrap();
+        let dense = qconv.forward(&input, act, PadMode::Zero).unwrap();
+        let grid = BlockGrid::from_pattern(16, 16, BlockingPattern::hierarchical(g)).unwrap();
+        let chain = FusedChain::plan_quantized(
+            vec![ChainOp::conv(cv)],
+            grid.clone(),
+            PadMode::Zero,
+            8,
+            &[act],
+        )
+        .unwrap();
+        let (blocked, _) = chain.run_fused(&input).unwrap();
+        prop_assert_eq!(blocked.shape(), dense.shape());
+        for r in 0..grid.num_rows() {
+            for c in 0..grid.num_cols() {
+                let b = grid.block(r, c);
+                for ch in 0..c_out {
+                    for h in b.h0 + 1..b.h0 + b.bh - 1 {
+                        for w in b.w0 + 1..b.w0 + b.bw - 1 {
+                            prop_assert_eq!(
+                                dense.at(0, ch, h, w).to_bits(),
+                                blocked.at(0, ch, h, w).to_bits(),
+                                "interior pixel ({ch},{h},{w}) differs in block ({r},{c})"
+                            );
+                        }
+                    }
+                }
+            }
+        }
     }
 
     /// Grid downscaling commutes with block enumeration: downscaled blocks
