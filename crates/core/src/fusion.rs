@@ -415,6 +415,36 @@ impl FusedChain {
         input: &Tensor,
         threads: usize,
     ) -> Result<(Tensor, MemStats), TensorError> {
+        let mut out = Tensor::default();
+        let mut scratch = BlockScratch::new();
+        let stats = self.run_fused_into(input, threads, &mut out, &mut scratch)?;
+        Ok((out, stats))
+    }
+
+    /// [`run_fused_threads`](Self::run_fused_threads) into caller-owned
+    /// buffers — the serving-path primitive. `out` is reshaped to the
+    /// group's output map and every element is overwritten (the output
+    /// grid tiles it exactly); on the serial path `scratch` carries all
+    /// block intermediates, so a caller that reuses both across requests
+    /// performs **zero steady-state allocation** per run. The chain is
+    /// batch-aware: inputs may carry any batch size `n` (coalesced
+    /// requests run as one map), block buffers simply grow with `n` the
+    /// first time and are handed back through `scratch` for the next run.
+    ///
+    /// With `threads > 1` each scoped worker owns a private scratch for
+    /// the duration of the call (`scratch` is bypassed — per-worker
+    /// buffers cannot outlive the scope).
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors if `input` does not match the planned grid.
+    pub fn run_fused_into(
+        &self,
+        input: &Tensor,
+        threads: usize,
+        out: &mut Tensor,
+        scratch: &mut BlockScratch,
+    ) -> Result<MemStats, TensorError> {
         let [n, c, h, w] = input.shape().dims();
         if h != self.in_grid.h() || w != self.in_grid.w() {
             return Err(TensorError::shape_mismatch(
@@ -424,7 +454,7 @@ impl FusedChain {
             ));
         }
         let c_out = self.out_channels(c);
-        let mut out = Tensor::zeros([n, c_out, self.out_grid.h(), self.out_grid.w()]);
+        out.reset([n, c_out, self.out_grid.h(), self.out_grid.w()]);
         let mut stats = MemStats {
             peak_working_elems: 0,
             offchip_elems: input.shape().numel() + out.shape().numel(),
@@ -436,14 +466,13 @@ impl FusedChain {
         let workers = threads.min(blocks.len()).max(1);
 
         if workers <= 1 {
-            // One scratch set serves every block and stage of the run.
-            let mut scratch = BlockScratch::default();
+            // The caller's scratch serves every block and stage of the run.
             for &(row, col) in &blocks {
-                self.run_block_scratch(input, row, col, &mut scratch, &mut stats)?;
+                self.run_block_scratch(input, row, col, scratch, &mut stats)?;
                 let ob = self.out_grid.block(row, col);
                 out.paste(scratch.output(), ob.h0, ob.w0)?;
             }
-            return Ok((out, stats));
+            return Ok(stats);
         }
 
         // Static contiguous partition; workers paste their (disjoint)
@@ -451,7 +480,7 @@ impl FusedChain {
         // tensors are materialised and the outcome cannot depend on
         // timing.
         let chunk = blocks.len().div_ceil(workers);
-        let out_slot = std::sync::Mutex::new(&mut out);
+        let out_slot = std::sync::Mutex::new(out);
         std::thread::scope(|scope| -> Result<(), TensorError> {
             let mut handles = Vec::with_capacity(workers);
             for block_chunk in blocks.chunks(chunk) {
@@ -474,7 +503,7 @@ impl FusedChain {
             }
             Ok(())
         })?;
-        Ok((out, stats))
+        Ok(stats)
     }
 
     /// Executes the group layer-by-layer on whole feature maps (the

@@ -19,14 +19,24 @@
 //! §II-C). The quantized backend reuses the same segment loop and
 //! evaluator but substitutes integer convolutions, so it tracks — rather
 //! than matches — the float results.
+//!
+//! Executors are **immutable after construction** ([`Executor`] requires
+//! `Send + Sync`): one compiled backend can serve concurrent callers.
+//! All per-run mutable state lives in an [`ExecScratch`] owned by the
+//! caller — [`Executor::run_scratch`] reuses it across requests so
+//! steady-state serving performs no allocation beyond the output tensor
+//! handed back in each [`RunReport`] (see [`crate::serve`]).
 
 use std::sync::Arc;
 
-use bconv_core::fusion::MemStats;
-use bconv_tensor::activation::relu;
-use bconv_tensor::elementwise::add;
-use bconv_tensor::pool::{global_avg_pool, max_pool2d};
-use bconv_tensor::upsample::upsample_nearest;
+use bconv_core::fusion::{BlockScratch, MemStats};
+use bconv_quant::qconv::QConvScratch;
+use bconv_tensor::activation::relu_inplace;
+use bconv_tensor::elementwise::add_into;
+use bconv_tensor::kernel::{ConvScratch, KernelKind};
+use bconv_tensor::pad::{pad2d_asym_into, PadMode};
+use bconv_tensor::pool::{global_avg_pool_into, max_pool2d_into};
+use bconv_tensor::upsample::upsample_nearest_into;
 use bconv_tensor::{Tensor, TensorError};
 
 use crate::ir::{Graph, NodeOp, NodeRef};
@@ -44,18 +54,80 @@ pub struct RunReport {
     pub segments: usize,
 }
 
-/// A compiled execution backend.
-pub trait Executor {
+/// Reusable per-caller execution state: the node-value table, a pool of
+/// recycled intermediate tensors, and the kernel scratch buffers. One
+/// scratch belongs to one caller at a time (a serving worker owns one for
+/// its lifetime); the executor itself stays shared and immutable.
+///
+/// Buffers grow to the largest request seen and are reused afterwards:
+/// once warm, a run's only allocation is the output tensor that leaves in
+/// its [`RunReport`] (it is handed to the caller, so it cannot return to
+/// the pool).
+#[derive(Debug, Default)]
+pub struct ExecScratch {
+    /// Materialised per-node values of the in-flight run.
+    values: Vec<Option<Tensor>>,
+    /// Remaining-use counters (consumer counts) of the in-flight run.
+    remaining: Vec<usize>,
+    /// Recycled value buffers: released intermediates land here and are
+    /// reshaped for the next node instead of reallocating.
+    pool: Vec<Tensor>,
+    /// Per-block intermediates for serial fused-chain execution.
+    block: BlockScratch,
+    /// Whole-map (single-segment) kernel temporaries.
+    single: SingleScratch,
+}
+
+impl ExecScratch {
+    /// A fresh scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Kernel temporaries for whole-map (`Segment::Single`) node evaluation.
+#[derive(Debug, Default)]
+pub(crate) struct SingleScratch {
+    /// Float conv kernel temporaries (im2col patches etc.).
+    conv: ConvScratch,
+    /// Integer conv temporaries (quantized activations).
+    pub(crate) qconv: QConvScratch,
+    /// Padded-input staging buffer (conv geometry padding, pool `-inf`
+    /// padding).
+    padded: Tensor,
+}
+
+/// A compiled execution backend. Implementations are immutable after
+/// construction and shareable across threads; all per-run mutable state
+/// is confined to the caller's [`ExecScratch`].
+pub trait Executor: Send + Sync {
     /// Backend name for reports.
     fn name(&self) -> &'static str;
 
-    /// Runs the network on `input` (NCHW, any batch size).
+    /// Runs the network on `input` (NCHW, any batch size) with one-shot
+    /// scratch buffers. Prefer [`run_scratch`](Self::run_scratch) when
+    /// running many requests.
     ///
     /// # Errors
     ///
     /// Returns [`TensorError`] when `input` does not match the graph's
     /// input shape or an operator fails.
-    fn run(&self, input: &Tensor) -> Result<RunReport, TensorError>;
+    fn run(&self, input: &Tensor) -> Result<RunReport, TensorError> {
+        self.run_scratch(input, &mut ExecScratch::new())
+    }
+
+    /// [`run`](Self::run) reusing caller-owned buffers across requests —
+    /// the serving entry point. Outputs are bitwise-identical to
+    /// [`run`](Self::run); only the allocation behaviour differs.
+    ///
+    /// # Errors
+    ///
+    /// See [`run`](Self::run).
+    fn run_scratch(
+        &self,
+        input: &Tensor,
+        scratch: &mut ExecScratch,
+    ) -> Result<RunReport, TensorError>;
 }
 
 /// Validates the per-element input shape against the graph.
@@ -74,35 +146,63 @@ pub(crate) fn check_input(graph: &Graph, input: &Tensor) -> Result<(), TensorErr
 
 /// Max pooling with symmetric padding, padding with `-inf` so border
 /// windows ignore the synthetic pixels (descriptor pools may carry `p>0`,
-/// e.g. the ResNet stem's 3/2/1).
-fn max_pool_padded(input: &Tensor, k: usize, s: usize, p: usize) -> Result<Tensor, TensorError> {
+/// e.g. the ResNet stem's 3/2/1). The padded staging buffer comes from
+/// the caller's scratch.
+fn max_pool_padded_into(
+    input: &Tensor,
+    k: usize,
+    s: usize,
+    p: usize,
+    out: &mut Tensor,
+    padded: &mut Tensor,
+) -> Result<(), TensorError> {
     if p == 0 {
-        return max_pool2d(input, k, s);
+        return max_pool2d_into(input, k, s, out);
     }
     let [n, c, h, w] = input.shape().dims();
-    let mut padded = Tensor::filled([n, c, h + 2 * p, w + 2 * p], f32::NEG_INFINITY);
+    padded.reset([n, c, h + 2 * p, w + 2 * p]);
+    padded.data_mut().fill(f32::NEG_INFINITY);
     padded.paste(input, p, p)?;
-    max_pool2d(&padded, k, s)
+    max_pool2d_into(padded, k, s, out)
 }
 
 /// Shared node evaluator: the single source of truth for what each op
-/// computes, used by every backend.
-pub(crate) fn eval_node(
+/// computes, used by every backend. Writes into `out` (reshaped to fit,
+/// every element overwritten), drawing temporaries from `scratch`.
+pub(crate) fn eval_node_into(
     op: &NodeOp,
     input: &Tensor,
     aux: Option<&Tensor>,
-) -> Result<Tensor, TensorError> {
+    out: &mut Tensor,
+    scratch: &mut SingleScratch,
+) -> Result<(), TensorError> {
     match op {
-        NodeOp::Conv { conv, .. } => conv.forward(input),
-        NodeOp::Relu => Ok(relu(input)),
-        NodeOp::MaxPool { k, s, p } => max_pool_padded(input, *k, *s, *p),
-        NodeOp::GlobalAvgPool => Ok(global_avg_pool(input)),
-        NodeOp::Fc(linear) => linear.forward(input),
+        NodeOp::Conv { conv, .. } => {
+            // Whole-map convs pad with their own symmetric zero geometry
+            // padding (exactly `Conv2d::forward`), staged in scratch.
+            let p = conv.geom().padding;
+            pad2d_asym_into(input, p, p, p, p, PadMode::Zero, &mut scratch.padded)?;
+            conv.forward_prepadded_into(&scratch.padded, KernelKind::Direct, out, &mut scratch.conv)
+        }
+        NodeOp::Relu => {
+            out.reset(input.shape());
+            out.data_mut().copy_from_slice(input.data());
+            relu_inplace(out);
+            Ok(())
+        }
+        NodeOp::MaxPool { k, s, p } => {
+            max_pool_padded_into(input, *k, *s, *p, out, &mut scratch.padded)
+        }
+        NodeOp::GlobalAvgPool => {
+            global_avg_pool_into(input, out);
+            Ok(())
+        }
+        NodeOp::Fc(linear) => linear.forward_into(input, out),
         NodeOp::Add { .. } => {
             let other = aux.ok_or_else(|| TensorError::invalid("Add without second input"))?;
-            add(input, other)
+            add_into(input, other, out)
         }
-        NodeOp::Upsample { factor } => upsample_nearest(input, *factor),
+        NodeOp::Upsample { factor } => upsample_nearest_into(input, *factor, out),
     }
 }
 
@@ -139,14 +239,18 @@ impl Executor for ReferenceExecutor {
         "reference"
     }
 
-    fn run(&self, input: &Tensor) -> Result<RunReport, TensorError> {
+    fn run_scratch(
+        &self,
+        input: &Tensor,
+        scratch: &mut ExecScratch,
+    ) -> Result<RunReport, TensorError> {
         let last = self.graph.output_id();
         let mut stats = MemStats {
             peak_working_elems: 0,
             offchip_elems: input.shape().numel(),
             ..MemStats::default()
         };
-        let output = run_dense(&self.graph, input, |id, node, in_t, aux, out| {
+        let output = run_dense_scratch(&self.graph, input, scratch, |id, node, in_t, aux, out| {
             let live =
                 in_t.shape().numel() + out.shape().numel() + aux.map_or(0, |t| t.shape().numel());
             stats.peak_working_elems = stats.peak_working_elems.max(live);
@@ -163,45 +267,67 @@ impl Executor for ReferenceExecutor {
 
 /// The dense layer-wise graph walk shared by the reference backend and the
 /// calibration pass: resolve inputs (including `Add` second operands),
-/// evaluate through [`eval_node`], free intermediates after their last
-/// consumer, return the graph output. `observe` sees every node's inputs
-/// and output as it executes — the reference backend accumulates
+/// evaluate through [`eval_node_into`], recycle intermediates after their
+/// last consumer, return the graph output. `observe` sees every node's
+/// inputs and output as it executes — the reference backend accumulates
 /// [`MemStats`] there, calibration feeds conv inputs to its range
 /// trackers. Keeping the walk here once guarantees calibration runs
 /// exactly the numerics the reference backend reports.
-pub(crate) fn run_dense(
+pub(crate) fn run_dense_scratch(
     graph: &Graph,
     input: &Tensor,
+    scratch: &mut ExecScratch,
     mut observe: impl FnMut(crate::ir::NodeId, &crate::ir::Node, &Tensor, Option<&Tensor>, &Tensor),
 ) -> Result<Tensor, TensorError> {
     check_input(graph, input)?;
     let nodes = graph.nodes();
-    let mut values: Vec<Option<Tensor>> = vec![None; nodes.len()];
-    // Remaining-use counters so intermediates are freed after their
-    // last consumer instead of accumulating for the whole run.
-    let mut remaining: Vec<usize> = (0..nodes.len()).map(|i| graph.consumer_count(i)).collect();
+    let ExecScratch { values, remaining, pool, single, .. } = scratch;
+    // A cleared table drops any values a previously failed run left
+    // behind; the Vec allocations themselves persist across requests.
+    values.clear();
+    values.resize_with(nodes.len(), || None);
+    remaining.clear();
+    remaining.extend((0..nodes.len()).map(|i| graph.consumer_count(i)));
     for (id, node) in nodes.iter().enumerate() {
-        let in_t = resolve(&values, input, node.input)?;
+        let mut out = pool.pop().unwrap_or_default();
+        let in_t = resolve(values, input, node.input)?;
         let aux = match node.op {
-            NodeOp::Add { other } => Some(resolve(&values, input, other)?),
+            NodeOp::Add { other } => Some(resolve(values, input, other)?),
             _ => None,
         };
-        let out = eval_node(&node.op, in_t, aux)?;
+        eval_node_into(&node.op, in_t, aux, &mut out, single)?;
         observe(id, node, in_t, aux, &out);
         values[id] = Some(out);
-        release_used(&mut values, &mut remaining, node);
+        release_used(values, remaining, pool, node);
     }
     values[graph.output_id()].take().ok_or_else(|| TensorError::invalid("graph produced no output"))
 }
 
-/// Decrements one reference's remaining-use counter, dropping the value
-/// once all its consumers have run. The graph output has consumer count 0
-/// and is therefore never dropped here.
-pub(crate) fn release_ref(values: &mut [Option<Tensor>], remaining: &mut [usize], r: NodeRef) {
+/// [`run_dense_scratch`] with one-shot buffers (the calibration entry
+/// point, which walks a graph only a handful of times).
+pub(crate) fn run_dense(
+    graph: &Graph,
+    input: &Tensor,
+    observe: impl FnMut(crate::ir::NodeId, &crate::ir::Node, &Tensor, Option<&Tensor>, &Tensor),
+) -> Result<Tensor, TensorError> {
+    run_dense_scratch(graph, input, &mut ExecScratch::new(), observe)
+}
+
+/// Decrements one reference's remaining-use counter, recycling the value
+/// into the buffer pool once all its consumers have run. The graph output
+/// has consumer count 0 and is therefore never recycled here.
+pub(crate) fn release_ref(
+    values: &mut [Option<Tensor>],
+    remaining: &mut [usize],
+    pool: &mut Vec<Tensor>,
+    r: NodeRef,
+) {
     if let NodeRef::Node(i) = r {
         remaining[i] = remaining[i].saturating_sub(1);
         if remaining[i] == 0 {
-            values[i] = None;
+            if let Some(t) = values[i].take() {
+                pool.push(t);
+            }
         }
     }
 }
@@ -210,11 +336,12 @@ pub(crate) fn release_ref(values: &mut [Option<Tensor>], remaining: &mut [usize]
 pub(crate) fn release_used(
     values: &mut [Option<Tensor>],
     remaining: &mut [usize],
+    pool: &mut Vec<Tensor>,
     node: &crate::ir::Node,
 ) {
-    release_ref(values, remaining, node.input);
+    release_ref(values, remaining, pool, node.input);
     if let NodeOp::Add { other } = node.op {
-        release_ref(values, remaining, other);
+        release_ref(values, remaining, pool, other);
     }
 }
 
@@ -261,7 +388,11 @@ impl Executor for BlockedExecutor {
         "blocked"
     }
 
-    fn run(&self, input: &Tensor) -> Result<RunReport, TensorError> {
+    fn run_scratch(
+        &self,
+        input: &Tensor,
+        scratch: &mut ExecScratch,
+    ) -> Result<RunReport, TensorError> {
         // A quantized plan carries integer fused chains and whole-map convs
         // that expect quantized dispatch: running it here would mix float
         // and integer numerics and report traffic at the wrong width.
@@ -271,9 +402,15 @@ impl Executor for BlockedExecutor {
                  use the quantized backend"
             )));
         }
-        run_plan(&self.graph, &self.plan, self.threads, 32, input, |_, node, in_t, aux| {
-            eval_node(&node.op, in_t, aux)
-        })
+        run_plan(
+            &self.graph,
+            &self.plan,
+            self.threads,
+            32,
+            input,
+            scratch,
+            |_, node, in_t, aux, out, s| eval_node_into(&node.op, in_t, aux, out, s),
+        )
     }
 }
 
@@ -284,55 +421,62 @@ impl Executor for BlockedExecutor {
 /// nodes there). All [`MemStats`] accounting conventions — peak-working
 /// tracking, the write + read-back rule for non-final segment outputs, the
 /// in-place-ReLU exemption — live here once, so the two backends cannot
-/// drift apart.
+/// drift apart. All mutable run state draws from `scratch`.
 pub(crate) fn run_plan(
     graph: &Graph,
     plan: &ExecPlan,
     threads: usize,
     bits_per_elem: u8,
     input: &Tensor,
+    scratch: &mut ExecScratch,
     eval_single: impl Fn(
         crate::ir::NodeId,
         &crate::ir::Node,
         &Tensor,
         Option<&Tensor>,
-    ) -> Result<Tensor, TensorError>,
+        &mut Tensor,
+        &mut SingleScratch,
+    ) -> Result<(), TensorError>,
 ) -> Result<RunReport, TensorError> {
     check_input(graph, input)?;
     let nodes = graph.nodes();
-    let mut values: Vec<Option<Tensor>> = vec![None; nodes.len()];
+    let ExecScratch { values, remaining, pool, block, single } = scratch;
+    values.clear();
+    values.resize_with(nodes.len(), || None);
     // Remaining-use counters, as in the reference backend. Fused-group
     // interiors are never materialised, so only segment inputs (and
     // Add second operands) are counted down here.
-    let mut remaining: Vec<usize> = (0..nodes.len()).map(|i| graph.consumer_count(i)).collect();
+    remaining.clear();
+    remaining.extend((0..nodes.len()).map(|i| graph.consumer_count(i)));
     let mut stats =
         MemStats { peak_working_elems: 0, offchip_elems: input.shape().numel(), bits_per_elem };
     let segments = plan.segments();
     let last_seg = segments.len().saturating_sub(1);
     for (si, seg) in segments.iter().enumerate() {
-        let (out_id, out) = match seg {
+        let mut out = pool.pop().unwrap_or_default();
+        let out_id = match seg {
             Segment::Fused { nodes: ids, chain, input: src } => {
-                let in_t = resolve(&values, input, *src)?;
-                let (out, gs) = chain.run_fused_threads(in_t, threads)?;
+                let in_t = resolve(values, input, *src)?;
+                let gs = chain.run_fused_into(in_t, threads, &mut out, block)?;
                 // Per-block buffers are the group's working set; its
                 // input/output traffic is accounted at the segment
                 // boundaries below.
                 stats.peak_working_elems = stats.peak_working_elems.max(gs.peak_working_elems);
-                (*ids.last().expect("non-empty group"), out)
+                *ids.last().expect("non-empty group")
             }
             Segment::Single(id) => {
                 let node = &nodes[*id];
-                let in_t = resolve(&values, input, node.input)?;
+                let in_t = resolve(values, input, node.input)?;
                 let aux = match node.op {
-                    NodeOp::Add { other } => Some(resolve(&values, input, other)?),
+                    NodeOp::Add { other } => Some(resolve(values, input, other)?),
                     _ => None,
                 };
-                let out = eval_single(*id, node, in_t, aux)?;
+                eval_single(*id, node, in_t, aux, &mut out, single)?;
                 let live = in_t.shape().numel()
                     + out.shape().numel()
                     + aux.map_or(0, |t| t.shape().numel());
                 stats.peak_working_elems = stats.peak_working_elems.max(live);
-                (*id, out)
+                *id
             }
         };
         // Segment outputs are materialised off-chip: written once, and
@@ -347,9 +491,9 @@ pub(crate) fn run_plan(
         values[out_id] = Some(out);
         match seg {
             Segment::Fused { input: src, .. } => {
-                release_ref(&mut values, &mut remaining, *src);
+                release_ref(values, remaining, pool, *src);
             }
-            Segment::Single(id) => release_used(&mut values, &mut remaining, &nodes[*id]),
+            Segment::Single(id) => release_used(values, remaining, pool, &nodes[*id]),
         }
     }
     let output = values[graph.output_id()]

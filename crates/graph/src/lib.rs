@@ -41,12 +41,14 @@ pub mod exec;
 pub mod ir;
 pub mod plan;
 pub mod quantize;
+pub mod serve;
 pub mod session;
 
-pub use exec::{BlockedExecutor, Executor, ReferenceExecutor, RunReport};
+pub use exec::{BlockedExecutor, ExecScratch, Executor, ReferenceExecutor, RunReport};
 pub use ir::{Graph, LowerOptions, Node, NodeId, NodeOp, NodeRef};
 pub use plan::{ExecPlan, Planner, PlannerOptions, Segment};
 pub use quantize::{GraphQuantSpec, QuantizedExecutor};
+pub use serve::{ServeConfig, ServeEngine, TicketId};
 pub use session::{Backend, Session, SessionBuilder, DEFAULT_CALIBRATION_BATCHES, THREADS_ENV};
 
 // Re-exported so session callers can pick a conv kernel without a direct

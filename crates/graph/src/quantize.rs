@@ -31,7 +31,7 @@ use bconv_quant::QParams;
 use bconv_tensor::pad::PadMode;
 use bconv_tensor::{Tensor, TensorError};
 
-use crate::exec::{eval_node, run_dense, run_plan, Executor, RunReport};
+use crate::exec::{eval_node_into, run_dense, run_plan, ExecScratch, Executor, RunReport};
 use crate::ir::{Graph, NodeId, NodeOp};
 use crate::plan::{ExecPlan, Segment};
 
@@ -188,7 +188,11 @@ impl Executor for QuantizedExecutor {
         "quantized"
     }
 
-    fn run(&self, input: &Tensor) -> Result<RunReport, TensorError> {
+    fn run_scratch(
+        &self,
+        input: &Tensor,
+        scratch: &mut ExecScratch,
+    ) -> Result<RunReport, TensorError> {
         // The shared segment loop, with feature maps crossing the off-chip
         // boundary at the activation bitwidth (the paper's Figure 7 memory
         // accounting) and whole-map convs dispatched to dense QConv2d.
@@ -198,14 +202,15 @@ impl Executor for QuantizedExecutor {
             self.threads,
             self.spec.act_bits,
             input,
-            |id, node, in_t, aux| match &self.qconvs[id] {
+            scratch,
+            |id, node, in_t, aux, out, s| match &self.qconvs[id] {
                 // Whole-map quantized conv: outer padding is zero, exactly
                 // as the float path pads whole maps.
                 Some(q) => {
                     let params = self.spec.act_params(id).expect("validated at construction");
-                    q.forward(in_t, params, PadMode::Zero)
+                    q.forward_into(in_t, params, PadMode::Zero, out, &mut s.qconv)
                 }
-                None => eval_node(&node.op, in_t, aux),
+                None => eval_node_into(&node.op, in_t, aux, out, s),
             },
         )
     }

@@ -1,0 +1,781 @@
+//! [`ServeEngine`]: batched, multi-stream serving on top of a compiled
+//! [`Session`](crate::Session).
+//!
+//! A session compiles a network once and can answer `run(&input)` calls,
+//! but a server needs more: many callers, bounded memory under load, and
+//! batch coalescing so per-run dispatch overhead is amortised. The engine
+//! provides exactly that, with std primitives only (threads + channels —
+//! the workspace has no crates.io access):
+//!
+//! * **Lifecycle** — [`Session::into_engine`](crate::Session::into_engine)
+//!   consumes the session and spawns a fixed pool of worker threads. Every
+//!   worker shares the session's immutable executor
+//!   ([`Executor`](crate::exec::Executor) is `Send + Sync`) and owns one
+//!   reusable [`ExecScratch`], so steady-state serving performs no
+//!   tensor/scratch allocation beyond each request's output tensor
+//!   (bookkeeping — tickets, job lists — is a few machine words per
+//!   request). [`ServeEngine::shutdown`] (or
+//!   drop) closes the queue, drains in-flight requests, and joins the
+//!   workers.
+//! * **Entry points** — [`submit`](ServeEngine::submit) enqueues a request
+//!   and returns a [`TicketId`] immediately; [`wait`](ServeEngine::wait)
+//!   blocks until that ticket's [`RunReport`] is ready (each ticket is
+//!   delivered exactly once). [`run_batch`](ServeEngine::run_batch) is the
+//!   synchronous batch facade: submit everything, wait for everything,
+//!   reports in request order.
+//! * **Backpressure** — the request queue is a bounded
+//!   [`sync_channel`](std::sync::mpsc::sync_channel) of depth
+//!   [`ServeConfig::queue_depth`]: `submit` blocks while the queue is
+//!   full, so at most `queue_depth` queued requests + one in-flight
+//!   batch and one carried-over job per worker exist at any time and
+//!   request memory stays bounded no matter how fast clients submit; [`try_submit`](ServeEngine::try_submit)
+//!   returns `None` instead of blocking. (Completed reports are retained
+//!   until their ticket is waited on or the engine shuts down — a caller
+//!   that submits fire-and-forget without ever redeeming tickets is
+//!   keeping its own results alive.)
+//! * **Batch coalescing** — requests to one engine always share the
+//!   graph's per-sample input shape (validated at submit), so workers
+//!   greedily drain up to [`ServeConfig::max_batch`] queued samples and
+//!   run them as a single NCHW batch; `run_batch` additionally
+//!   pre-coalesces its inputs into `max_batch`-sample jobs at submit
+//!   time. Samples are independent under every backend (convolution,
+//!   pooling, FC and requantization never mix batch elements), so
+//!   coalescing is **bitwise invisible**: each request's output is
+//!   identical to a solo [`Session::run`](crate::Session::run), at any
+//!   worker count and any batching accident of timing.
+//! * **Exact per-request [`MemStats`]** — every traffic and working-set
+//!   term of a batched run carries the batch-size factor, so the batch
+//!   report divides exactly back into per-request reports
+//!   (`stats × nᵢ / N`); a coalesced request reports the same stats it
+//!   would have reported alone.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use bconv_core::fusion::MemStats;
+use bconv_tensor::{Tensor, TensorError};
+
+use crate::exec::{check_input, ExecScratch, Executor, RunReport};
+use crate::ir::Graph;
+use crate::session::{Backend, Session};
+
+/// Sizing of a [`ServeEngine`]'s worker pool, queue, and batches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Worker threads answering requests; `0` (the default) means
+    /// **auto**: one worker per core not already claimed by the
+    /// session's intra-request block threads
+    /// (`available_parallelism / session.threads()`, at least 1), so the
+    /// two axes compose without oversubscribing the machine. Each worker
+    /// runs one request batch at a time through the shared executor; a
+    /// blocked/quantized session with `threads > 1` additionally fans
+    /// each fused group out across that many scoped threads *inside* the
+    /// worker, so serving deployments typically build the session with
+    /// `.threads(1)` and scale `workers` instead (parallelism across
+    /// requests beats parallelism within one once the queue is busy).
+    pub workers: usize,
+    /// Capacity of the bounded request queue ([`ServeEngine::submit`]
+    /// blocks while it is full). Queued plus in-flight requests are the
+    /// engine's entire buffered state, so this caps server memory.
+    pub queue_depth: usize,
+    /// Maximum samples coalesced into one executor run (1 disables
+    /// batching).
+    pub max_batch: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self { workers: 0, queue_depth: 64, max_batch: 8 }
+    }
+}
+
+impl ServeConfig {
+    fn validate(&self) -> Result<(), TensorError> {
+        if self.queue_depth == 0 {
+            return Err(TensorError::invalid("ServeConfig::queue_depth must be >= 1"));
+        }
+        if self.max_batch == 0 {
+            return Err(TensorError::invalid("ServeConfig::max_batch must be >= 1"));
+        }
+        Ok(())
+    }
+}
+
+/// Handle to one submitted request; redeem it with [`ServeEngine::wait`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TicketId(u64);
+
+/// One queue entry: an input batch plus the tickets it answers.
+/// `submit` enqueues single-part jobs; `run_batch` pre-coalesces chunks
+/// into multi-part jobs; workers may merge further at dequeue time.
+struct Job {
+    /// `(ticket, samples)` per request, in batch order.
+    parts: Vec<(u64, usize)>,
+    input: Tensor,
+}
+
+impl Job {
+    fn samples(&self) -> usize {
+        self.parts.iter().map(|&(_, n)| n).sum()
+    }
+}
+
+/// A ticket's delivery slot.
+enum Slot {
+    Pending,
+    Done(Result<RunReport, TensorError>),
+}
+
+/// State shared between clients and workers.
+struct Shared {
+    results: Mutex<HashMap<u64, Slot>>,
+    done: Condvar,
+}
+
+/// The serving engine: a compiled session behind a bounded queue and a
+/// worker pool. See the [module docs](self) for the full semantics.
+pub struct ServeEngine {
+    graph: Arc<Graph>,
+    backend: Backend,
+    config: ServeConfig,
+    sender: Option<SyncSender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    shared: Arc<Shared>,
+    next_ticket: AtomicU64,
+}
+
+impl ServeEngine {
+    /// Builds the engine from a compiled session (the
+    /// [`Session::into_engine`] destination).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidParameter`] when `config` is invalid.
+    pub(crate) fn new(session: Session, config: ServeConfig) -> Result<Self, TensorError> {
+        config.validate()?;
+        // Resolve workers = 0 (auto) against the session's intra-request
+        // thread count so the default configs compose to roughly one
+        // runnable thread per core instead of workers x threads.
+        let mut config = config;
+        if config.workers == 0 {
+            let avail = std::thread::available_parallelism().map_or(1, |n| n.get());
+            config.workers = (avail / session.threads().max(1)).max(1);
+        }
+        let backend = session.backend();
+        let (graph, executor) = session.shared_parts();
+        let shared = Arc::new(Shared { results: Mutex::new(HashMap::new()), done: Condvar::new() });
+        let (sender, receiver) = std::sync::mpsc::sync_channel::<Job>(config.queue_depth);
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..config.workers)
+            .map(|i| {
+                let executor = Arc::clone(&executor);
+                let receiver = Arc::clone(&receiver);
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("bconv-serve-{i}"))
+                    .spawn(move || worker_loop(&*executor, &receiver, &shared, config.max_batch))
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        Ok(Self {
+            graph,
+            backend,
+            config,
+            sender: Some(sender),
+            workers,
+            shared,
+            next_ticket: AtomicU64::new(1),
+        })
+    }
+
+    /// The backend the engine serves.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// The engine's sizing configuration, with `workers = 0` (auto)
+    /// already resolved to the actual pool size.
+    pub fn config(&self) -> ServeConfig {
+        self.config
+    }
+
+    /// Validates a request input: per-sample shape must match the graph,
+    /// and the batch must be non-empty (an empty batch has no ticket to
+    /// answer).
+    fn check_request(&self, input: &Tensor) -> Result<usize, TensorError> {
+        check_input(&self.graph, input)?;
+        let n = input.shape().dims()[0];
+        if n == 0 {
+            return Err(TensorError::invalid("cannot serve an empty (batch 0) request"));
+        }
+        Ok(n)
+    }
+
+    fn issue_ticket(&self) -> u64 {
+        self.next_ticket.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Registers pending slots for `parts` and enqueues the job through
+    /// `send`. On queue rejection the slots are rolled back so the
+    /// tickets read as unknown rather than hanging forever.
+    fn enqueue(
+        &self,
+        parts: Vec<(u64, usize)>,
+        input: Tensor,
+        send: impl FnOnce(&SyncSender<Job>, Job) -> Result<bool, TensorError>,
+    ) -> Result<bool, TensorError> {
+        let sender =
+            self.sender.as_ref().ok_or_else(|| TensorError::invalid("engine is shut down"))?;
+        {
+            let mut results = self.shared.results.lock().expect("results mutex poisoned");
+            for &(t, _) in &parts {
+                results.insert(t, Slot::Pending);
+            }
+        }
+        let tickets: Vec<u64> = parts.iter().map(|&(t, _)| t).collect();
+        match send(sender, Job { parts, input }) {
+            Ok(enqueued) => {
+                if !enqueued {
+                    let mut results = self.shared.results.lock().expect("results mutex poisoned");
+                    for t in &tickets {
+                        results.remove(t);
+                    }
+                }
+                Ok(enqueued)
+            }
+            Err(e) => {
+                let mut results = self.shared.results.lock().expect("results mutex poisoned");
+                for t in &tickets {
+                    results.remove(t);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Enqueues one request (any batch size), **blocking while the queue
+    /// is full** — the backpressure point. Returns a ticket redeemable
+    /// once with [`wait`](Self::wait).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError`] on per-sample shape mismatch, an empty
+    /// batch, or an engine that is shutting down.
+    pub fn submit(&self, input: Tensor) -> Result<TicketId, TensorError> {
+        let n = self.check_request(&input)?;
+        let ticket = self.issue_ticket();
+        self.enqueue(vec![(ticket, n)], input, |sender, job| {
+            sender.send(job).map(|()| true).map_err(|_| TensorError::invalid("engine is shut down"))
+        })?;
+        Ok(TicketId(ticket))
+    }
+
+    /// Non-blocking [`submit`](Self::submit): returns `Ok(None)` instead
+    /// of blocking when the queue is full (the caller sees backpressure
+    /// and can shed load).
+    ///
+    /// # Errors
+    ///
+    /// See [`submit`](Self::submit).
+    pub fn try_submit(&self, input: Tensor) -> Result<Option<TicketId>, TensorError> {
+        let n = self.check_request(&input)?;
+        let ticket = self.issue_ticket();
+        let enqueued =
+            self.enqueue(vec![(ticket, n)], input, |sender, job| match sender.try_send(job) {
+                Ok(()) => Ok(true),
+                Err(TrySendError::Full(_)) => Ok(false),
+                Err(TrySendError::Disconnected(_)) => {
+                    Err(TensorError::invalid("engine is shut down"))
+                }
+            })?;
+        Ok(enqueued.then_some(TicketId(ticket)))
+    }
+
+    /// Blocks until `ticket`'s request has executed and returns its
+    /// report. Every ticket is delivered exactly once; waiting again (or
+    /// on a ticket this engine never issued) is an error, not a hang.
+    ///
+    /// # Errors
+    ///
+    /// Returns the request's own execution error, or
+    /// [`TensorError::InvalidParameter`] for an unknown/already-delivered
+    /// ticket.
+    pub fn wait(&self, ticket: TicketId) -> Result<RunReport, TensorError> {
+        let mut results = self.shared.results.lock().expect("results mutex poisoned");
+        loop {
+            match results.get(&ticket.0) {
+                None => {
+                    return Err(TensorError::invalid(format!(
+                        "ticket {} is unknown or was already delivered",
+                        ticket.0
+                    )))
+                }
+                Some(Slot::Done(_)) => {
+                    let Some(Slot::Done(report)) = results.remove(&ticket.0) else {
+                        unreachable!("slot state checked above")
+                    };
+                    return report;
+                }
+                Some(Slot::Pending) => {
+                    results = self.shared.done.wait(results).expect("results mutex poisoned");
+                }
+            }
+        }
+    }
+
+    /// Runs a batch of requests and returns their reports in request
+    /// order. Inputs are validated up front, pre-coalesced into
+    /// [`ServeConfig::max_batch`]-sample jobs (amortising block dispatch
+    /// across the batch), executed by the worker pool, and split back
+    /// into per-request reports with exact per-request [`MemStats`].
+    /// Outputs are bitwise-identical to running each input through
+    /// [`Session::run`](crate::Session::run) alone.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing request's error (after all requests
+    /// finished), or a validation error before anything is enqueued.
+    pub fn run_batch(&self, inputs: &[Tensor]) -> Result<Vec<RunReport>, TensorError> {
+        let mut sizes = Vec::with_capacity(inputs.len());
+        for input in inputs {
+            sizes.push(self.check_request(input)?);
+        }
+        let mut tickets: Vec<TicketId> = Vec::with_capacity(inputs.len());
+        let mut i = 0usize;
+        while i < inputs.len() {
+            // Greedy chunk: extend while the sample budget holds (a single
+            // oversized request still ships alone — the executor takes any
+            // batch size; max_batch only caps *coalescing*).
+            let mut j = i + 1;
+            let mut samples = sizes[i];
+            while j < inputs.len() && samples + sizes[j] <= self.config.max_batch {
+                samples += sizes[j];
+                j += 1;
+            }
+            let parts: Vec<(u64, usize)> =
+                (i..j).map(|k| (self.issue_ticket(), sizes[k])).collect();
+            let chunk_tickets: Vec<TicketId> = parts.iter().map(|&(t, _)| TicketId(t)).collect();
+            let input = if j - i == 1 {
+                inputs[i].clone()
+            } else {
+                let chunk: Vec<&Tensor> = inputs[i..j].iter().collect();
+                let mut batch = Tensor::default();
+                concat_batch_into(&chunk, samples, &mut batch);
+                batch
+            };
+            if let Err(e) = self.enqueue(parts, input, |sender, job| {
+                sender
+                    .send(job)
+                    .map(|()| true)
+                    .map_err(|_| TensorError::invalid("engine is shut down"))
+            }) {
+                // A send can only fail once every worker has exited (the
+                // receiver is dropped last), so chunks enqueued earlier
+                // that are not already Done will never be: resolve their
+                // Pending slots to errors, then drain everything so no
+                // result lingers undelivered. Blind-waiting instead
+                // would hang on the first abandoned ticket.
+                {
+                    let mut results = self.shared.results.lock().expect("results mutex poisoned");
+                    for t in &tickets {
+                        if matches!(results.get(&t.0), Some(Slot::Pending)) {
+                            results.insert(t.0, Slot::Done(Err(e.clone())));
+                        }
+                    }
+                }
+                self.shared.done.notify_all();
+                for ticket in tickets {
+                    let _ = self.wait(ticket);
+                }
+                return Err(e);
+            }
+            tickets.extend(chunk_tickets);
+            i = j;
+        }
+        let mut reports = Vec::with_capacity(tickets.len());
+        let mut first_err: Option<TensorError> = None;
+        for ticket in tickets {
+            match self.wait(ticket) {
+                Ok(report) => reports.push(report),
+                Err(e) => {
+                    first_err.get_or_insert(e);
+                }
+            }
+        }
+        match first_err {
+            None => Ok(reports),
+            Some(e) => Err(e),
+        }
+    }
+
+    /// Closes the queue, drains every already-submitted request, and
+    /// joins the worker pool. Dropping the engine does the same.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        // Dropping the sender disconnects the channel; workers finish the
+        // queued jobs, then their recv errors out and they exit.
+        self.sender.take();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ServeEngine {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+impl std::fmt::Debug for ServeEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeEngine")
+            .field("network", &self.graph.name())
+            .field("backend", &self.backend)
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+/// Concatenates same-per-sample-shape requests along the batch dimension
+/// into `out` (NCHW is sample-major, so this is a plain append). The one
+/// coalescing primitive, shared by `run_batch` pre-coalescing and the
+/// worker-side merge.
+fn concat_batch_into(chunk: &[&Tensor], total_n: usize, out: &mut Tensor) {
+    let [_, c, h, w] = chunk[0].shape().dims();
+    out.reset([total_n, c, h, w]);
+    let mut off = 0usize;
+    for t in chunk {
+        let d = t.data();
+        out.data_mut()[off..off + d.len()].copy_from_slice(d);
+        off += d.len();
+    }
+}
+
+/// Per-request share of a coalesced batch's [`MemStats`]: every counter
+/// term of the shipped backends scales linearly with the batch
+/// dimension, so `x * n / total_n` is exact and equals the stats of a
+/// solo run of the same request (`tests/serve_determinism.rs` asserts
+/// the equality). The multiply-first u128 arithmetic keeps release
+/// builds sensible (nearest rounding, no truncation bias) even if a
+/// future backend adds a batch-independent term; the debug asserts are
+/// the canary that flags such a term during development.
+fn per_request_stats(batch: MemStats, total_n: usize, n: usize) -> MemStats {
+    debug_assert_eq!(
+        batch.offchip_elems % total_n,
+        0,
+        "off-chip traffic must carry the batch factor"
+    );
+    debug_assert_eq!(
+        batch.peak_working_elems % total_n,
+        0,
+        "working-set peak must carry the batch factor"
+    );
+    let share = |x: usize| -> usize {
+        ((x as u128 * n as u128 + total_n as u128 / 2) / total_n as u128) as usize
+    };
+    MemStats {
+        peak_working_elems: share(batch.peak_working_elems),
+        offchip_elems: share(batch.offchip_elems),
+        bits_per_elem: batch.bits_per_elem,
+    }
+}
+
+/// Publishes one ticket's result and wakes waiters.
+fn fulfill(shared: &Shared, ticket: u64, report: Result<RunReport, TensorError>) {
+    let mut results = shared.results.lock().expect("results mutex poisoned");
+    results.insert(ticket, Slot::Done(report));
+    shared.done.notify_all();
+}
+
+/// Splits a coalesced batch report back into per-request reports, in
+/// batch order. The output batch dimension is partitioned at the request
+/// boundaries; stats divide exactly (see [`per_request_stats`]).
+fn fulfill_split(shared: &Shared, parts: &[(u64, usize)], total_n: usize, report: &RunReport) {
+    let [out_n, c_out, oh, ow] = report.output.shape().dims();
+    debug_assert_eq!(out_n, total_n, "output batch must match the coalesced input batch");
+    let per_sample = c_out * oh * ow;
+    let mut start = 0usize;
+    for &(ticket, n) in parts {
+        let data = report.output.data()[start * per_sample..(start + n) * per_sample].to_vec();
+        let output = Tensor::from_vec([n, c_out, oh, ow], data)
+            .expect("split dims match the copied slice by construction");
+        let stats = per_request_stats(report.stats, total_n, n);
+        fulfill(shared, ticket, Ok(RunReport { output, stats, segments: report.segments }));
+        start += n;
+    }
+}
+
+/// A worker: pull a job, opportunistically coalesce more queued jobs up
+/// to `max_batch` samples, run the batch once through the shared
+/// executor with this worker's scratch, split the results per ticket.
+fn worker_loop(
+    executor: &dyn Executor,
+    receiver: &Mutex<Receiver<Job>>,
+    shared: &Shared,
+    max_batch: usize,
+) {
+    let mut scratch = ExecScratch::new();
+    let mut batch_buf = Tensor::default();
+    // A job drained from the queue that would have pushed the running
+    // batch past max_batch: it leads this worker's next batch instead.
+    let mut carry: Option<Job> = None;
+    loop {
+        // A carried job must run WITHOUT touching the receiver: an idle
+        // peer may be parked inside a blocking recv while holding the
+        // receiver mutex, and if every client is waiting on the carried
+        // job no new submission will ever release it — blocking here
+        // would deadlock the engine. The carried job simply runs alone
+        // (forfeiting one coalescing opportunity).
+        let jobs = if let Some(job) = carry.take() {
+            vec![job]
+        } else {
+            // Holding the receiver lock across the blocking recv is the
+            // standard shared-receiver pattern: a parked peer blocks on
+            // the mutex instead of the channel and takes the next job.
+            let rx = receiver.lock().expect("receiver mutex poisoned");
+            let first = match rx.recv() {
+                Ok(job) => job,
+                Err(_) => return, // disconnected and drained: shut down
+            };
+            let mut samples = first.samples();
+            let mut jobs = vec![first];
+            while samples < max_batch {
+                match rx.try_recv() {
+                    Ok(job) => {
+                        // Never exceed the batch cap: an overflowing job
+                        // is carried into the next batch. (A single job
+                        // larger than max_batch still runs — alone; the
+                        // cap bounds coalescing, not request size.)
+                        if samples + job.samples() > max_batch {
+                            carry = Some(job);
+                            break;
+                        }
+                        samples += job.samples();
+                        jobs.push(job);
+                    }
+                    Err(_) => break,
+                }
+            }
+            jobs
+        };
+
+        let parts: Vec<(u64, usize)> = jobs.iter().flat_map(|j| j.parts.iter().copied()).collect();
+        // Exactly-once delivery must survive a panic anywhere between
+        // dequeue and delivery (executor run AND result splitting): the
+        // guard stays armed through fulfillment, and its Drop fails only
+        // tickets still Pending, so no client hangs in `wait` and no
+        // delivered result is overwritten.
+        let guard = InFlightGuard { shared, tickets: parts.iter().map(|&(t, _)| t).collect() };
+        let result = if jobs.len() == 1 {
+            executor.run_scratch(&jobs[0].input, &mut scratch)
+        } else {
+            let total: usize = jobs.iter().map(Job::samples).sum();
+            let inputs: Vec<&Tensor> = jobs.iter().map(|j| &j.input).collect();
+            concat_batch_into(&inputs, total, &mut batch_buf);
+            executor.run_scratch(&batch_buf, &mut scratch)
+        };
+
+        let total_n: usize = parts.iter().map(|&(_, n)| n).sum();
+        match result {
+            Ok(report) => {
+                if let [(ticket, _)] = parts[..] {
+                    // Sole request: hand the report over without a copy.
+                    fulfill(shared, ticket, Ok(report));
+                } else {
+                    fulfill_split(shared, &parts, total_n, &report);
+                }
+            }
+            Err(e) => {
+                for &(ticket, _) in &parts {
+                    fulfill(shared, ticket, Err(e.clone()));
+                }
+            }
+        }
+        drop(guard); // everything delivered: the guard finds nothing Pending
+    }
+}
+
+/// Unwind guard for a worker's in-flight job: on drop it publishes an
+/// error for every ticket still `Pending` (delivered results — Done or
+/// already redeemed — are left untouched, so the guard is a no-op on the
+/// normal path). Uses poison-tolerant locking: the unwind it exists for
+/// may have poisoned any mutex. Preserves the "a ticket always resolves"
+/// contract even when the executor or the result-splitting path panics.
+struct InFlightGuard<'a> {
+    shared: &'a Shared,
+    tickets: Vec<u64>,
+}
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        let mut results =
+            self.shared.results.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut failed_any = false;
+        for &ticket in &self.tickets {
+            if matches!(results.get(&ticket), Some(Slot::Pending)) {
+                results.insert(
+                    ticket,
+                    Slot::Done(Err(TensorError::invalid(
+                        "serving worker panicked while executing this request",
+                    ))),
+                );
+                failed_any = true;
+            }
+        }
+        drop(results);
+        if failed_any {
+            self.shared.done.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::SessionBuilder;
+    use bconv_models::builder::{conv, maxpool, NetBuilder};
+    use bconv_models::{ActShape, Network};
+    use bconv_tensor::init::{seeded_rng, uniform_tensor};
+
+    /// A 3-op net small enough for tight unit-test loops.
+    fn tiny_net() -> Network {
+        let mut b = NetBuilder::new("tiny_serve", ActShape { c: 2, h: 16, w: 16 });
+        b.push("conv1", conv(3, 1, 1, 2, 3));
+        b.push("conv2", conv(3, 1, 1, 3, 2));
+        b.push("pool", maxpool(2, 2, 0));
+        b.build()
+    }
+
+    fn builder() -> SessionBuilder {
+        Session::builder().network(tiny_net()).seed(7).threads(1).relu_after_conv(true)
+    }
+
+    fn input(seed: u64, n: usize) -> Tensor {
+        uniform_tensor([n, 2, 16, 16], -1.0, 1.0, &mut seeded_rng(seed))
+    }
+
+    #[test]
+    fn config_is_validated() {
+        for cfg in [
+            ServeConfig { queue_depth: 0, ..ServeConfig::default() },
+            ServeConfig { max_batch: 0, ..ServeConfig::default() },
+        ] {
+            assert!(builder().build().unwrap().into_engine(cfg).is_err(), "{cfg:?} must fail");
+        }
+    }
+
+    #[test]
+    fn zero_workers_resolves_to_a_sane_auto_pool() {
+        // workers = 0 is auto: sized against the session's intra-request
+        // threads so the default combination cannot oversubscribe
+        // workers x threads. A threads(2) session on any host resolves to
+        // at most ceil(cores / 2) workers, and always at least one.
+        let session = builder().threads(2).build().unwrap();
+        let avail = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let engine = session.into_engine(ServeConfig::default()).unwrap();
+        let resolved = engine.config().workers;
+        assert!(resolved >= 1, "auto must yield at least one worker");
+        assert!(resolved <= avail.div_ceil(2), "auto must respect session threads");
+        let t = engine.submit(input(5, 1)).unwrap();
+        assert!(engine.wait(t).is_ok());
+    }
+
+    #[test]
+    fn submit_wait_matches_session_run() {
+        let oracle = builder().build().unwrap();
+        let engine = builder()
+            .build()
+            .unwrap()
+            .into_engine(ServeConfig { workers: 2, queue_depth: 4, max_batch: 4 })
+            .unwrap();
+        let inputs: Vec<Tensor> = (0..4).map(|i| input(10 + i, 1)).collect();
+        let want: Vec<Tensor> = inputs.iter().map(|t| oracle.run(t).unwrap().output).collect();
+        let tickets: Vec<TicketId> =
+            inputs.iter().map(|t| engine.submit(t.clone()).unwrap()).collect();
+        // Wait out of order: tickets resolve independently.
+        for (i, &t) in tickets.iter().enumerate().rev() {
+            let report = engine.wait(t).unwrap();
+            assert_eq!(report.output.data(), want[i].data(), "request {i} diverged");
+        }
+    }
+
+    #[test]
+    fn tickets_deliver_exactly_once() {
+        let engine = builder().build().unwrap().into_engine(ServeConfig::default()).unwrap();
+        let t = engine.submit(input(1, 1)).unwrap();
+        engine.wait(t).unwrap();
+        assert!(engine.wait(t).is_err(), "double wait must error, not hang");
+        assert!(engine.wait(TicketId(9999)).is_err(), "unknown ticket must error");
+    }
+
+    #[test]
+    fn submit_validates_shape_and_batch() {
+        let engine = builder().build().unwrap().into_engine(ServeConfig::default()).unwrap();
+        assert!(engine.submit(Tensor::zeros([1, 2, 8, 8])).is_err(), "wrong spatial dims");
+        assert!(engine.submit(Tensor::zeros([0, 2, 16, 16])).is_err(), "empty batch");
+        assert!(engine.try_submit(Tensor::zeros([1, 3, 16, 16])).is_err(), "wrong channels");
+    }
+
+    #[test]
+    fn run_batch_with_mixed_batch_sizes_matches_solo_runs() {
+        let oracle = builder().build().unwrap();
+        let engine = builder()
+            .build()
+            .unwrap()
+            .into_engine(ServeConfig { workers: 2, queue_depth: 8, max_batch: 3 })
+            .unwrap();
+        // Mixed sizes force uneven coalescing chunks under max_batch = 3.
+        let inputs: Vec<Tensor> = [1usize, 2, 1, 3, 1]
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| input(20 + i as u64, n))
+            .collect();
+        let reports = engine.run_batch(&inputs).unwrap();
+        assert_eq!(reports.len(), inputs.len());
+        for (i, (inp, got)) in inputs.iter().zip(&reports).enumerate() {
+            let want = oracle.run(inp).unwrap();
+            assert_eq!(got.output.data(), want.output.data(), "request {i} output diverged");
+            assert_eq!(got.stats, want.stats, "request {i} stats diverged");
+            assert_eq!(got.segments, want.segments);
+        }
+    }
+
+    #[test]
+    fn run_batch_of_nothing_is_empty() {
+        let engine = builder().build().unwrap().into_engine(ServeConfig::default()).unwrap();
+        assert!(engine.run_batch(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn try_submit_succeeds_on_an_idle_engine() {
+        let engine = builder().build().unwrap().into_engine(ServeConfig::default()).unwrap();
+        let t = engine.try_submit(input(3, 1)).unwrap().expect("idle queue accepts");
+        assert!(engine.wait(t).is_ok());
+    }
+
+    #[test]
+    fn shutdown_with_undelivered_results_does_not_hang() {
+        let engine = builder().build().unwrap().into_engine(ServeConfig::default()).unwrap();
+        for i in 0..3 {
+            engine.submit(input(30 + i, 1)).unwrap();
+        }
+        engine.shutdown(); // tickets never waited on; must still join cleanly
+    }
+
+    #[test]
+    fn engine_reports_its_configuration() {
+        let cfg = ServeConfig { workers: 2, queue_depth: 5, max_batch: 3 };
+        let engine = builder().build().unwrap().into_engine(cfg).unwrap();
+        assert_eq!(engine.config(), cfg);
+        assert_eq!(engine.backend(), Backend::Blocked);
+        let d = format!("{engine:?}");
+        assert!(d.contains("tiny_serve"), "{d}");
+    }
+}

@@ -30,10 +30,11 @@ use bconv_tensor::{Tensor, TensorError};
 
 use bconv_tensor::init::{seeded_rng, uniform_tensor};
 
-use crate::exec::{BlockedExecutor, Executor, ReferenceExecutor, RunReport};
+use crate::exec::{BlockedExecutor, ExecScratch, Executor, ReferenceExecutor, RunReport};
 use crate::ir::{Graph, LowerOptions};
 use crate::plan::{ExecPlan, Planner, PlannerOptions};
 use crate::quantize::{GraphQuantSpec, QuantizedExecutor};
+use crate::serve::{ServeConfig, ServeEngine};
 
 /// Which executor backend a session compiles.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -229,16 +230,16 @@ impl SessionBuilder {
         };
         let planner = Planner::new(planner_opts);
         let threads = resolve_threads(self.threads)?;
-        let (exec_plan, executor): (Arc<ExecPlan>, Box<dyn Executor>) = match self.backend {
+        let (exec_plan, executor): (Arc<ExecPlan>, Arc<dyn Executor>) = match self.backend {
             Backend::Reference => {
                 let plan = Arc::new(planner.plan(&graph)?);
-                (plan, Box::new(ReferenceExecutor::new(Arc::clone(&graph))))
+                (plan, Arc::new(ReferenceExecutor::new(Arc::clone(&graph))))
             }
             Backend::Blocked => {
                 let plan = Arc::new(planner.plan(&graph)?);
                 let exec =
                     BlockedExecutor::with_threads(Arc::clone(&graph), Arc::clone(&plan), threads);
-                (plan, Box::new(exec))
+                (plan, Arc::new(exec))
             }
             Backend::Quantized { weight_bits, act_bits } => {
                 let inputs = match self.calibration {
@@ -250,7 +251,7 @@ impl SessionBuilder {
                 let plan = Arc::new(planner.plan_quantized(&graph, &spec)?);
                 let exec =
                     QuantizedExecutor::new(Arc::clone(&graph), Arc::clone(&plan), spec, threads)?;
-                (plan, Box::new(exec))
+                (plan, Arc::new(exec))
             }
         };
         Ok(Session { graph, exec_plan, backend: self.backend, threads, executor })
@@ -258,12 +259,17 @@ impl SessionBuilder {
 }
 
 /// A compiled, executable network.
+///
+/// The executor behind a session is immutable and `Send + Sync`: `run`
+/// takes `&self`, so one session can serve concurrent callers directly,
+/// or be turned into a worker-pool serving engine with
+/// [`into_engine`](Session::into_engine).
 pub struct Session {
     graph: Arc<Graph>,
     exec_plan: Arc<ExecPlan>,
     backend: Backend,
     threads: usize,
-    executor: Box<dyn Executor>,
+    executor: Arc<dyn Executor>,
 }
 
 impl Session {
@@ -279,6 +285,42 @@ impl Session {
     /// Returns [`TensorError`] on input-shape mismatch or operator failure.
     pub fn run(&self, input: &Tensor) -> Result<RunReport, TensorError> {
         self.executor.run(input)
+    }
+
+    /// [`run`](Session::run) reusing caller-owned scratch buffers across
+    /// requests: outputs are bitwise-identical, but a warm scratch makes
+    /// steady-state execution allocation-free apart from the output
+    /// tensor returned in the [`RunReport`]. One scratch serves one
+    /// caller at a time — clone nothing, just keep it between calls.
+    ///
+    /// # Errors
+    ///
+    /// See [`run`](Session::run).
+    pub fn run_with(
+        &self,
+        input: &Tensor,
+        scratch: &mut ExecScratch,
+    ) -> Result<RunReport, TensorError> {
+        self.executor.run_scratch(input, scratch)
+    }
+
+    /// Consumes the session and spins up a [`ServeEngine`]: a pool of
+    /// worker threads sharing this session's compiled executor, each with
+    /// its own reusable [`ExecScratch`], behind a bounded request queue
+    /// with ticketed (`submit`/`wait`) and batched (`run_batch`) entry
+    /// points. See [`crate::serve`] for the serving semantics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidParameter`] when `config` is invalid
+    /// (zero workers, queue depth, or batch size).
+    pub fn into_engine(self, config: ServeConfig) -> Result<ServeEngine, TensorError> {
+        ServeEngine::new(self, config)
+    }
+
+    /// The shared executor and graph, for the serving engine.
+    pub(crate) fn shared_parts(&self) -> (Arc<Graph>, Arc<dyn Executor>) {
+        (Arc::clone(&self.graph), Arc::clone(&self.executor))
     }
 
     /// The lowered graph (weights bound).

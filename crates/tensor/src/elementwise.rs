@@ -22,6 +22,19 @@ use crate::{Tensor, TensorError};
 /// # Ok::<(), bconv_tensor::TensorError>(())
 /// ```
 pub fn add(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    let mut out = Tensor::default();
+    add_into(a, b, &mut out)?;
+    Ok(out)
+}
+
+/// [`add`] into a caller-provided output tensor (reshaped to match,
+/// every element overwritten) — the allocation-free variant for
+/// executors that pool buffers.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+pub fn add_into(a: &Tensor, b: &Tensor, out: &mut Tensor) -> Result<(), TensorError> {
     if a.shape() != b.shape() {
         return Err(TensorError::shape_mismatch(
             "elementwise::add",
@@ -29,11 +42,11 @@ pub fn add(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
             b.shape().to_string(),
         ));
     }
-    let mut out = a.clone();
-    for (o, v) in out.data_mut().iter_mut().zip(b.data()) {
-        *o += v;
+    out.reset(a.shape());
+    for ((o, av), bv) in out.data_mut().iter_mut().zip(a.data()).zip(b.data()) {
+        *o = av + bv;
     }
-    Ok(out)
+    Ok(())
 }
 
 /// In-place element-wise accumulate `a += b`.

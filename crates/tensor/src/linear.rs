@@ -93,6 +93,19 @@ impl Linear {
     ///
     /// Returns [`TensorError::ShapeMismatch`] if `c*h*w != in_features`.
     pub fn forward(&self, input: &Tensor) -> Result<Tensor, TensorError> {
+        let mut out = Tensor::default();
+        self.forward_into(input, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`forward`](Self::forward) into a caller-provided output tensor
+    /// (reshaped to `[n, out_features, 1, 1]`, every element overwritten)
+    /// — the allocation-free variant for executors that pool buffers.
+    ///
+    /// # Errors
+    ///
+    /// See [`forward`](Self::forward).
+    pub fn forward_into(&self, input: &Tensor, out: &mut Tensor) -> Result<(), TensorError> {
         let [n, c, h, w] = input.shape().dims();
         let flat = c * h * w;
         if flat != self.in_features {
@@ -102,7 +115,7 @@ impl Linear {
                 format!("{flat} features"),
             ));
         }
-        let mut out = Tensor::zeros([n, self.out_features, 1, 1]);
+        out.reset([n, self.out_features, 1, 1]);
         for ni in 0..n {
             let x = &input.data()[ni * flat..(ni + 1) * flat];
             for o in 0..self.out_features {
@@ -114,7 +127,7 @@ impl Linear {
                 *out.at_mut(ni, o, 0, 0) = acc;
             }
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Multiply–accumulate count per batch element.

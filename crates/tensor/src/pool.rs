@@ -108,8 +108,17 @@ fn pool2d_into(
 /// Global average pooling: collapses each channel map to a single value,
 /// producing a `[n, c, 1, 1]` tensor (MobileNet-V1 / ResNet heads).
 pub fn global_avg_pool(input: &Tensor) -> Tensor {
+    let mut out = Tensor::default();
+    global_avg_pool_into(input, &mut out);
+    out
+}
+
+/// [`global_avg_pool`] into a caller-provided output tensor (reshaped to
+/// `[n, c, 1, 1]`, every element overwritten) — the allocation-free
+/// variant for executors that pool buffers.
+pub fn global_avg_pool_into(input: &Tensor, out: &mut Tensor) {
     let [n, c, h, w] = input.shape().dims();
-    let mut out = Tensor::zeros([n, c, 1, 1]);
+    out.reset([n, c, 1, 1]);
     let denom = (h * w) as f32;
     for ni in 0..n {
         for ci in 0..c {
@@ -122,7 +131,6 @@ pub fn global_avg_pool(input: &Tensor) -> Tensor {
             *out.at_mut(ni, ci, 0, 0) = sum / denom;
         }
     }
-    out
 }
 
 /// Argmax indices of a max-pool, needed by the training crate's backward

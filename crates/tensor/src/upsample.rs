@@ -19,11 +19,28 @@ use crate::{Tensor, TensorError};
 /// # Ok::<(), bconv_tensor::TensorError>(())
 /// ```
 pub fn upsample_nearest(input: &Tensor, factor: usize) -> Result<Tensor, TensorError> {
+    let mut out = Tensor::default();
+    upsample_nearest_into(input, factor, &mut out)?;
+    Ok(out)
+}
+
+/// [`upsample_nearest`] into a caller-provided output tensor (reshaped to
+/// the upsampled dims, every element overwritten) — the allocation-free
+/// variant for executors that pool buffers.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidParameter`] if `factor == 0`.
+pub fn upsample_nearest_into(
+    input: &Tensor,
+    factor: usize,
+    out: &mut Tensor,
+) -> Result<(), TensorError> {
     if factor == 0 {
         return Err(TensorError::invalid("upsample factor must be non-zero"));
     }
     let [n, c, h, w] = input.shape().dims();
-    let mut out = Tensor::zeros([n, c, h * factor, w * factor]);
+    out.reset([n, c, h * factor, w * factor]);
     for ni in 0..n {
         for ci in 0..c {
             for hi in 0..h * factor {
@@ -33,7 +50,7 @@ pub fn upsample_nearest(input: &Tensor, factor: usize) -> Result<Tensor, TensorE
             }
         }
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Bilinear upsampling by an integer `factor` with half-pixel alignment,

@@ -125,6 +125,58 @@ fn quantized_backend_honors_block_pad_mode() {
 }
 
 #[test]
+fn quantized_backend_honors_reflect_pad_mode() {
+    // Reflect was the uncovered third of PadMode::ALL at session level:
+    // under reflect block padding the quantized run must track the
+    // reflect float run and visibly differ from a zero-padded quantized
+    // run (reflection repeats interior pixels, zero injects black).
+    let net = vdsr_small(24, 4, 8);
+    let input = input_for(&net, 6);
+    let backend = Backend::Quantized { weight_bits: 8, act_bits: 8 };
+    let f_reflect =
+        session(&net, Backend::Blocked, PadMode::Reflect, true).run(&input).unwrap().output;
+    let q_reflect = session(&net, backend, PadMode::Reflect, true).run(&input).unwrap().output;
+    let q_zero = session(&net, backend, PadMode::Zero, true).run(&input).unwrap().output;
+    let err_reflect = rel_err(&q_reflect, &f_reflect);
+    let err_zero = rel_err(&q_zero, &f_reflect);
+    assert!(err_reflect < 0.1, "reflect quant session diverges from reflect float: {err_reflect}");
+    assert!(
+        err_zero > 2.0 * err_reflect,
+        "zero-padded quant should visibly differ from the reflect float run \
+         (reflect {err_reflect}, zero {err_zero})"
+    );
+}
+
+#[test]
+fn reflect_blocked_quant_stays_within_dense_quant_envelope() {
+    // The error-envelope contract of blocked_quant_stays_within_dense_
+    // quant_envelope, under reflect block padding: quantization error must
+    // not compound with blocking for any supported pad mode. The dense
+    // yardstick is pad-mode-free (an unblocked plan applies no block
+    // padding), so the same envelope bounds every mode's blocked run.
+    // VDSR variants only: reflection needs pad < block dim, which VGG's
+    // deepest 1x1 blocks cannot satisfy (the same reason Figure 6's pad
+    // study runs on VDSR).
+    for (name, net) in [("vdsr6x8", vdsr_small(24, 6, 8)), ("vdsr4x6", vdsr_small(24, 4, 6))] {
+        let input = input_for(&net, 7);
+        let backend = Backend::Quantized { weight_bits: 8, act_bits: 8 };
+        let dense_env = rel_err(
+            &session(&net, backend, PadMode::Zero, false).run(&input).unwrap().output,
+            &session(&net, Backend::Blocked, PadMode::Zero, false).run(&input).unwrap().output,
+        );
+        let blocked_reflect_env = rel_err(
+            &session(&net, backend, PadMode::Reflect, true).run(&input).unwrap().output,
+            &session(&net, Backend::Blocked, PadMode::Reflect, true).run(&input).unwrap().output,
+        );
+        assert!(
+            blocked_reflect_env <= 2.0 * dense_env + 0.02,
+            "{name}: reflect blocked-quant error {blocked_reflect_env} escapes the dense-quant \
+             envelope {dense_env}"
+        );
+    }
+}
+
+#[test]
 fn offchip_bits_shrink_with_act_width() {
     // Same schedule, same element traffic, narrower words: the paper's
     // Figure 7 memory claim, now measured on the executable plan.
