@@ -43,3 +43,4 @@ pub mod vdsr_accel;
 pub use baseline::{ConvShape, TileConfig};
 pub use fusion::FusedDesign;
 pub use platform::FpgaPlatform;
+pub use schedule::{fused_group_cost, GroupCost, StageFootprint};

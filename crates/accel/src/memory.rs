@@ -43,6 +43,13 @@ impl BufferPlan {
             + bram18_for_bits(self.extra_bits)
             + bram18_for_bits(self.weight_bits)
     }
+
+    /// Whether the plan fits a device with `blocks` BRAM18 blocks — the
+    /// capacity gate a cost-model-driven planner asks before fusing or
+    /// splicing deeper (§III-B3's feasibility constraint).
+    pub fn fits_bram18(&self, blocks: usize) -> bool {
+        self.bram18() <= blocks
+    }
 }
 
 /// Memory utilisation of storing the largest feasible block of an
@@ -126,6 +133,19 @@ mod tests {
         assert_eq!(bram18_for_bits(0), 0);
         // 18 kib at 90% packing needs 2 blocks once above ~16.6 kib.
         assert_eq!(bram18_for_bits(18 * 1024), 2);
+    }
+
+    #[test]
+    fn fits_bram18_is_the_capacity_gate() {
+        let plan = BufferPlan {
+            intermediate_bits: 100_000,
+            extra_bits: 50_000,
+            weight_bits: 0,
+            double_buffered: false,
+        };
+        let need = plan.bram18();
+        assert!(plan.fits_bram18(need));
+        assert!(!plan.fits_bram18(need - 1));
     }
 
     #[test]

@@ -105,6 +105,46 @@ pub fn schedule_group(
     }
 }
 
+/// Per-stage buffer/compute footprint for cost queries over a prospective
+/// fusion group whose block sizes vary stage to stage (pooling shrinks
+/// blocks, hierarchical grids are uneven) — the generalisation of
+/// [`schedule_group`]'s uniform-block trace that a planner can evaluate
+/// incrementally while it walks candidate cut points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageFootprint {
+    /// Bits of the largest input block the stage reads.
+    pub in_block_bits: u64,
+    /// Bits of the largest output block the stage writes.
+    pub out_block_bits: u64,
+    /// Multiply–accumulates of the stage across the whole feature map
+    /// (zero for element-wise and pooling stages).
+    pub macs: u64,
+}
+
+/// Aggregate cost of executing a stage list as one fused group under the
+/// Figure 10 dataflow: blocks ping-pong through two intermediate buffers,
+/// so the binding memory constraint is the largest in+out stage pair, and
+/// compute is the MAC total spread over the PE array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupCost {
+    /// Peak bits simultaneously alive in the two intermediate buffers
+    /// (largest input-block + output-block pair over the stages).
+    pub peak_intermediate_bits: u64,
+    /// Estimated compute cycles (one MAC per PE per cycle).
+    pub compute_cycles: u64,
+}
+
+/// Evaluates the fused execution of `stages` on an `npe`-PE array.
+/// Extending a group never changes its compute total — fusion is a
+/// schedule change — so the interesting outputs are the intermediate
+/// buffer peak (capacity gate) and the cycle count (for comparing against
+/// the DRAM cycles a cut would add).
+pub fn fused_group_cost(stages: &[StageFootprint], npe: usize) -> GroupCost {
+    let peak = stages.iter().map(|s| s.in_block_bits + s.out_block_bits).max().unwrap_or(0);
+    let macs: u64 = stages.iter().map(|s| s.macs).sum();
+    GroupCost { peak_intermediate_bits: peak, compute_cycles: macs / npe.max(1) as u64 }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -152,6 +192,32 @@ mod tests {
         let t = schedule_group(&layers(), 2, 14 * 14, 8, false, true);
         assert_eq!(t.dram_bits, 2 * (64 * 14 * 14 * 8) as u64);
         assert_eq!(t.peak_extra_bits, 0);
+    }
+
+    #[test]
+    fn fused_group_cost_tracks_largest_stage_pair_and_mac_total() {
+        let stages = [
+            StageFootprint { in_block_bits: 100, out_block_bits: 400, macs: 1_000 },
+            StageFootprint { in_block_bits: 400, out_block_bits: 400, macs: 8_000 },
+            StageFootprint { in_block_bits: 400, out_block_bits: 100, macs: 0 },
+        ];
+        let c = fused_group_cost(&stages, 2);
+        assert_eq!(c.peak_intermediate_bits, 800);
+        assert_eq!(c.compute_cycles, 9_000 / 2);
+        // Extending the group grows the peak only if the new pair is
+        // larger, and never shrinks the cycle total.
+        let extended = [
+            stages[0],
+            stages[1],
+            stages[2],
+            StageFootprint { in_block_bits: 100, out_block_bits: 200, macs: 500 },
+        ];
+        let e = fused_group_cost(&extended, 2);
+        assert_eq!(e.peak_intermediate_bits, 800);
+        assert!(e.compute_cycles > c.compute_cycles);
+        // Degenerate cases: empty group, zero PEs clamped to one.
+        assert_eq!(fused_group_cost(&[], 4).peak_intermediate_bits, 0);
+        assert_eq!(fused_group_cost(&stages, 0).compute_cycles, 9_000);
     }
 
     #[test]

@@ -1,0 +1,82 @@
+//! CI benchmark-regression gate: compare fresh `--quick` bench runs
+//! against the committed `BENCH_*.json` baselines and fail on >25%
+//! throughput regression or **any** off-chip-bits increase.
+//! Skip-and-flag entries (e.g. threaded configs on a 1-core host) are
+//! exempt — see [`bconv_bench::check`] for the exact rules.
+//!
+//! Usage: `bench_check [--tolerance PCT] [--fresh-suffix SUF] [BENCH...]`
+//!
+//! With no bench names, checks `kernels quant serve planner`. For each
+//! bench `B` the baseline is `BENCH_B.json` (committed) and the fresh run
+//! is `BENCH_B<SUF>` (default suffix `.fresh.json`, what the CI loop
+//! writes via `--out`). Exits non-zero when any gate rule fails.
+
+use bconv_bench::check::{check_bench, Json};
+
+const DEFAULT_BENCHES: [&str; 4] = ["kernels", "quant", "serve", "planner"];
+const DEFAULT_TOLERANCE_PCT: f64 = 25.0;
+
+fn load(path: &str) -> Json {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read {path}: {e} (run the bench first)"));
+    Json::parse(&text).unwrap_or_else(|e| panic!("{path} is not valid JSON: {e}"))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opt =
+        |flag: &str| args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned());
+    let tolerance: f64 = opt("--tolerance")
+        .map(|v| v.parse().expect("--tolerance takes a percentage"))
+        .unwrap_or(DEFAULT_TOLERANCE_PCT);
+    let suffix = opt("--fresh-suffix").unwrap_or_else(|| ".fresh.json".to_string());
+    let mut benches: Vec<String> = Vec::new();
+    let mut skip_next = false;
+    for a in &args {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        if a == "--tolerance" || a == "--fresh-suffix" {
+            skip_next = true;
+            continue;
+        }
+        benches.push(a.clone());
+    }
+    if benches.is_empty() {
+        benches = DEFAULT_BENCHES.iter().map(|s| s.to_string()).collect();
+    }
+
+    let mut failures = 0usize;
+    let mut skipped = 0usize;
+    for bench in &benches {
+        let baseline_path = format!("BENCH_{bench}.json");
+        let fresh_path = format!("BENCH_{bench}{suffix}");
+        let baseline = load(&baseline_path);
+        let fresh = load(&fresh_path);
+        let findings = check_bench(bench, &baseline, &fresh, tolerance);
+        let entries = baseline.get("results").and_then(Json::as_array).map_or(0, <[Json]>::len);
+        println!(
+            "{bench}: {} baseline entries, {} finding(s) (tolerance {tolerance}%)",
+            entries,
+            findings.len()
+        );
+        for f in &findings {
+            println!("  {f}");
+            if f.kind.is_failure() {
+                failures += 1;
+            } else {
+                skipped += 1;
+            }
+        }
+    }
+    println!(
+        "bench_check: {} failure(s), {} skip-and-flag exemption(s) across {} bench(es)",
+        failures,
+        skipped,
+        benches.len()
+    );
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

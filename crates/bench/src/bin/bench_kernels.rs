@@ -8,13 +8,11 @@
 //!
 //! Usage: `bench_kernels [--quick] [--out PATH]`
 
-use std::time::Instant;
-
+use bconv_bench::session_times;
 use bconv_core::BlockingPattern;
 use bconv_graph::{KernelPolicy, Segment, Session};
 use bconv_models::small::vgg16_small;
 use bconv_tensor::init::{seeded_rng, uniform_tensor};
-use bconv_tensor::Tensor;
 
 struct Config {
     name: &'static str,
@@ -28,6 +26,7 @@ struct Measurement {
     threads_requested: usize,
     threads_effective: usize,
     median_us: f64,
+    min_us: f64,
     speedup: f64,
     output_matches_baseline: bool,
 }
@@ -43,20 +42,6 @@ fn build(kernel: KernelPolicy, threads: usize) -> Session {
         .expect("vgg16_small session builds")
 }
 
-fn median_us(session: &Session, input: &Tensor, reps: usize) -> f64 {
-    // One warm-up run grows scratch buffers and faults in weights.
-    session.run(input).expect("bench run");
-    let mut samples: Vec<f64> = (0..reps)
-        .map(|_| {
-            let t = Instant::now();
-            std::hint::black_box(session.run(input).expect("bench run"));
-            t.elapsed().as_secs_f64() * 1e6
-        })
-        .collect();
-    samples.sort_by(f64::total_cmp);
-    samples[samples.len() / 2]
-}
-
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -65,7 +50,7 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1).cloned())
         .unwrap_or_else(|| "BENCH_kernels.json".to_string());
-    let reps = if quick { 5 } else { 30 };
+    let reps = if quick { 9 } else { 30 };
     let avail = std::thread::available_parallelism().map_or(1, |n| n.get());
     let many = avail.max(2);
 
@@ -90,7 +75,7 @@ fn main() {
     let input = uniform_tensor([1, 3, 32, 32], -1.0, 1.0, &mut seeded_rng(7));
     let baseline_session = build(configs[0].kernel, configs[0].threads);
     let baseline_out = baseline_session.run(&input).expect("baseline run").output;
-    let baseline_us = median_us(&baseline_session, &input, reps);
+    let baseline_times = session_times(&baseline_session, &input, reps);
 
     if threaded_configs_skipped {
         println!("vgg16_small fused pipeline, {reps} reps, serial configs only");
@@ -100,11 +85,14 @@ fn main() {
     let mut results = Vec::new();
     for cfg in &configs {
         let session = build(cfg.kernel, cfg.threads);
-        let us =
-            if cfg.name == "direct_t1" { baseline_us } else { median_us(&session, &input, reps) };
+        let (us, min_us) = if cfg.name == "direct_t1" {
+            baseline_times
+        } else {
+            session_times(&session, &input, reps)
+        };
         let out = session.run(&input).expect("bench run").output;
         let matches = out.data() == baseline_out.data();
-        let speedup = baseline_us / us;
+        let speedup = baseline_times.0 / us;
         // Requested = what the config asks the session for; effective =
         // how many workers can actually run concurrently: the executor
         // clamps to the fusion group's block count, the host to its cores.
@@ -114,6 +102,9 @@ fn main() {
             .iter()
             .filter_map(|s| match s {
                 Segment::Fused { chain, .. } => Some(chain.in_grid().num_blocks()),
+                Segment::Spliced { pipeline, .. } => {
+                    pipeline.groups().iter().map(|g| g.in_grid().num_blocks()).max()
+                }
                 Segment::Single(_) => None,
             })
             .max()
@@ -136,6 +127,7 @@ fn main() {
             threads_requested: cfg.threads,
             threads_effective: effective,
             median_us: us,
+            min_us,
             speedup,
             output_matches_baseline: matches,
         });
@@ -155,13 +147,14 @@ fn main() {
     for (i, m) in results.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"name\": \"{}\", \"kernel\": \"{}\", \"threads_requested\": {}, \
-             \"threads_effective\": {}, \"median_us\": {:.1}, \
+             \"threads_effective\": {}, \"median_us\": {:.1}, \"min_us\": {:.1}, \
              \"speedup_vs_direct_t1\": {:.3}, \"output_matches_baseline\": {}}}{}\n",
             m.name,
             m.kernel,
             m.threads_requested,
             m.threads_effective,
             m.median_us,
+            m.min_us,
             m.speedup,
             m.output_matches_baseline,
             if i + 1 == results.len() { "" } else { "," }

@@ -17,8 +17,7 @@
 //!
 //! Usage: `bench_quant [--quick] [--out PATH]`
 
-use std::time::Instant;
-
+use bconv_bench::session_times;
 use bconv_core::plan::NetworkPlan;
 use bconv_graph::{Backend, Session, SessionBuilder};
 use bconv_models::layer::LayerKind;
@@ -40,6 +39,7 @@ struct Measurement {
     act_bits: u8,
     blocked: bool,
     median_us: f64,
+    min_us: f64,
     rel_err_vs_float_same_schedule: f64,
     offchip_elems: usize,
     offchip_bits: u64,
@@ -75,19 +75,6 @@ fn build(net: &Network, cfg: &Config) -> Session {
     b.build().expect("bench session builds")
 }
 
-fn median_us(session: &Session, input: &Tensor, reps: usize) -> f64 {
-    session.run(input).expect("bench warm-up");
-    let mut samples: Vec<f64> = (0..reps)
-        .map(|_| {
-            let t = Instant::now();
-            std::hint::black_box(session.run(input).expect("bench run"));
-            t.elapsed().as_secs_f64() * 1e6
-        })
-        .collect();
-    samples.sort_by(f64::total_cmp);
-    samples[samples.len() / 2]
-}
-
 fn rel_err(a: &Tensor, b: &Tensor) -> f64 {
     let mag = b.data().iter().fold(1e-6f32, |m, &v| m.max(v.abs()));
     (a.max_abs_diff(b).expect("comparable outputs") / mag) as f64
@@ -101,7 +88,8 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1).cloned())
         .unwrap_or_else(|| "BENCH_quant.json".to_string());
-    let reps = if quick { 3 } else { 15 };
+    let reps = if quick { 7 } else { 15 };
+    let avail = std::thread::available_parallelism().map_or(1, |n| n.get());
 
     let networks: [(&'static str, Network); 2] = [
         ("vgg16_small", bconv_models::small::vgg16_small(32)),
@@ -127,7 +115,7 @@ fn main() {
             let yardstick = float_out[cfg.blocked as usize]
                 .as_ref()
                 .expect("float configs precede quantized ones");
-            let us = median_us(&session, &input, reps);
+            let (us, min_us) = session_times(&session, &input, reps);
             let err = rel_err(&report.output, yardstick);
             let (wb, ab) = cfg.bits.unwrap_or((32, 32));
             println!(
@@ -145,6 +133,7 @@ fn main() {
                 act_bits: ab,
                 blocked: cfg.blocked,
                 median_us: us,
+                min_us,
                 rel_err_vs_float_same_schedule: err,
                 offchip_elems: report.stats.offchip_elems,
                 offchip_bits: report.stats.offchip_bits(),
@@ -157,13 +146,14 @@ fn main() {
     json.push_str("  \"bench\": \"quant\",\n");
     json.push_str(&format!("  \"reps\": {reps},\n"));
     json.push_str(&format!("  \"quick\": {quick},\n"));
+    json.push_str(&format!("  \"available_parallelism\": {avail},\n"));
     json.push_str("  \"float_bits\": 32,\n");
     json.push_str("  \"reference\": \"float run of the same schedule\",\n");
     json.push_str("  \"results\": [\n");
     for (i, m) in results.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"network\": \"{}\", \"name\": \"{}\", \"weight_bits\": {}, \
-             \"act_bits\": {}, \"blocked\": {}, \"median_us\": {:.1}, \
+             \"act_bits\": {}, \"blocked\": {}, \"median_us\": {:.1}, \"min_us\": {:.1}, \
              \"rel_err_vs_float_same_schedule\": {:.6}, \"offchip_elems\": {}, \"offchip_bits\": {}}}{}\n",
             m.network,
             m.name,
@@ -171,6 +161,7 @@ fn main() {
             m.act_bits,
             m.blocked,
             m.median_us,
+            m.min_us,
             m.rel_err_vs_float_same_schedule,
             m.offchip_elems,
             m.offchip_bits,

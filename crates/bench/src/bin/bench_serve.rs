@@ -106,7 +106,15 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1).cloned())
         .unwrap_or_else(|| "BENCH_serve.json".to_string());
-    let per_stream = if quick { 6 } else { 40 };
+    // Quick mode keeps enough requests per stream that fixed per-trial
+    // overhead (client-thread spawn, worker wakeup) stays well under the
+    // regression gate's tolerance relative to the full-mode baseline.
+    let per_stream = if quick { 16 } else { 40 };
+    // Each closed-loop config is measured several times and the best wall
+    // time kept: external host load only ever slows a trial down, so
+    // best-of-trials is the stable capability number the CI regression
+    // gate compares.
+    let trials = if quick { 2 } else { 3 };
     let amort_batch = 8usize;
     let avail = std::thread::available_parallelism().map_or(1, |n| n.get());
 
@@ -138,7 +146,12 @@ fn main() {
             let engine = build(backend)
                 .into_engine(ServeConfig { workers, queue_depth: 64, max_batch: 4 })
                 .expect("engine builds");
-            let (wall_ms, ok) = closed_loop(&engine, &oracle[..workers], per_stream);
+            let (mut wall_ms, mut ok) = (f64::INFINITY, true);
+            for _ in 0..trials {
+                let (ms, trial_ok) = closed_loop(&engine, &oracle[..workers], per_stream);
+                wall_ms = wall_ms.min(ms);
+                ok &= trial_ok;
+            }
             engine.shutdown();
             let requests = workers * per_stream;
             let rps = requests as f64 / (wall_ms / 1e3);

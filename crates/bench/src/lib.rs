@@ -2,8 +2,45 @@
 //! and figure — see DESIGN.md §4 for the full index) and the Criterion
 //! benches.
 
+pub mod check;
+
 use bconv_train::layers::SgdConfig;
 use bconv_train::trainer::TrainConfig;
+
+/// Times `reps` invocations of `f`, returning `(median_us, min_us)`.
+///
+/// The median is the honest "typical run" number the bench tables print;
+/// the minimum is the noise-robust capability estimator the CI regression
+/// gate compares (external load only ever adds time, so best-of-reps is
+/// stable across runs where the median of a small sample is not).
+pub fn time_us(mut f: impl FnMut(), reps: usize) -> (f64, f64) {
+    let mut samples: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let t = std::time::Instant::now();
+            f();
+            t.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    (samples[samples.len() / 2], samples[0])
+}
+
+/// [`time_us`] over `reps` session runs with one warm-up off the clock
+/// (growing scratch buffers and faulting in weights) — the shared timing
+/// policy of every bench binary feeding the regression gate.
+pub fn session_times(
+    session: &bconv_graph::Session,
+    input: &bconv_tensor::Tensor,
+    reps: usize,
+) -> (f64, f64) {
+    session.run(input).expect("bench warm-up run");
+    time_us(
+        || {
+            std::hint::black_box(session.run(input).expect("bench run"));
+        },
+        reps,
+    )
+}
 
 /// Prints a section header.
 pub fn header(title: &str) {

@@ -213,8 +213,9 @@ impl BlockConv2d {
     /// Applies only the planned Equation 2 block padding for grid position
     /// `(row, col)` to an already-cropped block, in the planned pad mode.
     ///
-    /// This exposes the padding half of [`forward_block_into`]
-    /// (Self::forward_block_into) so alternative per-block kernels — e.g.
+    /// This exposes the padding half of
+    /// [`forward_block_into`](Self::forward_block_into) so alternative
+    /// per-block kernels — e.g.
     /// the quantized integer path — can consume locally-padded blocks
     /// without padding twice.
     ///

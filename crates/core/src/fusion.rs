@@ -49,6 +49,25 @@ impl ChainOp {
     }
 }
 
+/// A fusion-group stage whose convolution is already solved: the planner's
+/// trial walk runs [`BlockConv2d::plan_with_kernel`] to validate every
+/// candidate extension, so assembling the final chain from [`PlannedOp`]s
+/// (via [`FusedChain::from_planned`]) reuses those Equation 2 solutions
+/// instead of re-solving them.
+#[derive(Debug, Clone)]
+#[allow(clippy::large_enum_variant)] // conv stages dominate by design
+pub enum PlannedOp {
+    /// A solved block convolution.
+    Conv(BlockConv2d),
+    /// Element-wise ReLU.
+    Relu,
+    /// `k × k` max pooling with stride `k`.
+    MaxPool {
+        /// Pooling window and stride.
+        k: usize,
+    },
+}
+
 #[derive(Debug, Clone)]
 #[allow(clippy::large_enum_variant)] // conv stages dominate by design
 enum Stage {
@@ -136,6 +155,32 @@ impl BlockScratch {
     /// [`FusedChain::run_block_scratch`] call.
     pub fn output(&self) -> &Tensor {
         &self.cur
+    }
+}
+
+/// Reusable buffers for spliced-pipeline execution: the per-block
+/// [`BlockScratch`] shared by every group, plus the two alternating
+/// group-boundary maps (the accelerator's extra buffer of Figure 10 —
+/// one holds the upstream group's spliced output while the downstream
+/// group writes the next boundary into the other).
+#[derive(Debug, Default)]
+pub struct PipelineScratch {
+    block: BlockScratch,
+    ping: Tensor,
+    pong: Tensor,
+}
+
+impl PipelineScratch {
+    /// A fresh scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The per-block scratch, for callers that interleave plain
+    /// [`FusedChain`] runs with pipeline runs and want one set of block
+    /// buffers rather than two (e.g. an executor's per-worker scratch).
+    pub fn block_mut(&mut self) -> &mut BlockScratch {
+        &mut self.block
     }
 }
 
@@ -272,6 +317,103 @@ impl FusedChain {
         if conv_idx != act_params.len() {
             return Err(TensorError::invalid(format!(
                 "plan_quantized: {} act-param sets for {} conv stages",
+                act_params.len(),
+                conv_idx
+            )));
+        }
+        Ok(Self { stages, in_grid, out_grid: cur })
+    }
+
+    /// Assembles a chain from pre-solved stages, validating grid continuity
+    /// instead of re-solving each convolution's Equation 2 padding
+    /// schedule: each conv stage must have been planned on exactly the grid
+    /// the preceding stages produce.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when a conv stage was planned
+    /// on a different grid than the running one, and
+    /// [`TensorError::InvalidParameter`] when pooling misaligns the grid.
+    pub fn from_planned(ops: Vec<PlannedOp>, in_grid: BlockGrid) -> Result<Self, TensorError> {
+        let mut cur = in_grid.clone();
+        let mut stages = Vec::with_capacity(ops.len());
+        for op in ops {
+            match op {
+                PlannedOp::Conv(bconv) => {
+                    if bconv.grid() != &cur {
+                        return Err(TensorError::shape_mismatch(
+                            "FusedChain::from_planned conv stage grid",
+                            cur.to_string(),
+                            bconv.grid().to_string(),
+                        ));
+                    }
+                    cur = bconv.output_grid()?;
+                    stages.push(Stage::Conv(bconv));
+                }
+                PlannedOp::Relu => stages.push(Stage::Relu),
+                PlannedOp::MaxPool { k } => {
+                    cur = cur.downscale(k)?;
+                    stages.push(Stage::Pool { k });
+                }
+            }
+        }
+        Ok(Self { stages, in_grid, out_grid: cur })
+    }
+
+    /// [`from_planned`](Self::from_planned) on the quantized integer path:
+    /// each pre-solved conv plan keeps its padding schedule and grids, and
+    /// gains a [`QuantChainOp`] quantized at `weight_bits` with the stage's
+    /// calibrated input-activation [`QParams`] (one per conv, in order).
+    ///
+    /// # Errors
+    ///
+    /// As [`from_planned`](Self::from_planned), plus
+    /// [`TensorError::InvalidParameter`] when `act_params` does not cover
+    /// exactly the chain's convolutions or a convolution's weights are all
+    /// zero (no quantized form).
+    pub fn from_planned_quantized(
+        ops: Vec<PlannedOp>,
+        in_grid: BlockGrid,
+        weight_bits: u8,
+        act_params: &[QParams],
+    ) -> Result<Self, TensorError> {
+        let mut cur = in_grid.clone();
+        let mut stages = Vec::with_capacity(ops.len());
+        let mut conv_idx = 0usize;
+        for op in ops {
+            match op {
+                PlannedOp::Conv(plan) => {
+                    if plan.grid() != &cur {
+                        return Err(TensorError::shape_mismatch(
+                            "FusedChain::from_planned_quantized conv stage grid",
+                            cur.to_string(),
+                            plan.grid().to_string(),
+                        ));
+                    }
+                    let params = act_params.get(conv_idx).copied().ok_or_else(|| {
+                        TensorError::invalid(format!(
+                            "from_planned_quantized: {} act-param sets for conv stage {}",
+                            act_params.len(),
+                            conv_idx + 1
+                        ))
+                    })?;
+                    conv_idx += 1;
+                    cur = plan.output_grid()?;
+                    let op = QuantChainOp::from_conv(plan.conv(), weight_bits, params).ok_or_else(
+                        || TensorError::invalid("from_planned_quantized: all-zero conv weights"),
+                    )?;
+                    stages.push(Stage::QConv { plan, op });
+                }
+                PlannedOp::Relu => stages.push(Stage::Relu),
+                PlannedOp::MaxPool { k } => {
+                    cur = cur.downscale(k)?;
+                    stages.push(Stage::Pool { k });
+                }
+            }
+        }
+        if conv_idx != act_params.len() {
+            return Err(TensorError::invalid(format!(
+                "from_planned_quantized: {} act-param sets for {} conv stages",
                 act_params.len(),
                 conv_idx
             )));
@@ -631,6 +773,12 @@ impl FusedPipeline {
         &self.groups
     }
 
+    /// Consumes the pipeline, returning its groups (e.g. to re-splice with
+    /// another group appended) without cloning the planned stages.
+    pub fn into_groups(self) -> Vec<FusedChain> {
+        self.groups
+    }
+
     /// Executes all groups fused; intermediate maps between groups stay in
     /// the on-chip extra buffer, so off-chip traffic is still input + final
     /// output only.
@@ -639,25 +787,80 @@ impl FusedPipeline {
     ///
     /// Propagates per-group execution errors.
     pub fn run_fused(&self, input: &Tensor) -> Result<(Tensor, MemStats), TensorError> {
-        let mut cur = input.clone();
+        self.run_fused_threads(input, 1)
+    }
+
+    /// [`run_fused`](Self::run_fused) with each group's blocks dispatched
+    /// across `threads` scoped workers (see
+    /// [`FusedChain::run_fused_threads`]): groups still run in order — the
+    /// splice is a sequencing point — so the output is bitwise identical
+    /// at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates per-group execution errors.
+    pub fn run_fused_threads(
+        &self,
+        input: &Tensor,
+        threads: usize,
+    ) -> Result<(Tensor, MemStats), TensorError> {
+        let mut out = Tensor::default();
+        let mut scratch = PipelineScratch::new();
+        let stats = self.run_fused_into(input, threads, &mut out, &mut scratch)?;
+        Ok((out, stats))
+    }
+
+    /// [`run_fused_threads`](Self::run_fused_threads) into caller-owned
+    /// buffers: `out` receives the final group's output and `scratch`
+    /// carries the per-block intermediates plus the two alternating
+    /// group-boundary maps (the accelerator's extra buffer), so a caller
+    /// that reuses both performs no steady-state allocation.
+    ///
+    /// [`MemStats`] stay exact and scheduling-invariant: off-chip traffic
+    /// is the pipeline input + final output only, and the working-set peak
+    /// adds the on-chip boundary maps alive around each group (its source
+    /// map unless that is the off-chip input, and its destination map
+    /// unless that is the off-chip output) to the group's own ping-pong
+    /// block peak.
+    ///
+    /// # Errors
+    ///
+    /// Propagates per-group execution errors; an empty pipeline is
+    /// rejected (it has no output map to produce).
+    pub fn run_fused_into(
+        &self,
+        input: &Tensor,
+        threads: usize,
+        out: &mut Tensor,
+        scratch: &mut PipelineScratch,
+    ) -> Result<MemStats, TensorError> {
+        let Some(last) = self.groups.len().checked_sub(1) else {
+            return Err(TensorError::invalid("cannot run an empty FusedPipeline"));
+        };
         let mut stats = MemStats {
             peak_working_elems: 0,
             offchip_elems: input.shape().numel(),
             bits_per_elem: self.groups.iter().find_map(FusedChain::act_bits).unwrap_or(32),
         };
-        let last = self.groups.len().saturating_sub(1);
+        let PipelineScratch { block, ping, pong } = scratch;
         for (idx, group) in self.groups.iter().enumerate() {
-            let (next, gs) = group.run_fused(&cur)?;
-            // Group-boundary maps live in the on-chip extra buffer: they
-            // count toward peak working memory but not off-chip traffic.
+            // Source: the pipeline input for the first group, the previous
+            // group's boundary map (in `ping`) afterwards. Destination: the
+            // caller's output for the last group, `pong` otherwise.
+            let gs = match (idx == 0, idx == last) {
+                (true, true) => group.run_fused_into(input, threads, out, block)?,
+                (true, false) => group.run_fused_into(input, threads, pong, block)?,
+                (false, true) => group.run_fused_into(ping, threads, out, block)?,
+                (false, false) => group.run_fused_into(ping, threads, pong, block)?,
+            };
+            let src_elems = if idx == 0 { 0 } else { ping.shape().numel() };
+            let dst_elems = if idx == last { 0 } else { pong.shape().numel() };
             stats.peak_working_elems =
-                stats.peak_working_elems.max(gs.peak_working_elems + next.shape().numel());
-            if idx == last {
-                stats.offchip_elems += next.shape().numel();
-            }
-            cur = next;
+                stats.peak_working_elems.max(gs.peak_working_elems + src_elems + dst_elems);
+            std::mem::swap(ping, pong);
         }
-        Ok((cur, stats))
+        stats.offchip_elems += out.shape().numel();
+        Ok(stats)
     }
 
     /// Executes all groups layer-by-layer (conventional dataflow).
@@ -806,6 +1009,81 @@ mod tests {
         assert!(fs.offchip_elems < ls.offchip_elems);
         // Fused pipeline off-chip = input + final output only.
         assert_eq!(fs.offchip_elems, 16 * 16 + 8 * 8);
+    }
+
+    #[test]
+    fn from_planned_reuses_trial_solves_bitwise() {
+        // Assembling a chain from pre-solved BlockConv2d stages (the
+        // planner's trial-walk artifacts) must execute identically to
+        // re-solving through plan().
+        let grid = BlockGrid::from_pattern(8, 8, BlockingPattern::hierarchical(2)).unwrap();
+        let c1 = Arc::new(conv(1, 2, 61));
+        let c2 = Arc::new(conv(2, 1, 62));
+        let b1 = BlockConv2d::plan(Arc::clone(&c1), grid.clone(), PadMode::Zero).unwrap();
+        let pooled = b1.output_grid().unwrap().downscale(2).unwrap();
+        let b2 = BlockConv2d::plan(Arc::clone(&c2), pooled, PadMode::Zero).unwrap();
+        let planned = FusedChain::from_planned(
+            vec![
+                PlannedOp::Conv(b1),
+                PlannedOp::Relu,
+                PlannedOp::MaxPool { k: 2 },
+                PlannedOp::Conv(b2),
+            ],
+            grid.clone(),
+        )
+        .unwrap();
+        let solved = FusedChain::plan(
+            vec![ChainOp::Conv(c1), ChainOp::Relu, ChainOp::MaxPool { k: 2 }, ChainOp::Conv(c2)],
+            grid,
+            PadMode::Zero,
+        )
+        .unwrap();
+        let input = uniform_tensor([1, 1, 8, 8], -1.0, 1.0, &mut seeded_rng(63));
+        let (a, sa) = planned.run_fused(&input).unwrap();
+        let (b, sb) = solved.run_fused(&input).unwrap();
+        assert_eq!(a.data(), b.data());
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn from_planned_rejects_grid_discontinuity() {
+        // A conv solved on the wrong grid cannot silently join a chain.
+        let grid = BlockGrid::from_pattern(8, 8, BlockingPattern::hierarchical(2)).unwrap();
+        let other = BlockGrid::single(8, 8);
+        let bconv = BlockConv2d::plan(conv(1, 1, 64), other, PadMode::Zero).unwrap();
+        assert!(FusedChain::from_planned(vec![PlannedOp::Conv(bconv)], grid).is_err());
+    }
+
+    #[test]
+    fn pipeline_scratch_execution_is_thread_invariant() {
+        let g1_grid = BlockGrid::from_pattern(16, 16, BlockingPattern::fixed(4)).unwrap();
+        let g1 = FusedChain::plan(
+            vec![ChainOp::conv(conv(1, 2, 71)), ChainOp::MaxPool { k: 2 }],
+            g1_grid,
+            PadMode::Zero,
+        )
+        .unwrap();
+        let g2_grid = g1.out_grid().clone().merge(2).unwrap();
+        let g2 =
+            FusedChain::plan(vec![ChainOp::conv(conv(2, 1, 72))], g2_grid, PadMode::Zero).unwrap();
+        let pipeline = FusedPipeline::new(vec![g1, g2]).unwrap();
+        let input = uniform_tensor([1, 1, 16, 16], -1.0, 1.0, &mut seeded_rng(73));
+        let (serial, ss) = pipeline.run_fused(&input).unwrap();
+        let mut scratch = PipelineScratch::new();
+        for threads in [1usize, 2, 8] {
+            let mut out = Tensor::default();
+            // Reusing one scratch across runs and thread counts must not
+            // leak state into outputs or stats.
+            let stats = pipeline.run_fused_into(&input, threads, &mut out, &mut scratch).unwrap();
+            assert_eq!(out.data(), serial.data(), "threads={threads}");
+            assert_eq!(stats, ss, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_pipeline_is_rejected_at_run() {
+        let p = FusedPipeline::new(Vec::new()).unwrap();
+        assert!(p.run_fused(&Tensor::zeros([1, 1, 4, 4])).is_err());
     }
 
     /// Per-tensor abs-max params, as a calibration pass would freeze them.

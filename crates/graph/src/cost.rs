@@ -1,0 +1,356 @@
+//! Pluggable fusion cost models: the policy that decides where the
+//! planner cuts fusion groups and whether adjacent groups splice into a
+//! [`bconv_core::fusion::FusedPipeline`].
+//!
+//! Two models ship with the crate:
+//!
+//! * [`ElementBudget`] — the element-count heuristic the planner has
+//!   always used: cut when a stage's ping-pong block buffers exceed a flat
+//!   element budget; never splice. The default, reproducing historical
+//!   plans bitwise.
+//! * [`AccelCost`] — the `bconv-accel` cycle/memory model (Equation 3's
+//!   MAC cycles, [`bconv_accel::platform::FpgaPlatform::dram_cycles`]
+//!   DRAM transfer cycles, the §III-B3 buffer plan): candidate cut points
+//!   are evaluated by comparing the cycles of extending (buffers permit)
+//!   against the DRAM round trip a cut would add, and compatible group
+//!   boundaries splice whenever the boundary map fits the extra buffer —
+//!   the Figure 10 CONV4 case.
+//!
+//! Cost models see fusion groups as [`StageCost`] lists — pure geometry in
+//! elements and MACs, at the plan's precision — so a model never touches
+//! tensors and the planner never depends on a specific model's internals.
+
+use bconv_accel::memory::BufferPlan;
+use bconv_accel::platform::FpgaPlatform;
+use bconv_accel::schedule::{fused_group_cost, StageFootprint};
+
+/// One stage of a (prospective) fusion group, in the units cost models
+/// reason about. Element counts follow the [`bconv_core::fusion::MemStats`]
+/// conventions: feature-map data only, per batch element, with
+/// `bits_per_elem` carrying the plan's precision (32 float, the activation
+/// bitwidth quantized).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageCost {
+    /// Elements of the largest input block (block area × input channels).
+    pub in_block_elems: usize,
+    /// Elements of the largest output block (block area × output channels).
+    pub out_block_elems: usize,
+    /// Elements of the stage's whole input map (c·h·w) — what a cut right
+    /// before this stage would send on an off-chip round trip.
+    pub in_map_elems: usize,
+    /// Elements of the stage's whole output map (c·h·w).
+    pub out_map_elems: usize,
+    /// Multiply–accumulates of the stage across the whole map (zero for
+    /// element-wise and pooling stages).
+    pub macs: u64,
+    /// Bits per feature-map element at the plan's precision.
+    pub bits_per_elem: u8,
+}
+
+impl StageCost {
+    fn footprint(&self) -> StageFootprint {
+        let bits = self.bits_per_elem as u64;
+        StageFootprint {
+            in_block_bits: self.in_block_elems as u64 * bits,
+            out_block_bits: self.out_block_elems as u64 * bits,
+            macs: self.macs,
+        }
+    }
+
+    /// Bits of the stage's whole input map.
+    pub fn in_map_bits(&self) -> u64 {
+        self.in_map_elems as u64 * self.bits_per_elem as u64
+    }
+}
+
+/// A candidate splice between two adjacent fusion groups, as cost models
+/// see it: the group-boundary feature map that would stay on chip (in the
+/// extra buffer) instead of making a DRAM round trip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpliceCost {
+    /// Elements of the new boundary map (c·h·w, per batch element) — the
+    /// off-chip round trip this splice saves.
+    pub boundary_elems: usize,
+    /// Peak elements simultaneously resident in the extra buffer if the
+    /// splice is taken: while a *middle* group of a 3+-group pipeline
+    /// executes, both its source and destination boundary maps are alive,
+    /// so this is the largest adjacent-boundary pair of the prospective
+    /// pipeline (equal to `boundary_elems` for a 2-group pipeline).
+    pub peak_extra_elems: usize,
+    /// Bits per feature-map element at the plan's precision.
+    pub bits_per_elem: u8,
+}
+
+impl SpliceCost {
+    /// Bits of the new boundary map.
+    pub fn boundary_bits(&self) -> u64 {
+        self.boundary_elems as u64 * self.bits_per_elem as u64
+    }
+
+    /// Peak bits resident in the extra buffer if the splice is taken.
+    pub fn peak_extra_bits(&self) -> u64 {
+        self.peak_extra_elems as u64 * self.bits_per_elem as u64
+    }
+}
+
+/// The fusion-partitioning policy consulted by the planner's walk. The
+/// model never changes *what* is computed — cuts and splices are schedule
+/// decisions, and every plan over the same blocking decisions produces
+/// bitwise-identical outputs — only how much off-chip traffic and on-chip
+/// buffering the schedule needs.
+pub trait CostModel: std::fmt::Debug + Send + Sync {
+    /// Model name, echoed in [`crate::plan::PlanReport`].
+    fn name(&self) -> &'static str;
+
+    /// Whether the open group (`group`, possibly empty) should extend
+    /// through `candidate`, or cut right before it. Consulted for conv and
+    /// pool stages; ReLU is free and always fuses.
+    fn allow_extend(&self, group: &[StageCost], candidate: &StageCost) -> bool;
+
+    /// Whether two adjacent fusion groups should splice into one pipeline,
+    /// keeping `boundary` on chip. Default: never splice.
+    fn allow_splice(
+        &self,
+        first: &[StageCost],
+        second: &[StageCost],
+        boundary: &SpliceCost,
+    ) -> bool {
+        let (_, _, _) = (first, second, boundary);
+        false
+    }
+}
+
+/// The flat element-count budget: cut when a candidate stage's ping-pong
+/// block-buffer pair would exceed `budget_elems`; never splice. With no
+/// budget, fuse maximally. This reproduces the planner's historical
+/// behaviour bitwise and is the default model.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ElementBudget {
+    budget_elems: Option<usize>,
+}
+
+impl ElementBudget {
+    /// Unbounded: fuse maximal chains (the planner's default).
+    pub fn unbounded() -> Self {
+        Self { budget_elems: None }
+    }
+
+    /// Cut when a stage's input + output block buffers exceed `elems`.
+    pub fn with_budget(elems: usize) -> Self {
+        Self { budget_elems: Some(elems) }
+    }
+
+    /// The historical `PlannerOptions::budget_elems` encoding.
+    pub fn from_option(budget_elems: Option<usize>) -> Self {
+        Self { budget_elems }
+    }
+}
+
+impl CostModel for ElementBudget {
+    fn name(&self) -> &'static str {
+        "element-budget"
+    }
+
+    fn allow_extend(&self, _group: &[StageCost], candidate: &StageCost) -> bool {
+        match self.budget_elems {
+            None => true,
+            Some(budget) => candidate.in_block_elems + candidate.out_block_elems <= budget,
+        }
+    }
+}
+
+/// The accelerator cost model: group cuts and splices decided on
+/// `bconv-accel`'s cycle and memory estimates instead of a flat element
+/// count.
+///
+/// * **Extension** — the prospective group's intermediate-buffer peak
+///   ([`fused_group_cost`]) must fit the two ping-pong block buffers;
+///   within capacity, extending wins whenever its cycle estimate does not
+///   exceed cutting's (cut = same compute plus the DRAM round trip of the
+///   boundary map at the platform's bandwidth — so extending always wins
+///   on a bandwidth-positive platform, making capacity the binding
+///   constraint, exactly the paper's argument for fusing as deep as the
+///   buffers allow).
+/// * **Splice** — taken when the boundary map fits the extra buffer and
+///   the whole buffer plan fits the platform's BRAM
+///   ([`BufferPlan::fits_bram18`]); the splice then strictly removes the
+///   boundary's off-chip round trip (Figure 10's CONV4 extra buffer).
+#[derive(Debug, Clone)]
+pub struct AccelCost {
+    platform: FpgaPlatform,
+    /// Capacity in bits of **one** intermediate (block) buffer; the
+    /// ping-pong pair provides twice this.
+    intermediate_buffer_bits: u64,
+    /// Capacity in bits of the extra (splice) buffer.
+    extra_buffer_bits: u64,
+    /// PE parallelism for the cycle estimates.
+    npe: usize,
+}
+
+impl AccelCost {
+    /// Buffer capacities derived from the platform's BRAM following the
+    /// §III-B3 organisation: one eighth of the BRAM bits to each of the
+    /// two intermediate buffers, one quarter to the extra buffer, the
+    /// remaining half left for weights.
+    pub fn for_platform(platform: FpgaPlatform) -> Self {
+        let total = (platform.bram18_blocks * platform.bram18_bits) as u64;
+        Self::with_buffers(platform, total / 8, total / 4)
+    }
+
+    /// Explicit buffer capacities (bits of one intermediate buffer, bits
+    /// of the extra buffer) — how tests and benches model small on-chip
+    /// memories against the toy networks.
+    pub fn with_buffers(
+        platform: FpgaPlatform,
+        intermediate_buffer_bits: u64,
+        extra_buffer_bits: u64,
+    ) -> Self {
+        Self { platform, intermediate_buffer_bits, extra_buffer_bits, npe: 1 }
+    }
+
+    /// Overrides the PE parallelism used for cycle estimates (default 1).
+    pub fn npe(mut self, npe: usize) -> Self {
+        self.npe = npe.max(1);
+        self
+    }
+
+    fn footprints(stages: &[StageCost]) -> Vec<StageFootprint> {
+        stages.iter().map(StageCost::footprint).collect()
+    }
+}
+
+impl CostModel for AccelCost {
+    fn name(&self) -> &'static str {
+        "accel-cost"
+    }
+
+    fn allow_extend(&self, _group: &[StageCost], candidate: &StageCost) -> bool {
+        // Capacity gate on the candidate's *marginal* requirement: the
+        // stages already in the group are sunk (the planner grandfathers
+        // an over-capacity opening conv so plan semantics stay invariant),
+        // so only the new ping-pong pair can refuse the extension.
+        let cand = fused_group_cost(&[candidate.footprint()], self.npe);
+        if cand.peak_intermediate_bits > 2 * self.intermediate_buffer_bits {
+            return false; // the ping-pong pair cannot hold the stage
+        }
+        // Candidate cut point, evaluated on the cycle model. The group's
+        // already-accepted stages run under either schedule, so they
+        // cancel out of the comparison: extending costs the candidate's
+        // compute; cutting costs the same compute plus a write + read
+        // round trip of the boundary map across the DRAM interface.
+        let extend_cycles = cand.compute_cycles;
+        let cut_cycles =
+            cand.compute_cycles + self.platform.dram_cycles(2 * candidate.in_map_bits());
+        extend_cycles <= cut_cycles
+    }
+
+    fn allow_splice(
+        &self,
+        first: &[StageCost],
+        second: &[StageCost],
+        boundary: &SpliceCost,
+    ) -> bool {
+        // The extra buffer must hold every boundary map alive at once —
+        // for a 3+-group pipeline, a middle group's source and destination
+        // boundaries coexist, so the gate is the peak adjacent pair, not
+        // just the new boundary.
+        if boundary.peak_extra_bits() > self.extra_buffer_bits {
+            return false; // the boundary maps cannot stay on chip
+        }
+        // The spliced pipeline's full buffer plan must still fit the
+        // device: the (already-accepted) ping-pong pair plus the extra
+        // buffer at its peak occupancy.
+        let mut stages = Self::footprints(first);
+        stages.extend(Self::footprints(second));
+        let cost = fused_group_cost(&stages, self.npe);
+        let plan = BufferPlan {
+            intermediate_bits: cost.peak_intermediate_bits / 2,
+            extra_bits: boundary.peak_extra_bits(),
+            weight_bits: 0,
+            double_buffered: false,
+        };
+        if !plan.fits_bram18(self.platform.bram18_blocks) {
+            return false;
+        }
+        // Splicing saves the boundary's DRAM round trip and costs nothing
+        // in cycles; take it whenever the saving is real.
+        self.platform.dram_cycles(2 * boundary.boundary_bits()) > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bconv_accel::platform::zc706;
+
+    fn stage(in_block: usize, out_block: usize, macs: u64) -> StageCost {
+        StageCost {
+            in_block_elems: in_block,
+            out_block_elems: out_block,
+            in_map_elems: 4 * in_block,
+            out_map_elems: 4 * out_block,
+            macs,
+            bits_per_elem: 32,
+        }
+    }
+
+    fn splice(boundary_elems: usize, bits: u8) -> SpliceCost {
+        SpliceCost { boundary_elems, peak_extra_elems: boundary_elems, bits_per_elem: bits }
+    }
+
+    #[test]
+    fn element_budget_matches_the_historical_rule() {
+        let cand = stage(768, 1024, 1000);
+        assert!(ElementBudget::unbounded().allow_extend(&[], &cand));
+        assert!(ElementBudget::with_budget(1792).allow_extend(&[], &cand));
+        assert!(!ElementBudget::with_budget(1791).allow_extend(&[], &cand));
+        // The historical model never splices.
+        assert!(!ElementBudget::unbounded().allow_splice(&[], &[], &splice(1, 32)));
+    }
+
+    #[test]
+    fn accel_cost_cuts_at_intermediate_capacity() {
+        // Pair capacity 2 * 1024 * 32 bits = 2048 elements.
+        let model = AccelCost::with_buffers(zc706(), 1024 * 32, 1 << 20);
+        assert!(model.allow_extend(&[], &stage(1024, 1024, 1000)));
+        assert!(!model.allow_extend(&[], &stage(1024, 1025, 1000)));
+        // The gate is marginal: an over-capacity stage already in the
+        // group (a grandfathered opening conv) is sunk and must not block
+        // later stages that fit.
+        assert!(model.allow_extend(&[stage(4096, 4096, 10)], &stage(64, 64, 1000)));
+    }
+
+    #[test]
+    fn accel_cost_splices_when_the_boundary_fits_the_extra_buffer() {
+        let model = AccelCost::with_buffers(zc706(), 1 << 20, 4096 * 32);
+        let g = [stage(256, 256, 1000)];
+        assert!(model.allow_splice(&g, &g, &splice(4096, 32)));
+        assert!(!model.allow_splice(&g, &g, &splice(4097, 32)));
+    }
+
+    #[test]
+    fn accel_cost_gates_on_peak_boundary_pair() {
+        // Extending a pipeline to 3+ groups keeps two boundary maps alive
+        // while the middle group runs: a new boundary that fits alone must
+        // still be refused when the adjacent pair exceeds the extra
+        // buffer.
+        let model = AccelCost::with_buffers(zc706(), 1 << 20, 4096 * 32);
+        let g = [stage(256, 256, 1000)];
+        let pair_too_big =
+            SpliceCost { boundary_elems: 2100, peak_extra_elems: 2100 + 2100, bits_per_elem: 32 };
+        assert!(!model.allow_splice(&g, &g, &pair_too_big));
+        let pair_fits =
+            SpliceCost { boundary_elems: 2000, peak_extra_elems: 2000 + 2000, bits_per_elem: 32 };
+        assert!(model.allow_splice(&g, &g, &pair_fits));
+    }
+
+    #[test]
+    fn accel_cost_respects_plan_precision() {
+        // At 8-bit activations the same boundary needs a quarter of the
+        // extra buffer: quantized plans splice deeper.
+        let model = AccelCost::with_buffers(zc706(), 1 << 20, 4096 * 8);
+        let g = [stage(256, 256, 1000)];
+        assert!(!model.allow_splice(&g, &g, &splice(4096, 32)));
+        assert!(model.allow_splice(&g, &g, &splice(4096, 8)));
+    }
+}

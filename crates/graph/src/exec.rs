@@ -29,7 +29,7 @@
 
 use std::sync::Arc;
 
-use bconv_core::fusion::{BlockScratch, MemStats};
+use bconv_core::fusion::{MemStats, PipelineScratch};
 use bconv_quant::qconv::QConvScratch;
 use bconv_tensor::activation::relu_inplace;
 use bconv_tensor::elementwise::add_into;
@@ -72,8 +72,11 @@ pub struct ExecScratch {
     /// Recycled value buffers: released intermediates land here and are
     /// reshaped for the next node instead of reallocating.
     pool: Vec<Tensor>,
-    /// Per-block intermediates for serial fused-chain execution.
-    block: BlockScratch,
+    /// Per-block intermediates for serial fused-chain execution plus the
+    /// boundary maps of spliced pipelines (one
+    /// [`bconv_core::fusion::BlockScratch`] serves both the plain-chain
+    /// and pipeline paths — see [`PipelineScratch::block_mut`]).
+    pipeline: PipelineScratch,
     /// Whole-map (single-segment) kernel temporaries.
     single: SingleScratch,
 }
@@ -440,7 +443,7 @@ pub(crate) fn run_plan(
 ) -> Result<RunReport, TensorError> {
     check_input(graph, input)?;
     let nodes = graph.nodes();
-    let ExecScratch { values, remaining, pool, block, single } = scratch;
+    let ExecScratch { values, remaining, pool, pipeline, single } = scratch;
     values.clear();
     values.resize_with(nodes.len(), || None);
     // Remaining-use counters, as in the reference backend. Fused-group
@@ -457,12 +460,21 @@ pub(crate) fn run_plan(
         let out_id = match seg {
             Segment::Fused { nodes: ids, chain, input: src } => {
                 let in_t = resolve(values, input, *src)?;
-                let gs = chain.run_fused_into(in_t, threads, &mut out, block)?;
+                let gs = chain.run_fused_into(in_t, threads, &mut out, pipeline.block_mut())?;
                 // Per-block buffers are the group's working set; its
                 // input/output traffic is accounted at the segment
                 // boundaries below.
                 stats.peak_working_elems = stats.peak_working_elems.max(gs.peak_working_elems);
                 *ids.last().expect("non-empty group")
+            }
+            Segment::Spliced { nodes: ids, pipeline: pipe, input: src } => {
+                let in_t = resolve(values, input, *src)?;
+                let gs = pipe.run_fused_into(in_t, threads, &mut out, pipeline)?;
+                // Group-boundary maps stayed on chip: they are part of the
+                // pipeline's working-set peak, and the only off-chip
+                // traffic is the segment input/output accounted below.
+                stats.peak_working_elems = stats.peak_working_elems.max(gs.peak_working_elems);
+                *ids.last().expect("non-empty pipeline")
             }
             Segment::Single(id) => {
                 let node = &nodes[*id];
@@ -490,7 +502,7 @@ pub(crate) fn run_plan(
         }
         values[out_id] = Some(out);
         match seg {
-            Segment::Fused { input: src, .. } => {
+            Segment::Fused { input: src, .. } | Segment::Spliced { input: src, .. } => {
                 release_ref(values, remaining, pool, *src);
             }
             Segment::Single(id) => release_used(values, remaining, pool, &nodes[*id]),

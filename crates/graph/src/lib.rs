@@ -37,6 +37,7 @@
 //! # }
 //! ```
 
+pub mod cost;
 pub mod exec;
 pub mod ir;
 pub mod plan;
@@ -44,9 +45,10 @@ pub mod quantize;
 pub mod serve;
 pub mod session;
 
+pub use cost::{AccelCost, CostModel, ElementBudget, SpliceCost, StageCost};
 pub use exec::{BlockedExecutor, ExecScratch, Executor, ReferenceExecutor, RunReport};
 pub use ir::{Graph, LowerOptions, Node, NodeId, NodeOp, NodeRef};
-pub use plan::{ExecPlan, Planner, PlannerOptions, Segment};
+pub use plan::{ExecPlan, PlanReport, Planner, PlannerOptions, Segment, SpliceReport};
 pub use quantize::{GraphQuantSpec, QuantizedExecutor};
 pub use serve::{ServeConfig, ServeEngine, TicketId};
 pub use session::{Backend, Session, SessionBuilder, DEFAULT_CALIBRATION_BATCHES, THREADS_ENV};

@@ -1,5 +1,5 @@
 //! [`ServeEngine`]: batched, multi-stream serving on top of a compiled
-//! [`Session`](crate::Session).
+//! [`Session`].
 //!
 //! A session compiles a network once and can answer `run(&input)` calls,
 //! but a server needs more: many callers, bounded memory under load, and
@@ -10,7 +10,7 @@
 //! * **Lifecycle** — [`Session::into_engine`](crate::Session::into_engine)
 //!   consumes the session and spawns a fixed pool of worker threads. Every
 //!   worker shares the session's immutable executor
-//!   ([`Executor`](crate::exec::Executor) is `Send + Sync`) and owns one
+//!   ([`Executor`] is `Send + Sync`) and owns one
 //!   reusable [`ExecScratch`], so steady-state serving performs no
 //!   tensor/scratch allocation beyond each request's output tensor
 //!   (bookkeeping — tickets, job lists — is a few machine words per

@@ -30,6 +30,7 @@ use bconv_tensor::{Tensor, TensorError};
 
 use bconv_tensor::init::{seeded_rng, uniform_tensor};
 
+use crate::cost::CostModel;
 use crate::exec::{BlockedExecutor, ExecScratch, Executor, ReferenceExecutor, RunReport};
 use crate::ir::{Graph, LowerOptions};
 use crate::plan::{ExecPlan, Planner, PlannerOptions};
@@ -123,6 +124,7 @@ pub struct SessionBuilder {
     kernel: KernelPolicy,
     threads: Option<usize>,
     calibration: Option<Vec<Tensor>>,
+    cost_model: Option<Arc<dyn CostModel>>,
 }
 
 impl SessionBuilder {
@@ -154,9 +156,24 @@ impl SessionBuilder {
     }
 
     /// Caps the per-block on-chip working buffers, in elements. Fusion
-    /// groups are cut at the boundary where they would exceed the budget.
+    /// groups are cut at the boundary where they would exceed the budget
+    /// (the default [`crate::cost::ElementBudget`] model; mutually
+    /// exclusive with [`cost_model`](Self::cost_model)).
     pub fn on_chip_budget(mut self, elems: usize) -> Self {
         self.budget_elems = Some(elems);
+        self
+    }
+
+    /// Selects the fusion cost model deciding where the planner cuts
+    /// fusion groups and whether adjacent groups splice into a
+    /// `FusedPipeline` (see [`crate::cost`]). The default is
+    /// [`crate::cost::ElementBudget`] over
+    /// [`on_chip_budget`](Self::on_chip_budget); pass
+    /// [`crate::cost::AccelCost`] to plan against the `bconv-accel`
+    /// cycle/memory model. Setting both a cost model and an element budget
+    /// is rejected at build time (ambiguous).
+    pub fn cost_model(mut self, model: impl CostModel + 'static) -> Self {
+        self.cost_model = Some(Arc::new(model));
         self
     }
 
@@ -218,6 +235,12 @@ impl SessionBuilder {
         let net = self
             .network
             .ok_or_else(|| TensorError::invalid("SessionBuilder::network is required"))?;
+        if self.cost_model.is_some() && self.budget_elems.is_some() {
+            return Err(TensorError::invalid(
+                "SessionBuilder::cost_model and ::on_chip_budget are mutually exclusive; \
+                 encode the budget in the model (e.g. ElementBudget::with_budget)",
+            ));
+        }
         let lower_opts =
             LowerOptions { seed: self.seed.unwrap_or(2018), relu_after_conv: self.relu_after_conv };
         let graph = Arc::new(Graph::lower(&net, &lower_opts)?);
@@ -227,6 +250,7 @@ impl SessionBuilder {
             pad_mode: self.pad,
             budget_elems: self.budget_elems,
             kernel: self.kernel,
+            cost_model: self.cost_model,
         };
         let planner = Planner::new(planner_opts);
         let threads = resolve_threads(self.threads)?;

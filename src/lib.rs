@@ -1,8 +1,7 @@
 //! Facade crate re-exporting the whole block-convolution reproduction.
 //!
-//! The front door is the [`Session`] API: compile any
-//! [`models`](bconv_models) network descriptor into an executable
-//! blocked/fused pipeline and run it.
+//! The front door is the [`Session`] API: compile any [`models`] network
+//! descriptor into an executable blocked/fused pipeline and run it.
 //!
 //! ```
 //! use bconv::{Session, core::BlockingPattern, tensor::{PadMode, Tensor}};
