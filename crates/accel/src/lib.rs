@@ -31,6 +31,8 @@
 //! assert!(eval.gops(&platform) > 100.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod baseline;
 pub mod dse;
 pub mod fusion;

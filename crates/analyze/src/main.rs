@@ -1,0 +1,126 @@
+//! CLI entry point: `cargo run -p bconv-analyze [-- --write-ratchet]`.
+//!
+//! Exit codes: 0 clean, 1 lint violations / ratchet regressions / stale
+//! policy entries, 2 usage or I/O errors.
+
+use bconv_analyze::lints::Config;
+use bconv_analyze::{
+    apply_allowlist, check_ratchet, parse_allowlist, parse_ratchet, render_ratchet, scan_workspace,
+};
+use std::path::PathBuf;
+
+fn default_root() -> PathBuf {
+    // Compiled-in manifest dir is crates/analyze; the workspace root is
+    // two levels up. Works no matter where `cargo run` is invoked from.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("..").join("..")
+}
+
+fn run() -> Result<bool, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut write_ratchet = false;
+    let mut root = default_root();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--write-ratchet" => write_ratchet = true,
+            "--root" => {
+                root = PathBuf::from(it.next().ok_or_else(|| "--root takes a path".to_string())?);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    let root = root.canonicalize().map_err(|e| format!("bad root {}: {e}", root.display()))?;
+
+    let cfg = Config::workspace();
+    let report = scan_workspace(&root, &cfg)?;
+    let counts = report.panic_counts();
+    let ratchet_path = root.join("analyze").join("panic_ratchet.txt");
+
+    if write_ratchet {
+        std::fs::write(&ratchet_path, render_ratchet(&counts))
+            .map_err(|e| format!("cannot write {}: {e}", ratchet_path.display()))?;
+        let total: usize = counts.values().sum();
+        println!(
+            "bconv-analyze: wrote ratchet baseline ({} L4 site(s) across {} file(s)) to {}",
+            total,
+            counts.len(),
+            ratchet_path.display()
+        );
+        return Ok(true);
+    }
+
+    let allow_path = root.join("analyze").join("allowlist.txt");
+    let allow_text = std::fs::read_to_string(&allow_path)
+        .map_err(|e| format!("cannot read {}: {e}", allow_path.display()))?;
+    let allow = parse_allowlist(&allow_text)?;
+    let gate = apply_allowlist(&report.findings, &allow);
+
+    let baseline_text = std::fs::read_to_string(&ratchet_path)
+        .map_err(|e| format!("cannot read {}: {e}", ratchet_path.display()))?;
+    let baseline = parse_ratchet(&baseline_text)?;
+    let ratchet = check_ratchet(&baseline, &counts);
+
+    let mut clean = true;
+    if !gate.violations.is_empty() {
+        clean = false;
+        println!("lint violations ({}):", gate.violations.len());
+        for v in &gate.violations {
+            println!("  {v}");
+        }
+        println!("  (legitimate sites go in analyze/allowlist.txt with a justification)");
+    }
+    if !gate.stale.is_empty() {
+        clean = false;
+        println!("stale allowlist entries ({}):", gate.stale.len());
+        for s in &gate.stale {
+            println!("  {s}");
+        }
+    }
+    if !ratchet.regressions.is_empty() {
+        clean = false;
+        println!("panic-ratchet regressions ({}):", ratchet.regressions.len());
+        for (file, base, now) in &ratchet.regressions {
+            println!("  L4 {file}: {base} -> {now} non-test panic site(s)");
+            if let Some(sites) = report.panic_sites.get(file) {
+                for s in sites {
+                    println!("      {}:{} in `{}`: `{}`", s.file, s.line, s.func, s.construct);
+                }
+            }
+        }
+        println!("  (convert to typed errors, or lower other files and rerun --write-ratchet)");
+    }
+    if !ratchet.improvements.is_empty() {
+        println!(
+            "panic-ratchet improvements ({}): run `cargo run -p bconv-analyze -- \
+             --write-ratchet` to lock them in:",
+            ratchet.improvements.len()
+        );
+        for (file, base, now) in &ratchet.improvements {
+            println!("  L4 {file}: {base} -> {now}");
+        }
+    }
+
+    let total_l4: usize = counts.values().sum();
+    println!(
+        "bconv-analyze: {} file(s), {} finding(s) ({} allowlisted), {} L4 site(s) \
+         across {} file(s) — {}",
+        report.files,
+        report.findings.len(),
+        report.findings.len() - gate.violations.len(),
+        total_l4,
+        counts.len(),
+        if clean { "clean" } else { "FAILED" }
+    );
+    Ok(clean)
+}
+
+fn main() {
+    match run() {
+        Ok(true) => {}
+        Ok(false) => std::process::exit(1),
+        Err(e) => {
+            eprintln!("bconv-analyze: {e}");
+            std::process::exit(2);
+        }
+    }
+}

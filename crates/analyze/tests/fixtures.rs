@@ -1,0 +1,284 @@
+//! Fixture tests for the analyzer: every lint gets at least one positive
+//! fixture (the lint must fire) and one negative fixture (it must stay
+//! quiet), plus lexer edge cases that historically produce false
+//! positives in grep-based checkers (comments, strings, test scopes).
+
+use bconv_analyze::lints::{scan_source, Config, Lint};
+use bconv_analyze::{
+    apply_allowlist, check_ratchet, parse_allowlist, parse_ratchet, render_ratchet,
+};
+use std::collections::BTreeMap;
+
+fn cfg() -> Config {
+    Config::workspace()
+}
+
+/// Scan under a hot-path-relevant filename with the workspace config.
+fn scan(file: &str, src: &str) -> bconv_analyze::lints::FileReport {
+    scan_source(file, src, &cfg())
+}
+
+// --- lexer robustness -------------------------------------------------------
+
+#[test]
+fn comments_and_strings_never_fire() {
+    let src = r##"
+        // this comment says x.unwrap() and vec![] and HashMap
+        /* block comment: panic!("no") /* nested */ still comment */
+        /// doc: prefer `foo.expect("msg")` over unwrap()
+        fn worker_loop() {
+            let s = "vec![1] Vec::new() .collect() unwrap() HashMap";
+            let r = r#"format!("{}", x) panic!"#;
+            let c = 'u'; // not a lifetime, not an ident
+            let _ = (s, r, c);
+        }
+    "##;
+    let rep = scan("crates/graph/src/serve.rs", src);
+    assert!(rep.findings.is_empty(), "phantom findings: {:?}", rep.findings);
+    assert_eq!(rep.panic_count(), 0);
+}
+
+#[test]
+fn lifetimes_do_not_confuse_char_literals() {
+    let src = "fn f<'a>(x: &'a str) -> &'a str { let _c = 'x'; x }";
+    let rep = scan("crates/graph/src/serve.rs", src);
+    assert!(rep.findings.is_empty());
+}
+
+// --- L1 no-hot-path-alloc ---------------------------------------------------
+
+#[test]
+fn l1_fires_on_every_banned_construct_in_hot_fn() {
+    let src = r#"
+        fn run_fused_into(&self) {
+            let a = Vec::new();
+            let b = vec![0u8; 4];
+            let c = Vec::with_capacity(4);
+            let d = x.to_vec();
+            let e = it.collect();
+            let f = Tensor::zeros([1, 1, 2, 2]);
+            let g = Box::new(3);
+            let h = format!("{}", 1);
+        }
+    "#;
+    let rep = scan("crates/core/src/whatever.rs", src);
+    let constructs: Vec<&str> = rep.findings.iter().map(|f| f.construct.as_str()).collect();
+    for want in [
+        "Vec::new",
+        "vec!",
+        "with_capacity",
+        "to_vec",
+        "collect",
+        "Tensor::zeros",
+        "Box::new",
+        "format!",
+    ] {
+        assert!(constructs.contains(&want), "missing {want}: {constructs:?}");
+    }
+    assert!(rep.findings.iter().all(|f| f.lint == Lint::HotPathAlloc));
+    assert!(rep.findings.iter().all(|f| f.func == "run_fused_into"));
+}
+
+#[test]
+fn l1_silent_outside_hot_fns_and_in_tests() {
+    let cold = "fn plan() { let v = vec![1]; let s = x.collect(); }";
+    assert!(scan("crates/core/src/x.rs", cold).findings.is_empty());
+
+    let test_mod = r#"
+        #[cfg(test)]
+        mod tests {
+            fn run_fused_into() { let v = vec![1]; }
+        }
+    "#;
+    assert!(scan("crates/core/src/x.rs", test_mod).findings.is_empty());
+
+    let test_fn = "#[test]\nfn run_fused_into() { let v = Vec::new(); }";
+    assert!(scan("crates/core/src/x.rs", test_fn).findings.is_empty());
+}
+
+#[test]
+fn l1_covers_closures_inside_hot_fn() {
+    let src = "fn worker_loop() { let f = || inner.iter().collect(); }";
+    let rep = scan("crates/graph/src/serve.rs", src);
+    assert_eq!(rep.findings.iter().filter(|f| f.construct == "collect").count(), 1);
+}
+
+// --- L2 no-weight-deep-clone ------------------------------------------------
+
+#[test]
+fn l2_fires_on_weight_like_receivers() {
+    let src = r#"
+        fn lower(&self) {
+            let a = self.conv.clone();
+            let b = weights.clone();
+            let c = block_kernel.clone();
+        }
+    "#;
+    let rep = scan("crates/models/src/x.rs", src);
+    let l2: Vec<_> = rep.findings.iter().filter(|f| f.lint == Lint::WeightDeepClone).collect();
+    assert_eq!(l2.len(), 3, "{l2:?}");
+    assert!(l2.iter().any(|f| f.construct == "clone:conv"));
+    assert!(l2.iter().any(|f| f.construct == "clone:weights"));
+    assert!(l2.iter().any(|f| f.construct == "clone:block_kernel"));
+}
+
+#[test]
+fn l2_allows_arc_clone_and_unrelated_receivers() {
+    let src = r#"
+        fn lower(&self) {
+            let a = Arc::clone(&self.weights);
+            let b = grid.clone();
+            let c = pads.clone();
+        }
+        #[cfg(test)]
+        mod tests {
+            fn t() { let w = conv.clone(); }
+        }
+    "#;
+    let rep = scan("crates/models/src/x.rs", src);
+    assert!(rep.findings.iter().all(|f| f.lint != Lint::WeightDeepClone), "{:?}", rep.findings);
+}
+
+// --- L3 no-unordered-iteration ----------------------------------------------
+
+#[test]
+fn l3_fires_in_restricted_modules_only() {
+    let src = "use std::collections::HashMap;\nfn plan() { let m: HashMap<u32, u32>; }";
+    let restricted = scan("crates/graph/src/plan.rs", src);
+    let hits = restricted.findings.iter().filter(|f| f.lint == Lint::UnorderedIteration).count();
+    assert_eq!(hits, 2, "use + type mention: {:?}", restricted.findings);
+
+    let free = scan("crates/train/src/optim.rs", src);
+    assert!(free.findings.iter().all(|f| f.lint != Lint::UnorderedIteration));
+}
+
+#[test]
+fn l3_fires_even_inside_test_code_of_restricted_files() {
+    // A `use` at the top of a restricted file serves test and non-test
+    // code alike, so L3 deliberately ignores test scope.
+    let src = "#[cfg(test)]\nmod tests { use std::collections::HashSet; }";
+    let rep = scan("crates/graph/src/serve.rs", src);
+    assert_eq!(rep.findings.iter().filter(|f| f.lint == Lint::UnorderedIteration).count(), 1);
+}
+
+// --- L4 panic-ratchet -------------------------------------------------------
+
+#[test]
+fn l4_counts_only_real_panic_sites() {
+    let src = r#"
+        fn a() {
+            x.unwrap();
+            y.expect("boom");
+            panic!("no");
+            z.unwrap_or_else(PoisonError::into_inner);
+            w.unwrap_or_default();
+            let unwrap = 3; // bare ident, not a call
+        }
+        #[cfg(test)]
+        mod tests {
+            fn t() { q.unwrap(); r.expect("fine in tests"); }
+        }
+    "#;
+    let rep = scan("crates/core/src/x.rs", src);
+    assert_eq!(rep.panic_count(), 3, "{:?}", rep.panic_sites);
+    let constructs: Vec<&str> = rep.panic_sites.iter().map(|f| f.construct.as_str()).collect();
+    assert_eq!(constructs, ["unwrap()", "expect()", "panic!"]);
+}
+
+#[test]
+fn l4_attributes_sites_to_enclosing_fn() {
+    let src = "fn outer() { let c = || inner.unwrap(); }";
+    let rep = scan("crates/core/src/x.rs", src);
+    assert_eq!(rep.panic_sites.len(), 1);
+    assert_eq!(rep.panic_sites[0].func, "outer");
+}
+
+#[test]
+fn cfg_not_test_is_live_code() {
+    let src = "#[cfg(not(test))]\nfn a() { x.unwrap(); }";
+    let rep = scan("crates/core/src/x.rs", src);
+    assert_eq!(rep.panic_count(), 1);
+}
+
+// --- allowlist gating -------------------------------------------------------
+
+#[test]
+fn allowlist_absorbs_exact_counts_and_flags_drift() {
+    let src = "fn run_fused_into() { let a = vec![1]; let b = vec![2]; }";
+    let rep = scan("crates/core/src/f.rs", src);
+
+    let exact =
+        parse_allowlist("L1 crates/core/src/f.rs run_fused_into vec! 2 -- bounded bookkeeping")
+            .unwrap();
+    let gate = apply_allowlist(&rep.findings, &exact);
+    assert!(gate.is_clean(), "{gate:?}");
+
+    // Wrong count -> stale entry AND the findings stay violations.
+    let drifted =
+        parse_allowlist("L1 crates/core/src/f.rs run_fused_into vec! 1 -- bounded bookkeeping")
+            .unwrap();
+    let gate = apply_allowlist(&rep.findings, &drifted);
+    assert_eq!(gate.stale.len(), 1);
+    assert_eq!(gate.violations.len(), 2);
+
+    // Entry with no surviving site -> stale.
+    let gate = apply_allowlist(&[], &exact);
+    assert_eq!(gate.stale.len(), 1);
+}
+
+#[test]
+fn allowlist_requires_justification() {
+    assert!(parse_allowlist("L1 f.rs f vec! 1").is_err());
+    assert!(parse_allowlist("L1 f.rs f vec! 1 -- ").is_err());
+    assert!(parse_allowlist("L9 f.rs f vec! 1 -- why").is_err());
+    assert!(parse_allowlist("L4 f.rs f unwrap() 1 -- L4 uses the ratchet").is_err());
+    assert!(parse_allowlist("# comment\n\nL2 f.rs f clone:w 1 -- ok").is_ok());
+}
+
+// --- ratchet ----------------------------------------------------------------
+
+#[test]
+fn ratchet_flags_increases_and_reports_improvements() {
+    let mut baseline = BTreeMap::new();
+    baseline.insert("a.rs".to_string(), 3usize);
+    baseline.insert("gone.rs".to_string(), 2usize);
+    let mut current = BTreeMap::new();
+    current.insert("a.rs".to_string(), 4usize); // regression
+    current.insert("new.rs".to_string(), 1usize); // new file = regression
+    let r = check_ratchet(&baseline, &current);
+    assert_eq!(r.regressions, [("a.rs".to_string(), 3, 4), ("new.rs".to_string(), 0, 1)]);
+    assert_eq!(r.improvements, [("gone.rs".to_string(), 2, 0)]);
+}
+
+#[test]
+fn ratchet_roundtrips_through_render_and_parse() {
+    let mut counts = BTreeMap::new();
+    counts.insert("crates/a/src/lib.rs".to_string(), 5usize);
+    counts.insert("crates/b/src/lib.rs".to_string(), 0usize); // omitted
+    let text = render_ratchet(&counts);
+    let parsed = parse_ratchet(&text).unwrap();
+    assert_eq!(parsed.len(), 1);
+    assert_eq!(parsed["crates/a/src/lib.rs"], 5);
+}
+
+// --- end-to-end against the real workspace ----------------------------------
+
+#[test]
+fn workspace_is_clean_under_committed_policy() {
+    // Mirrors exactly what CI runs: scan the real tree, apply the real
+    // allowlist and ratchet. If this fails, `cargo run -p bconv-analyze`
+    // explains which site moved.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = bconv_analyze::scan_workspace(&root, &cfg()).unwrap();
+    let allow =
+        parse_allowlist(&std::fs::read_to_string(root.join("analyze/allowlist.txt")).unwrap())
+            .unwrap();
+    let gate = apply_allowlist(&report.findings, &allow);
+    assert!(gate.violations.is_empty(), "{:?}", gate.violations);
+    assert!(gate.stale.is_empty(), "{:?}", gate.stale);
+    let baseline =
+        parse_ratchet(&std::fs::read_to_string(root.join("analyze/panic_ratchet.txt")).unwrap())
+            .unwrap();
+    let ratchet = check_ratchet(&baseline, &report.panic_counts());
+    assert!(ratchet.regressions.is_empty(), "{:?}", ratchet.regressions);
+}

@@ -27,7 +27,7 @@ use std::time::Instant;
 use bconv_graph::{Backend, ExecScratch, ServeConfig, ServeEngine, Session};
 use bconv_models::small::vgg16_small;
 use bconv_tensor::init::{seeded_rng, uniform_tensor};
-use bconv_tensor::Tensor;
+use bconv_tensor::{Tensor, TensorError};
 
 const BACKENDS: [(&str, Backend); 3] = [
     ("reference", Backend::Reference),
@@ -55,14 +55,8 @@ struct Amortization {
     speedup: f64,
 }
 
-fn build(backend: Backend) -> Session {
-    Session::builder()
-        .network(vgg16_small(32))
-        .backend(backend)
-        .seed(2018)
-        .threads(1)
-        .build()
-        .expect("bench session builds")
+fn build(backend: Backend) -> Result<Session, TensorError> {
+    Session::builder().network(vgg16_small(32)).backend(backend).seed(2018).threads(1).build()
 }
 
 fn stream_input(stream: usize) -> Tensor {
@@ -72,11 +66,15 @@ fn stream_input(stream: usize) -> Tensor {
 /// Closed loop: one client thread per stream, each submitting and
 /// awaiting `per_stream` requests back-to-back; returns wall time and
 /// whether every output matched its oracle bitwise.
-fn closed_loop(engine: &ServeEngine, oracle: &[Tensor], per_stream: usize) -> (f64, bool) {
+fn closed_loop(
+    engine: &ServeEngine,
+    oracle: &[Tensor],
+    per_stream: usize,
+) -> Result<(f64, bool), TensorError> {
     let streams = oracle.len();
     let inputs: Vec<Tensor> = (0..streams).map(stream_input).collect();
     // Warm up every worker's scratch (and fault in weights) off the clock.
-    engine.run_batch(&inputs).expect("warm-up batch");
+    engine.run_batch(&inputs)?;
     let all_match = AtomicBool::new(true);
     let t = Instant::now();
     std::thread::scope(|scope| {
@@ -95,10 +93,10 @@ fn closed_loop(engine: &ServeEngine, oracle: &[Tensor], per_stream: usize) -> (f
             });
         }
     });
-    (t.elapsed().as_secs_f64() * 1e3, all_match.load(Ordering::Relaxed))
+    Ok((t.elapsed().as_secs_f64() * 1e3, all_match.load(Ordering::Relaxed)))
 }
 
-fn main() {
+fn run() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let out_path = args
@@ -134,21 +132,24 @@ fn main() {
     let mut amortizations: Vec<Amortization> = Vec::new();
     for (name, backend) in BACKENDS {
         // One serial oracle per backend; its outputs gate every config.
-        let oracle_session = build(backend);
+        let oracle_session = build(backend)?;
         let max_streams = worker_counts.iter().copied().max().unwrap_or(1);
-        let oracle: Vec<Tensor> = (0..max_streams)
-            .map(|s| oracle_session.run(&stream_input(s)).expect("oracle run").output)
-            .collect();
+        let mut oracle: Vec<Tensor> = Vec::with_capacity(max_streams);
+        for s in 0..max_streams {
+            oracle.push(oracle_session.run(&stream_input(s))?.output);
+        }
 
         println!("\n{name}: {per_stream} requests/stream, streams = workers");
         let mut base_rps = 0.0f64;
         for &workers in &worker_counts {
-            let engine = build(backend)
-                .into_engine(ServeConfig { workers, queue_depth: 64, max_batch: 4 })
-                .expect("engine builds");
+            let engine = build(backend)?.into_engine(ServeConfig {
+                workers,
+                queue_depth: 64,
+                max_batch: 4,
+            })?;
             let (mut wall_ms, mut ok) = (f64::INFINITY, true);
             for _ in 0..trials {
-                let (ms, trial_ok) = closed_loop(&engine, &oracle[..workers], per_stream);
+                let (ms, trial_ok) = closed_loop(&engine, &oracle[..workers], per_stream)?;
                 wall_ms = wall_ms.min(ms);
                 ok &= trial_ok;
             }
@@ -184,20 +185,20 @@ fn main() {
         // rather than scratch allocation reuse.
         let inputs: Vec<Tensor> = (0..amort_batch).map(|i| stream_input(i % 4)).collect();
         let mut seq_scratch = ExecScratch::new();
-        oracle_session.run_with(&inputs[0], &mut seq_scratch).expect("warm-up run");
+        oracle_session.run_with(&inputs[0], &mut seq_scratch)?;
         let t = Instant::now();
         for input in &inputs {
-            std::hint::black_box(
-                oracle_session.run_with(input, &mut seq_scratch).expect("sequential run"),
-            );
+            std::hint::black_box(oracle_session.run_with(input, &mut seq_scratch)?);
         }
         let sequential_ms = t.elapsed().as_secs_f64() * 1e3;
-        let engine = build(backend)
-            .into_engine(ServeConfig { workers: 1, queue_depth: 64, max_batch: amort_batch })
-            .expect("engine builds");
-        engine.run_batch(&inputs[..2]).expect("warm-up"); // grow scratch off the clock
+        let engine = build(backend)?.into_engine(ServeConfig {
+            workers: 1,
+            queue_depth: 64,
+            max_batch: amort_batch,
+        })?;
+        engine.run_batch(&inputs[..2])?; // grow scratch off the clock
         let t = Instant::now();
-        std::hint::black_box(engine.run_batch(&inputs).expect("batched run"));
+        std::hint::black_box(engine.run_batch(&inputs)?);
         let batched_ms = t.elapsed().as_secs_f64() * 1e3;
         engine.shutdown();
         let speedup = sequential_ms / batched_ms;
@@ -259,7 +260,7 @@ fn main() {
         ));
     }
     json.push_str("  ]\n}\n");
-    std::fs::write(&out_path, json).expect("write bench json");
+    std::fs::write(&out_path, json)?;
     println!("\nwrote {out_path}");
 
     // Determinism gates the whole benchmark: serving timings are only
@@ -289,5 +290,13 @@ fn main() {
             assert!(quick, "{msg}");
             println!("warning ({} requests/stream is a small sample): {msg}", per_stream);
         }
+    }
+    Ok(())
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("bench_serve: {e}");
+        std::process::exit(1);
     }
 }

@@ -2,6 +2,8 @@
 //! and figure — see DESIGN.md §4 for the full index) and the Criterion
 //! benches.
 
+#![forbid(unsafe_code)]
+
 pub mod check;
 
 use bconv_train::layers::SgdConfig;

@@ -602,14 +602,18 @@ impl FusedChain {
             offchip_elems: input.shape().numel() + out.shape().numel(),
             bits_per_elem: self.act_bits().unwrap_or(32),
         };
-        let blocks: Vec<(usize, usize)> = (0..self.in_grid.num_rows())
-            .flat_map(|r| (0..self.in_grid.num_cols()).map(move |c| (r, c)))
-            .collect();
-        let workers = threads.min(blocks.len()).max(1);
+        // Blocks are walked row-major by linear index — never materialised
+        // as a list, so the serial (serving) path below performs zero
+        // steady-state allocation (gated by `bconv-analyze` lint L1 and
+        // the alloc-gate test).
+        let cols = self.in_grid.num_cols();
+        let num_blocks = self.in_grid.num_rows() * cols;
+        let workers = threads.min(num_blocks).max(1);
 
         if workers <= 1 {
             // The caller's scratch serves every block and stage of the run.
-            for &(row, col) in &blocks {
+            for i in 0..num_blocks {
+                let (row, col) = (i / cols, i % cols);
                 self.run_block_scratch(input, row, col, scratch, &mut stats)?;
                 let ob = self.out_grid.block(row, col);
                 out.paste(scratch.output(), ob.h0, ob.w0)?;
@@ -621,26 +625,37 @@ impl FusedChain {
         // output blocks under a short-held lock, so no per-block result
         // tensors are materialised and the outcome cannot depend on
         // timing.
-        let chunk = blocks.len().div_ceil(workers);
+        let chunk = num_blocks.div_ceil(workers);
         let out_slot = std::sync::Mutex::new(out);
         std::thread::scope(|scope| -> Result<(), TensorError> {
             let mut handles = Vec::with_capacity(workers);
-            for block_chunk in blocks.chunks(chunk) {
+            for w in 0..workers {
+                let (start, end) = (w * chunk, ((w + 1) * chunk).min(num_blocks));
+                if start >= end {
+                    break;
+                }
                 let out_slot = &out_slot;
                 handles.push(scope.spawn(move || -> Result<MemStats, TensorError> {
                     let mut scratch = BlockScratch::new();
                     let mut local = MemStats::default();
-                    for &(row, col) in block_chunk {
+                    for i in start..end {
+                        let (row, col) = (i / cols, i % cols);
                         self.run_block_scratch(input, row, col, &mut scratch, &mut local)?;
                         let ob = self.out_grid.block(row, col);
-                        let mut guard = out_slot.lock().expect("output mutex poisoned");
+                        // Poison-tolerant: pastes are disjoint, and a peer
+                        // panic is surfaced as a typed error at join below
+                        // (the partial output is discarded with it).
+                        let mut guard =
+                            out_slot.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
                         guard.paste(scratch.output(), ob.h0, ob.w0)?;
                     }
                     Ok(local)
                 }));
             }
             for handle in handles {
-                let local = handle.join().expect("block worker panicked")?;
+                let local = handle
+                    .join()
+                    .map_err(|_| TensorError::invalid("fused-chain block worker panicked"))??;
                 stats.peak_working_elems = stats.peak_working_elems.max(local.peak_working_elems);
             }
             Ok(())

@@ -29,6 +29,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod analysis;
 pub mod block_conv;
 pub mod blocking;

@@ -86,6 +86,17 @@ impl ExecScratch {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// Returns a tensor to the scratch's recycle pool — typically the
+    /// [`RunReport::output`] of a finished request. The output buffer is
+    /// the one allocation a warm [`run_scratch`](Executor::run_scratch)
+    /// still performs (it leaves in the report, so it cannot return to the
+    /// pool by itself); a caller that hands it back after consuming the
+    /// result makes steady-state execution **fully** allocation-free,
+    /// which `tests/alloc_gate.rs` asserts to the byte.
+    pub fn recycle(&mut self, tensor: Tensor) {
+        self.pool.push(tensor);
+    }
 }
 
 /// Kernel temporaries for whole-map (`Segment::Single`) node evaluation.
@@ -465,7 +476,7 @@ pub(crate) fn run_plan(
                 // input/output traffic is accounted at the segment
                 // boundaries below.
                 stats.peak_working_elems = stats.peak_working_elems.max(gs.peak_working_elems);
-                *ids.last().expect("non-empty group")
+                *ids.last().ok_or_else(|| TensorError::invalid("fused segment covers no nodes"))?
             }
             Segment::Spliced { nodes: ids, pipeline: pipe, input: src } => {
                 let in_t = resolve(values, input, *src)?;
@@ -474,7 +485,8 @@ pub(crate) fn run_plan(
                 // pipeline's working-set peak, and the only off-chip
                 // traffic is the segment input/output accounted below.
                 stats.peak_working_elems = stats.peak_working_elems.max(gs.peak_working_elems);
-                *ids.last().expect("non-empty pipeline")
+                *ids.last()
+                    .ok_or_else(|| TensorError::invalid("spliced segment covers no nodes"))?
             }
             Segment::Single(id) => {
                 let node = &nodes[*id];

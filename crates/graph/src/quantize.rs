@@ -207,7 +207,12 @@ impl Executor for QuantizedExecutor {
                 // Whole-map quantized conv: outer padding is zero, exactly
                 // as the float path pads whole maps.
                 Some(q) => {
-                    let params = self.spec.act_params(id).expect("validated at construction");
+                    let params = self.spec.act_params(id).ok_or_else(|| {
+                        TensorError::invalid(format!(
+                            "no calibrated activation params for conv node {id} \
+                             (spec/graph mismatch)"
+                        ))
+                    })?;
                     q.forward_into(in_t, params, PadMode::Zero, out, &mut s.qconv)
                 }
                 None => eval_node_into(&node.op, in_t, aux, out, s),

@@ -49,10 +49,10 @@
 //!   (`stats × nᵢ / N`); a coalesced request reports the same stats it
 //!   would have reported alone.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 
 use bconv_core::fusion::MemStats;
@@ -130,9 +130,28 @@ enum Slot {
 }
 
 /// State shared between clients and workers.
+///
+/// The ticket table is a `BTreeMap`, not a `HashMap`, on purpose: tickets
+/// are dense sequential integers, the table is tiny (bounded by the
+/// in-flight request window), and an ordered structure keeps every
+/// conceivable traversal deterministic — the engine's bitwise-determinism
+/// contract must not hinge on "nobody ever iterates this map"
+/// (`bconv-analyze` lint L3 bans `HashMap`/`HashSet` in this module).
 struct Shared {
-    results: Mutex<HashMap<u64, Slot>>,
+    results: Mutex<BTreeMap<u64, Slot>>,
     done: Condvar,
+}
+
+impl Shared {
+    /// Poison-tolerant lock on the ticket table. A worker unwind (the very
+    /// event [`InFlightGuard`] exists for) may poison this mutex between a
+    /// slot update and its notify; waiters must still be able to drain
+    /// their tickets — the table itself is never left mid-update (every
+    /// critical section completes its map operation before unwinding can
+    /// reach it through the executor).
+    fn lock_results(&self) -> MutexGuard<'_, BTreeMap<u64, Slot>> {
+        self.results.lock().unwrap_or_else(PoisonError::into_inner)
+    }
 }
 
 /// The serving engine: a compiled session behind a bounded queue and a
@@ -166,20 +185,35 @@ impl ServeEngine {
         }
         let backend = session.backend();
         let (graph, executor) = session.shared_parts();
-        let shared = Arc::new(Shared { results: Mutex::new(HashMap::new()), done: Condvar::new() });
+        let shared =
+            Arc::new(Shared { results: Mutex::new(BTreeMap::new()), done: Condvar::new() });
         let (sender, receiver) = std::sync::mpsc::sync_channel::<Job>(config.queue_depth);
         let receiver = Arc::new(Mutex::new(receiver));
-        let workers = (0..config.workers)
-            .map(|i| {
-                let executor = Arc::clone(&executor);
-                let receiver = Arc::clone(&receiver);
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("bconv-serve-{i}"))
-                    .spawn(move || worker_loop(&*executor, &receiver, &shared, config.max_batch))
-                    .expect("spawn serve worker")
-            })
-            .collect();
+        let mut workers = Vec::with_capacity(config.workers);
+        for i in 0..config.workers {
+            let executor = Arc::clone(&executor);
+            let receiver = Arc::clone(&receiver);
+            let shared = Arc::clone(&shared);
+            let spawned = std::thread::Builder::new()
+                .name(format!("bconv-serve-{i}"))
+                .spawn(move || worker_loop(&*executor, &receiver, &shared, config.max_batch));
+            match spawned {
+                Ok(handle) => workers.push(handle),
+                Err(e) => {
+                    // Disconnect the (empty) queue so already-spawned
+                    // workers exit, then report the resource failure as a
+                    // typed error instead of panicking mid-construction.
+                    drop(sender);
+                    for handle in workers {
+                        let _ = handle.join();
+                    }
+                    return Err(TensorError::invalid(format!(
+                        "cannot spawn serve worker thread {i} of {}: {e}",
+                        config.workers
+                    )));
+                }
+            }
+        }
         Ok(Self {
             graph,
             backend,
@@ -230,7 +264,7 @@ impl ServeEngine {
         let sender =
             self.sender.as_ref().ok_or_else(|| TensorError::invalid("engine is shut down"))?;
         {
-            let mut results = self.shared.results.lock().expect("results mutex poisoned");
+            let mut results = self.shared.lock_results();
             for &(t, _) in &parts {
                 results.insert(t, Slot::Pending);
             }
@@ -239,7 +273,7 @@ impl ServeEngine {
         match send(sender, Job { parts, input }) {
             Ok(enqueued) => {
                 if !enqueued {
-                    let mut results = self.shared.results.lock().expect("results mutex poisoned");
+                    let mut results = self.shared.lock_results();
                     for t in &tickets {
                         results.remove(t);
                     }
@@ -247,7 +281,7 @@ impl ServeEngine {
                 Ok(enqueued)
             }
             Err(e) => {
-                let mut results = self.shared.results.lock().expect("results mutex poisoned");
+                let mut results = self.shared.lock_results();
                 for t in &tickets {
                     results.remove(t);
                 }
@@ -304,23 +338,22 @@ impl ServeEngine {
     /// [`TensorError::InvalidParameter`] for an unknown/already-delivered
     /// ticket.
     pub fn wait(&self, ticket: TicketId) -> Result<RunReport, TensorError> {
-        let mut results = self.shared.results.lock().expect("results mutex poisoned");
+        let mut results = self.shared.lock_results();
         loop {
-            match results.get(&ticket.0) {
+            // Take the slot out: a Done slot is delivered (exactly once), a
+            // Pending slot goes straight back before parking on the condvar.
+            match results.remove(&ticket.0) {
                 None => {
                     return Err(TensorError::invalid(format!(
                         "ticket {} is unknown or was already delivered",
                         ticket.0
                     )))
                 }
-                Some(Slot::Done(_)) => {
-                    let Some(Slot::Done(report)) = results.remove(&ticket.0) else {
-                        unreachable!("slot state checked above")
-                    };
-                    return report;
-                }
+                Some(Slot::Done(report)) => return report,
                 Some(Slot::Pending) => {
-                    results = self.shared.done.wait(results).expect("results mutex poisoned");
+                    results.insert(ticket.0, Slot::Pending);
+                    results =
+                        self.shared.done.wait(results).unwrap_or_else(PoisonError::into_inner);
                 }
             }
         }
@@ -379,7 +412,7 @@ impl ServeEngine {
                 // result lingers undelivered. Blind-waiting instead
                 // would hang on the first abandoned ticket.
                 {
-                    let mut results = self.shared.results.lock().expect("results mutex poisoned");
+                    let mut results = self.shared.lock_results();
                     for t in &tickets {
                         if matches!(results.get(&t.0), Some(Slot::Pending)) {
                             results.insert(t.0, Slot::Done(Err(e.clone())));
@@ -489,7 +522,7 @@ fn per_request_stats(batch: MemStats, total_n: usize, n: usize) -> MemStats {
 
 /// Publishes one ticket's result and wakes waiters.
 fn fulfill(shared: &Shared, ticket: u64, report: Result<RunReport, TensorError>) {
-    let mut results = shared.results.lock().expect("results mutex poisoned");
+    let mut results = shared.lock_results();
     results.insert(ticket, Slot::Done(report));
     shared.done.notify_all();
 }
@@ -504,10 +537,15 @@ fn fulfill_split(shared: &Shared, parts: &[(u64, usize)], total_n: usize, report
     let mut start = 0usize;
     for &(ticket, n) in parts {
         let data = report.output.data()[start * per_sample..(start + n) * per_sample].to_vec();
-        let output = Tensor::from_vec([n, c_out, oh, ow], data)
-            .expect("split dims match the copied slice by construction");
-        let stats = per_request_stats(report.stats, total_n, n);
-        fulfill(shared, ticket, Ok(RunReport { output, stats, segments: report.segments }));
+        // The split dims match the copied slice by construction; should
+        // that invariant ever break, the ticket receives the shape error
+        // instead of the worker unwinding.
+        let result = Tensor::from_vec([n, c_out, oh, ow], data).map(|output| RunReport {
+            output,
+            stats: per_request_stats(report.stats, total_n, n),
+            segments: report.segments,
+        });
+        fulfill(shared, ticket, result);
         start += n;
     }
 }
@@ -539,7 +577,10 @@ fn worker_loop(
             // Holding the receiver lock across the blocking recv is the
             // standard shared-receiver pattern: a parked peer blocks on
             // the mutex instead of the channel and takes the next job.
-            let rx = receiver.lock().expect("receiver mutex poisoned");
+            // Poison-tolerant: a peer that panicked mid-recv leaves the
+            // channel itself consistent, and this worker must keep
+            // draining jobs so no client hangs.
+            let rx = receiver.lock().unwrap_or_else(PoisonError::into_inner);
             let first = match rx.recv() {
                 Ok(job) => job,
                 Err(_) => return, // disconnected and drained: shut down
@@ -615,8 +656,7 @@ struct InFlightGuard<'a> {
 
 impl Drop for InFlightGuard<'_> {
     fn drop(&mut self) {
-        let mut results =
-            self.shared.results.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut results = self.shared.results.lock().unwrap_or_else(PoisonError::into_inner);
         let mut failed_any = false;
         for &ticket in &self.tickets {
             if matches!(results.get(&ticket), Some(Slot::Pending)) {

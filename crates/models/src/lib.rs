@@ -28,6 +28,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod analysis;
 pub mod builder;
 pub mod fpn;

@@ -29,6 +29,8 @@
 //! assert!(t.max_abs_diff(&fq).unwrap() <= q.step() / 2.0 + 1e-6);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod calibrate;
 pub mod qconv;
 

@@ -32,6 +32,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod activation;
 pub mod conv;
 pub mod elementwise;

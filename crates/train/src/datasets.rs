@@ -203,7 +203,7 @@ pub fn super_resolution_batch(
         }
     }
     // Decimate and bilinearly restore the input (per-batch, whole tensor).
-    let small = crate::datasets::decimate(&input, scale)?;
+    let small = decimate(&input, scale)?;
     let restored = bconv_tensor::upsample::upsample_bilinear(&small, scale)?;
     Ok(SrBatch { input: restored, target })
 }

@@ -36,6 +36,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod datasets;
 pub mod layers;
 pub mod loss;

@@ -22,6 +22,8 @@
 //! convolution operator and fusion machinery) and [`bconv_graph`] for the
 //! compiler stages behind [`Session`].
 
+#![forbid(unsafe_code)]
+
 pub use bconv_accel as accel;
 pub use bconv_core as core;
 pub use bconv_graph as graph;
