@@ -103,6 +103,13 @@ impl Config {
                 "forward_into",
                 "forward_prepadded_into",
                 "worker_loop",
+                // Integer/float GEMM entry points: steady-state zero-alloc
+                // (scratch buffers grow once, then are reused).
+                "qim2col_gemm",
+                "qplane_conv",
+                "qgemm",
+                "im2col_gemm",
+                "gemm_bias_packed",
             ]),
             restricted_files: s(&[
                 "crates/graph/src/plan.rs",

@@ -6,24 +6,37 @@
 //! Writes `BENCH_quant.json` with one entry per (network, precision,
 //! schedule): median latency, relative error against the **float run of
 //! the same schedule** (so the metric isolates quantization error from the
-//! block-boundary perturbation the paper recovers by fine-tuning), and
+//! block-boundary perturbation the paper recovers by fine-tuning),
 //! off-chip feature-map traffic in elements *and in bits at the activation
 //! width* — the paper's memory metric, which shrinks with bitwidth even
-//! when the element count is schedule-invariant.
+//! when the element count is schedule-invariant — and the resolved conv
+//! kernel(s) the session compiled ("direct", "im2col-gemm", or a `+`-joined
+//! set when layers split).
 //!
-//! Latency note: the quantized backend runs the scalar integer-simulation
-//! kernel (i64 accumulators), not the im2col+GEMM float kernels, so its
-//! `median_us` models arithmetic faithfully rather than competitively.
+//! Latency note: quantized convolutions run the integer fast paths
+//! wherever the session's kernel policy resolves to them — the exact-f32
+//! plane kernel for narrow 3×3 layers, i16 patch matrices against weight
+//! rows packed once at build time otherwise, widening to i32 (i64 only
+//! where the conservative overflow guard demands it) — so quantized
+//! `median_us` competes directly with the float GEMM rather than
+//! modelling arithmetic at scalar-simulation speed.
+//!
+//! Timing protocol: within each network, reps are **interleaved**
+//! round-robin across the configs rather than timed config-by-config.
+//! Sustained AVX-512 work drops the core's frequency license, so in a
+//! sequential protocol whichever config runs later measures on a slower
+//! clock — on this harness that skew exceeds the float-vs-quantized gap
+//! being measured. Round-robin gives every config the same thermal mix
+//! of neighbours.
 //!
 //! Usage: `bench_quant [--quick] [--out PATH]`
 
-use bconv_bench::session_times;
 use bconv_core::plan::NetworkPlan;
 use bconv_graph::{Backend, Session, SessionBuilder};
 use bconv_models::layer::LayerKind;
 use bconv_models::Network;
 use bconv_tensor::init::{seeded_rng, uniform_tensor};
-use bconv_tensor::Tensor;
+use bconv_tensor::{Tensor, TensorError};
 
 /// One (precision, schedule) configuration. `bits: None` is float.
 struct Config {
@@ -38,6 +51,7 @@ struct Measurement {
     weight_bits: u8, // 32 = float
     act_bits: u8,
     blocked: bool,
+    kernel: String,
     median_us: f64,
     min_us: f64,
     rel_err_vs_float_same_schedule: f64,
@@ -60,7 +74,7 @@ fn conv_count(net: &Network) -> usize {
     net.layers.iter().filter(|l| matches!(l.kind, LayerKind::Conv { .. })).count()
 }
 
-fn build(net: &Network, cfg: &Config) -> Session {
+fn build(net: &Network, cfg: &Config) -> Result<Session, TensorError> {
     let backend = match cfg.bits {
         None => Backend::Blocked,
         Some((w, a)) => Backend::Quantized { weight_bits: w, act_bits: a },
@@ -72,15 +86,29 @@ fn build(net: &Network, cfg: &Config) -> Session {
         // (dense QConv2d on the quantized backend).
         b = b.plan(NetworkPlan::unblocked(conv_count(net)));
     }
-    b.build().expect("bench session builds")
+    b.build()
 }
 
-fn rel_err(a: &Tensor, b: &Tensor) -> f64 {
+/// The distinct conv kernel kinds a session resolved, `+`-joined — one
+/// value per config so the baseline records which code path produced each
+/// latency number.
+fn kernel_summary(session: &Session) -> String {
+    let mut kinds: Vec<&'static str> = session.conv_kernels().into_iter().map(|(_, k)| k).collect();
+    kinds.sort_unstable();
+    kinds.dedup();
+    if kinds.is_empty() {
+        "none".to_string()
+    } else {
+        kinds.join("+")
+    }
+}
+
+fn rel_err(a: &Tensor, b: &Tensor) -> Result<f64, TensorError> {
     let mag = b.data().iter().fold(1e-6f32, |m, &v| m.max(v.abs()));
-    (a.max_abs_diff(b).expect("comparable outputs") / mag) as f64
+    Ok((a.max_abs_diff(b)? / mag) as f64)
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let out_path = args
@@ -105,26 +133,46 @@ fn main() {
         // error (which the float configs carry identically).
         let mut float_out: [Option<Tensor>; 2] = [None, None];
 
-        println!("\n{net_name}: {reps} reps per config");
-        for cfg in &CONFIGS {
-            let session = build(net, cfg);
-            let report = session.run(&input).expect("bench run");
+        println!("\n{net_name}: {reps} reps per config, interleaved");
+        // Build and warm every config first, then time with the reps
+        // interleaved round-robin across configs (see the timing-protocol
+        // note in the module docs).
+        let sessions = CONFIGS
+            .iter()
+            .map(|cfg| {
+                let session = build(net, cfg)?;
+                let report = session.run(&input)?;
+                Ok((session, report))
+            })
+            .collect::<Result<Vec<_>, TensorError>>()?;
+        let mut times: Vec<Vec<f64>> = vec![Vec::with_capacity(reps); CONFIGS.len()];
+        for _ in 0..reps {
+            for ((session, _), samples) in sessions.iter().zip(&mut times) {
+                let t = std::time::Instant::now();
+                std::hint::black_box(session.run(&input)?);
+                samples.push(t.elapsed().as_nanos() as f64 / 1000.0);
+            }
+        }
+        for ((cfg, (session, report)), mut samples) in CONFIGS.iter().zip(&sessions).zip(times) {
             if cfg.bits.is_none() {
                 float_out[cfg.blocked as usize] = Some(report.output.clone());
             }
             let yardstick = float_out[cfg.blocked as usize]
                 .as_ref()
-                .expect("float configs precede quantized ones");
-            let (us, min_us) = session_times(&session, &input, reps);
-            let err = rel_err(&report.output, yardstick);
+                .ok_or("float configs precede quantized ones")?;
+            let kernel = kernel_summary(session);
+            samples.sort_by(f64::total_cmp);
+            let (us, min_us) = (samples[samples.len() / 2], samples[0]);
+            let err = rel_err(&report.output, yardstick)?;
             let (wb, ab) = cfg.bits.unwrap_or((32, 32));
             println!(
-                "{:<14} median {:>9.1} us  rel-err {:>8.5}  off-chip {:>8} elems = {:>9} bits",
+                "{:<14} median {:>9.1} us  rel-err {:>8.5}  off-chip {:>8} elems = {:>9} bits  [{}]",
                 cfg.name,
                 us,
                 err,
                 report.stats.offchip_elems,
                 report.stats.offchip_bits(),
+                kernel,
             );
             results.push(Measurement {
                 network: net_name,
@@ -132,6 +180,7 @@ fn main() {
                 weight_bits: wb,
                 act_bits: ab,
                 blocked: cfg.blocked,
+                kernel,
                 median_us: us,
                 min_us,
                 rel_err_vs_float_same_schedule: err,
@@ -153,13 +202,15 @@ fn main() {
     for (i, m) in results.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"network\": \"{}\", \"name\": \"{}\", \"weight_bits\": {}, \
-             \"act_bits\": {}, \"blocked\": {}, \"median_us\": {:.1}, \"min_us\": {:.1}, \
-             \"rel_err_vs_float_same_schedule\": {:.6}, \"offchip_elems\": {}, \"offchip_bits\": {}}}{}\n",
+             \"act_bits\": {}, \"blocked\": {}, \"kernel\": \"{}\", \"median_us\": {:.1}, \
+             \"min_us\": {:.1}, \"rel_err_vs_float_same_schedule\": {:.6}, \
+             \"offchip_elems\": {}, \"offchip_bits\": {}}}{}\n",
             m.network,
             m.name,
             m.weight_bits,
             m.act_bits,
             m.blocked,
+            m.kernel,
             m.median_us,
             m.min_us,
             m.rel_err_vs_float_same_schedule,
@@ -169,7 +220,7 @@ fn main() {
         ));
     }
     json.push_str("  ]\n}\n");
-    std::fs::write(&out_path, json).expect("write bench json");
+    std::fs::write(&out_path, json)?;
     println!("\nwrote {out_path}");
 
     // Invariants the paper's memory figures rest on, checked for EVERY
@@ -182,7 +233,7 @@ fn main() {
             let float_m = results
                 .iter()
                 .find(|m| m.network == *net_name && m.weight_bits == 32 && m.blocked == blocked)
-                .expect("float entry exists per schedule");
+                .ok_or("float entry exists per schedule")?;
             for m in results
                 .iter()
                 .filter(|m| m.network == *net_name && m.blocked == blocked && m.weight_bits != 32)
@@ -224,4 +275,5 @@ fn main() {
             m.rel_err_vs_float_same_schedule
         );
     }
+    Ok(())
 }

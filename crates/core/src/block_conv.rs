@@ -9,7 +9,7 @@
 use std::sync::Arc;
 
 use bconv_tensor::conv::Conv2d;
-use bconv_tensor::kernel::{ConvScratch, KernelKind, KernelPolicy};
+use bconv_tensor::kernel::{ConvScratch, KernelKind, KernelPolicy, PackedWeights};
 use bconv_tensor::pad::{pad2d_asym_into, PadMode};
 use bconv_tensor::{Tensor, TensorError};
 
@@ -22,7 +22,11 @@ use crate::padding_solver::{plan_axis, AxisPlan};
 ///
 /// The convolution weights are held behind an [`Arc`], shared with
 /// whoever planned the block convolution (e.g. a `bconv-graph` `Graph`
-/// node) — planning never deep-clones weights.
+/// node) — planning never deep-clones weights. Executors that keep a plan
+/// around call [`with_packed_weights`](Self::with_packed_weights) once at
+/// build time to add a panel-major packed copy for the GEMM kernel;
+/// planning itself never packs (cost-model trial walks plan thousands of
+/// candidates and quantized chains use their own integer packing).
 #[derive(Debug, Clone)]
 pub struct BlockConv2d {
     conv: Arc<Conv2d>,
@@ -31,6 +35,7 @@ pub struct BlockConv2d {
     cols: AxisPlan,
     pad_mode: PadMode,
     kernel: KernelKind,
+    packed: Option<Arc<PackedWeights>>,
 }
 
 /// Reusable temporaries for per-block convolution: the padded block and
@@ -99,7 +104,26 @@ impl BlockConv2d {
         let rows = plan_axis(grid.row_segments(), g.kernel, g.stride, g.padding)?;
         let cols = plan_axis(grid.col_segments(), g.kernel, g.stride, g.padding)?;
         let kernel = policy.resolve(&conv);
-        Ok(Self { conv, grid, rows, cols, pad_mode, kernel })
+        Ok(Self { conv, grid, rows, cols, pad_mode, kernel, packed: None })
+    }
+
+    /// Adds a build-time panel-major packed copy of the weights for the
+    /// GEMM kernel (a no-op for layers resolved to the direct loop).
+    /// Packing allocates once, here; every subsequent
+    /// [`forward_block_into`](Self::forward_block_into) streams the packed
+    /// panels instead of the row-major weight matrix, bitwise identically.
+    #[must_use]
+    pub fn with_packed_weights(mut self) -> Self {
+        if self.kernel == KernelKind::Im2colGemm && self.packed.is_none() {
+            self.packed = Some(Arc::new(PackedWeights::pack(&self.conv)));
+        }
+        self
+    }
+
+    /// The packed weight panels, if [`with_packed_weights`](Self::with_packed_weights)
+    /// built them.
+    pub fn packed_weights(&self) -> Option<&Arc<PackedWeights>> {
+        self.packed.as_ref()
     }
 
     /// Plans a block convolution from a [`BlockingPattern`] on an `h × w`
@@ -207,7 +231,17 @@ impl BlockConv2d {
         scratch: &mut BlockConvScratch,
     ) -> Result<(), TensorError> {
         self.pad_block_into(block, row, col, &mut scratch.padded)?;
-        self.conv.forward_prepadded_into(&scratch.padded, self.kernel, out, &mut scratch.conv)
+        match &self.packed {
+            Some(p) => {
+                p.forward_prepadded_into(&self.conv, &scratch.padded, out, &mut scratch.conv)
+            }
+            None => self.conv.forward_prepadded_into(
+                &scratch.padded,
+                self.kernel,
+                out,
+                &mut scratch.conv,
+            ),
+        }
     }
 
     /// Applies only the planned Equation 2 block padding for grid position
@@ -410,6 +444,39 @@ mod tests {
             let out = bconv.forward(&input).unwrap();
             assert_eq!(out.shape().dims(), [1, 2, 8, 8], "mode {mode:?}");
         }
+    }
+
+    #[test]
+    fn packed_weights_do_not_change_blocked_output() {
+        let conv = random_conv(3, 8, 3, 21);
+        let input = uniform_tensor([1, 3, 16, 16], -1.0, 1.0, &mut seeded_rng(22));
+        let plain = BlockConv2d::from_pattern(
+            conv.clone(),
+            16,
+            16,
+            BlockingPattern::hierarchical(2),
+            PadMode::Zero,
+        )
+        .unwrap();
+        let packed = plain.clone().with_packed_weights();
+        assert!(packed.packed_weights().is_some());
+        let a = plain.forward(&input).unwrap();
+        let b = packed.forward(&input).unwrap();
+        assert_eq!(a.data(), b.data(), "packing must be bitwise invisible");
+    }
+
+    #[test]
+    fn packing_is_skipped_for_direct_kernel() {
+        let conv = random_conv(3, 4, 3, 23);
+        let bconv = BlockConv2d::plan_with_kernel(
+            conv,
+            BlockGrid::single(8, 8),
+            PadMode::Zero,
+            KernelPolicy::Direct,
+        )
+        .unwrap()
+        .with_packed_weights();
+        assert!(bconv.packed_weights().is_none());
     }
 
     #[test]

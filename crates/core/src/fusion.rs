@@ -235,7 +235,8 @@ impl FusedChain {
                             "fused convolutions must be stride-1; express stride as conv + pool",
                         ));
                     }
-                    let bconv = BlockConv2d::plan_with_kernel(conv, cur.clone(), pad_mode, policy)?;
+                    let bconv = BlockConv2d::plan_with_kernel(conv, cur.clone(), pad_mode, policy)?
+                        .with_packed_weights();
                     cur = bconv.output_grid()?;
                     stages.push(Stage::Conv(bconv));
                 }
@@ -272,6 +273,34 @@ impl FusedChain {
         weight_bits: u8,
         act_params: &[QParams],
     ) -> Result<Self, TensorError> {
+        Self::plan_quantized_with_kernel(
+            ops,
+            grid,
+            pad_mode,
+            weight_bits,
+            act_params,
+            KernelPolicy::default(),
+        )
+    }
+
+    /// [`plan_quantized`](Self::plan_quantized) with an explicit
+    /// [`KernelPolicy`]: each quantized conv resolves the policy on its
+    /// (geometry-identical) float layer and executes through the matching
+    /// integer kernel — the direct i64-accumulator loop or the `i16`
+    /// im2col+GEMM fast path — so `Auto` picks the integer GEMM exactly
+    /// where the float path would pick im2col+GEMM.
+    ///
+    /// # Errors
+    ///
+    /// See [`FusedChain::plan_quantized`].
+    pub fn plan_quantized_with_kernel(
+        ops: Vec<ChainOp>,
+        grid: BlockGrid,
+        pad_mode: PadMode,
+        weight_bits: u8,
+        act_params: &[QParams],
+        policy: KernelPolicy,
+    ) -> Result<Self, TensorError> {
         let in_grid = grid.clone();
         let mut cur = grid;
         let mut stages = Vec::with_capacity(ops.len());
@@ -292,19 +321,24 @@ impl FusedChain {
                         ))
                     })?;
                     conv_idx += 1;
-                    // The quantized path runs its own integer loops; the
-                    // kernel policy only concerns the float kernels.
+                    // The plan's resolved kernel drives the *integer*
+                    // loops: the QuantChainOp inherits it and runs either
+                    // the direct loop or the i16 im2col+GEMM. Float weight
+                    // packing is skipped — this plan only ever pads blocks.
                     let plan = BlockConv2d::plan_with_kernel(
                         Arc::clone(&conv),
                         cur.clone(),
                         pad_mode,
-                        KernelPolicy::Direct,
+                        policy,
                     )?;
                     cur = plan.output_grid()?;
-                    let op =
-                        QuantChainOp::from_conv(&conv, weight_bits, params).ok_or_else(|| {
-                            TensorError::invalid("plan_quantized: all-zero conv weights")
-                        })?;
+                    let op = QuantChainOp::from_conv_with_kernel(
+                        &conv,
+                        weight_bits,
+                        params,
+                        plan.kernel(),
+                    )
+                    .ok_or_else(|| TensorError::invalid("plan_quantized: all-zero conv weights"))?;
                     stages.push(Stage::QConv { plan, op });
                 }
                 ChainOp::Relu => stages.push(Stage::Relu),
@@ -348,7 +382,7 @@ impl FusedChain {
                         ));
                     }
                     cur = bconv.output_grid()?;
-                    stages.push(Stage::Conv(bconv));
+                    stages.push(Stage::Conv(bconv.with_packed_weights()));
                 }
                 PlannedOp::Relu => stages.push(Stage::Relu),
                 PlannedOp::MaxPool { k } => {
@@ -399,9 +433,15 @@ impl FusedChain {
                     })?;
                     conv_idx += 1;
                     cur = plan.output_grid()?;
-                    let op = QuantChainOp::from_conv(plan.conv(), weight_bits, params).ok_or_else(
-                        || TensorError::invalid("from_planned_quantized: all-zero conv weights"),
-                    )?;
+                    let op = QuantChainOp::from_conv_with_kernel(
+                        plan.conv(),
+                        weight_bits,
+                        params,
+                        plan.kernel(),
+                    )
+                    .ok_or_else(|| {
+                        TensorError::invalid("from_planned_quantized: all-zero conv weights")
+                    })?;
                     stages.push(Stage::QConv { plan, op });
                 }
                 PlannedOp::Relu => stages.push(Stage::Relu),

@@ -31,6 +31,7 @@ use std::sync::Arc;
 
 use bconv_core::fusion::{MemStats, PipelineScratch};
 use bconv_quant::qconv::QConvScratch;
+use bconv_quant::qlinear::QLinearScratch;
 use bconv_tensor::activation::relu_inplace;
 use bconv_tensor::elementwise::add_into;
 use bconv_tensor::kernel::{ConvScratch, KernelKind};
@@ -106,6 +107,8 @@ pub(crate) struct SingleScratch {
     conv: ConvScratch,
     /// Integer conv temporaries (quantized activations).
     pub(crate) qconv: QConvScratch,
+    /// Integer FC temporaries (quantized activations).
+    pub(crate) qlinear: QLinearScratch,
     /// Padded-input staging buffer (conv geometry padding, pool `-inf`
     /// padding).
     padded: Tensor,

@@ -284,6 +284,9 @@ impl Default for Planner {
 /// conv/pool stages in [`StageCost`] units for the cost model.
 struct OpenChain {
     nodes: Vec<NodeId>,
+    /// The id of the most recently joined node (always `nodes.last()`,
+    /// tracked separately so the walk never unwraps an empty list).
+    last_node: NodeId,
     ops: Vec<PlannedOp>,
     costs: Vec<StageCost>,
     input: NodeRef,
@@ -405,16 +408,17 @@ impl Planner {
 
         for (id, node) in graph.nodes().iter().enumerate() {
             // Can this node extend the currently open chain?
-            if let Some(chain) = open.as_mut() {
-                let prev = *chain.nodes.last().expect("open chains are non-empty");
+            if let Some(mut chain) = open.take() {
+                let prev = chain.last_node;
                 let continues =
                     node.input == NodeRef::Node(prev) && graph.consumer_count(prev) == 1;
                 if continues {
-                    match self.try_extend(chain, id, node, &decisions, bits) {
+                    match self.try_extend(&mut chain, id, node, &decisions, bits) {
                         Extend::Extended => {
                             if let NodeOp::Conv { .. } = node.op {
                                 blocked_convs += 1;
                             }
+                            open = Some(chain);
                             continue;
                         }
                         Extend::CutByModel => report.cost_cuts.push(id),
@@ -422,8 +426,7 @@ impl Planner {
                     }
                 }
                 // The node did not join: close the group.
-                let closed = open.take().expect("checked above");
-                walked.push(Self::finalize(closed, graph, quant)?);
+                walked.push(Self::finalize(chain, graph, quant)?);
             }
 
             // Try to open a new group at this node; otherwise run it whole.
@@ -611,6 +614,7 @@ impl Planner {
         };
         Ok(Some(OpenChain {
             nodes: vec![id],
+            last_node: id,
             ops: vec![PlannedOp::Conv(bconv)],
             costs: vec![cost],
             input: node.input,
@@ -633,6 +637,7 @@ impl Planner {
         match &node.op {
             NodeOp::Relu => {
                 chain.nodes.push(id);
+                chain.last_node = id;
                 chain.ops.push(PlannedOp::Relu);
                 Extend::Extended
             }
@@ -656,6 +661,7 @@ impl Planner {
                 }
                 chain.cur_grid = next;
                 chain.nodes.push(id);
+                chain.last_node = id;
                 chain.ops.push(PlannedOp::MaxPool { k: *k });
                 chain.costs.push(cost);
                 Extend::Extended
@@ -696,6 +702,7 @@ impl Planner {
                 chain.cur_grid = out_grid;
                 chain.cur_channels = conv.c_out();
                 chain.nodes.push(id);
+                chain.last_node = id;
                 chain.ops.push(PlannedOp::Conv(bconv));
                 chain.costs.push(cost);
                 Extend::Extended

@@ -27,7 +27,9 @@ use std::sync::Arc;
 
 use bconv_quant::calibrate::Calibrator;
 use bconv_quant::qconv::QConv2d;
+use bconv_quant::qlinear::QLinear;
 use bconv_quant::QParams;
+use bconv_tensor::kernel::KernelPolicy;
 use bconv_tensor::pad::PadMode;
 use bconv_tensor::{Tensor, TensorError};
 
@@ -52,23 +54,24 @@ pub struct GraphQuantSpec {
     pub weight_bits: u8,
     /// Activation bitwidth (feature-map word width).
     pub act_bits: u8,
-    /// Per-node input-activation params (`None` for non-conv nodes and
-    /// convs whose calibration observed only zeros).
+    /// Per-node input-activation params (`None` for nodes that are neither
+    /// conv nor FC, and for nodes whose calibration observed only zeros).
     act_params: Vec<Option<QParams>>,
 }
 
 impl GraphQuantSpec {
-    /// Frozen input-activation parameters of conv node `id`, if any.
+    /// Frozen input-activation parameters of conv/FC node `id`, if any.
     pub fn act_params(&self, id: NodeId) -> Option<QParams> {
         self.act_params.get(id).copied().flatten()
     }
 
     /// Runs the calibration pass: evaluates the graph densely on each
     /// calibration input (exactly the reference executor's numerics),
-    /// feeding every conv node's input activations to a [`Calibrator`],
-    /// then freezes per-node [`QParams`] at `act_bits` from the EMA of
-    /// per-batch maxima (after a single batch the EMA equals the absolute
-    /// maximum; a conv whose inputs were all zero gets `None`).
+    /// feeding every conv and FC node's input activations to a
+    /// [`Calibrator`], then freezes per-node [`QParams`] at `act_bits`
+    /// from the EMA of per-batch maxima (after a single batch the EMA
+    /// equals the absolute maximum; a node whose inputs were all zero
+    /// gets `None`).
     ///
     /// # Errors
     ///
@@ -91,7 +94,7 @@ impl GraphQuantSpec {
         let mut cals: Vec<Option<Calibrator>> = graph
             .nodes()
             .iter()
-            .map(|n| matches!(n.op, NodeOp::Conv { .. }).then(Calibrator::new))
+            .map(|n| matches!(n.op, NodeOp::Conv { .. } | NodeOp::Fc(_)).then(Calibrator::new))
             .collect();
         for input in inputs {
             // The reference backend's dense walk, observing every conv
@@ -112,8 +115,10 @@ impl GraphQuantSpec {
 /// Quantized backend: the blocked/fused schedule with every convolution in
 /// integer arithmetic. Fused segments execute the plan's quantized chains
 /// (block dispatch across worker threads, exactly like the float blocked
-/// backend); whole-map conv segments run dense [`QConv2d`] with zero outer
-/// padding (matching the float reference's geometry padding); all other
+/// backend); whole-map conv segments run dense [`QConv2d`] — through the
+/// integer im2col+GEMM fast path wherever the kernel policy picks it —
+/// with zero outer padding (matching the float reference's geometry
+/// padding); FC nodes run through quantized [`QLinear`]; all other
 /// whole-map ops run float.
 #[derive(Debug, Clone)]
 pub struct QuantizedExecutor {
@@ -123,13 +128,19 @@ pub struct QuantizedExecutor {
     /// Dense quantized convolutions for `Segment::Single` conv nodes,
     /// indexed by node id.
     qconvs: Vec<Option<Arc<QConv2d>>>,
+    /// Quantized FC layers for `Segment::Single` FC nodes, indexed by node
+    /// id (`None` where weights or calibration leave no integer form — the
+    /// node then falls back to float).
+    qlinears: Vec<Option<Arc<QLinear>>>,
     threads: usize,
 }
 
 impl QuantizedExecutor {
     /// Compiles the backend from a graph, a **quantized** plan (built by
     /// [`crate::plan::Planner::plan_quantized`] with the same `spec`), and
-    /// the frozen quantization spec.
+    /// the frozen quantization spec. Whole-map convolutions resolve
+    /// `policy` per layer (the same resolution the plan applied to its
+    /// blocked stages), so `Auto` sends them down the integer GEMM path.
     ///
     /// # Errors
     ///
@@ -140,6 +151,7 @@ impl QuantizedExecutor {
         plan: Arc<ExecPlan>,
         spec: Arc<GraphQuantSpec>,
         threads: usize,
+        policy: KernelPolicy,
     ) -> Result<Self, TensorError> {
         if plan.act_bits() != Some(spec.act_bits) {
             return Err(TensorError::invalid(format!(
@@ -150,21 +162,38 @@ impl QuantizedExecutor {
             )));
         }
         let mut qconvs: Vec<Option<Arc<QConv2d>>> = vec![None; graph.nodes().len()];
+        let mut qlinears: Vec<Option<Arc<QLinear>>> = vec![None; graph.nodes().len()];
         for seg in plan.segments() {
             let Segment::Single(id) = seg else { continue };
-            let NodeOp::Conv { conv, .. } = &graph.nodes()[*id].op else { continue };
             let name = &graph.nodes()[*id].name;
-            if spec.act_params(*id).is_none() {
-                return Err(TensorError::invalid(format!(
-                    "no calibrated activation range for conv node {name}"
-                )));
+            match &graph.nodes()[*id].op {
+                NodeOp::Conv { conv, .. } => {
+                    if spec.act_params(*id).is_none() {
+                        return Err(TensorError::invalid(format!(
+                            "no calibrated activation range for conv node {name}"
+                        )));
+                    }
+                    let q = QConv2d::from_conv_with_kernel(
+                        conv,
+                        spec.weight_bits,
+                        policy.resolve(conv),
+                    )
+                    .ok_or_else(|| {
+                        TensorError::invalid(format!("conv node {name} has all-zero weights"))
+                    })?;
+                    qconvs[*id] = Some(Arc::new(q));
+                }
+                // FC nodes quantize opportunistically: zero weights or an
+                // uncalibrated input range simply leave the node on the
+                // float path (the classifier head is not worth failing a
+                // build over, unlike a conv trunk).
+                NodeOp::Fc(linear) if spec.act_params(*id).is_some() => {
+                    qlinears[*id] = QLinear::from_linear(linear, spec.weight_bits).map(Arc::new);
+                }
+                _ => {}
             }
-            let q = QConv2d::from_conv(conv, spec.weight_bits).ok_or_else(|| {
-                TensorError::invalid(format!("conv node {name} has all-zero weights"))
-            })?;
-            qconvs[*id] = Some(Arc::new(q));
         }
-        Ok(Self { graph, plan, spec, qconvs, threads: threads.max(1) })
+        Ok(Self { graph, plan, spec, qconvs, qlinears, threads: threads.max(1) })
     }
 
     /// The compiled (quantized) plan.
@@ -203,19 +232,30 @@ impl Executor for QuantizedExecutor {
             self.spec.act_bits,
             input,
             scratch,
-            |id, node, in_t, aux, out, s| match &self.qconvs[id] {
+            |id, node, in_t, aux, out, s| {
                 // Whole-map quantized conv: outer padding is zero, exactly
                 // as the float path pads whole maps.
-                Some(q) => {
+                if let Some(q) = &self.qconvs[id] {
                     let params = self.spec.act_params(id).ok_or_else(|| {
                         TensorError::invalid(format!(
                             "no calibrated activation params for conv node {id} \
                              (spec/graph mismatch)"
                         ))
                     })?;
-                    q.forward_into(in_t, params, PadMode::Zero, out, &mut s.qconv)
+                    return q.forward_into(in_t, params, PadMode::Zero, out, &mut s.qconv);
                 }
-                None => eval_node_into(&node.op, in_t, aux, out, s),
+                // Quantized FC: integer dot products at the calibrated
+                // input range.
+                if let Some(ql) = &self.qlinears[id] {
+                    let params = self.spec.act_params(id).ok_or_else(|| {
+                        TensorError::invalid(format!(
+                            "no calibrated activation params for fc node {id} \
+                             (spec/graph mismatch)"
+                        ))
+                    })?;
+                    return ql.forward_into(in_t, params, out, &mut s.qlinear);
+                }
+                eval_node_into(&node.op, in_t, aux, out, s)
             },
         )
     }
@@ -233,19 +273,23 @@ mod tests {
     }
 
     #[test]
-    fn calibration_freezes_params_for_every_conv() {
+    fn calibration_freezes_params_for_every_conv_and_fc() {
         let g = lowered();
         let input = uniform_tensor([1, 3, 32, 32], -1.0, 1.0, &mut seeded_rng(1));
         let spec = GraphQuantSpec::calibrate(&g, &[input], 8, 8).unwrap();
+        let mut fc_seen = false;
         for (id, node) in g.nodes().iter().enumerate() {
-            if matches!(node.op, NodeOp::Conv { .. }) {
-                let p = spec.act_params(id);
-                assert!(p.is_some(), "conv node {} has no params", node.name);
-                assert_eq!(p.unwrap().bits(), 8);
-            } else {
-                assert!(spec.act_params(id).is_none());
+            match node.op {
+                NodeOp::Conv { .. } | NodeOp::Fc(_) => {
+                    fc_seen |= matches!(node.op, NodeOp::Fc(_));
+                    let p = spec.act_params(id);
+                    assert!(p.is_some(), "node {} has no params", node.name);
+                    assert_eq!(p.unwrap().bits(), 8);
+                }
+                _ => assert!(spec.act_params(id).is_none()),
             }
         }
+        assert!(fc_seen, "vgg16_small should end in an FC head");
     }
 
     #[test]
@@ -272,9 +316,16 @@ mod tests {
         let blocked = BlockedExecutor::new(Arc::clone(&g), Arc::clone(&qplan));
         assert!(blocked.run(&input).is_err());
         // A float plan on the quantized backend is refused at construction.
-        assert!(QuantizedExecutor::new(Arc::clone(&g), fplan, Arc::clone(&spec), 1).is_err());
+        assert!(QuantizedExecutor::new(
+            Arc::clone(&g),
+            fplan,
+            Arc::clone(&spec),
+            1,
+            KernelPolicy::Auto
+        )
+        .is_err());
         // The matched pair runs.
-        let q = QuantizedExecutor::new(g, qplan, spec, 1).unwrap();
+        let q = QuantizedExecutor::new(g, qplan, spec, 1, KernelPolicy::Auto).unwrap();
         assert!(q.run(&input).is_ok());
     }
 

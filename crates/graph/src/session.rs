@@ -32,8 +32,8 @@ use bconv_tensor::init::{seeded_rng, uniform_tensor};
 
 use crate::cost::CostModel;
 use crate::exec::{BlockedExecutor, ExecScratch, Executor, ReferenceExecutor, RunReport};
-use crate::ir::{Graph, LowerOptions};
-use crate::plan::{ExecPlan, Planner, PlannerOptions};
+use crate::ir::{Graph, LowerOptions, NodeOp};
+use crate::plan::{ExecPlan, Planner, PlannerOptions, Segment};
 use crate::quantize::{GraphQuantSpec, QuantizedExecutor};
 use crate::serve::{ServeConfig, ServeEngine};
 
@@ -273,12 +273,24 @@ impl SessionBuilder {
                 let spec =
                     Arc::new(GraphQuantSpec::calibrate(&graph, &inputs, weight_bits, act_bits)?);
                 let plan = Arc::new(planner.plan_quantized(&graph, &spec)?);
-                let exec =
-                    QuantizedExecutor::new(Arc::clone(&graph), Arc::clone(&plan), spec, threads)?;
+                let exec = QuantizedExecutor::new(
+                    Arc::clone(&graph),
+                    Arc::clone(&plan),
+                    spec,
+                    threads,
+                    self.kernel,
+                )?;
                 (plan, Arc::new(exec))
             }
         };
-        Ok(Session { graph, exec_plan, backend: self.backend, threads, executor })
+        Ok(Session {
+            graph,
+            exec_plan,
+            backend: self.backend,
+            threads,
+            kernel: self.kernel,
+            executor,
+        })
     }
 }
 
@@ -293,6 +305,7 @@ pub struct Session {
     exec_plan: Arc<ExecPlan>,
     backend: Backend,
     threads: usize,
+    kernel: KernelPolicy,
     executor: Arc<dyn Executor>,
 }
 
@@ -366,6 +379,51 @@ impl Session {
     /// reference backend ignores this).
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// The conv kernel policy the session was compiled under.
+    pub fn kernel(&self) -> KernelPolicy {
+        self.kernel
+    }
+
+    /// Resolved convolution kernel per conv node, in execution order, as
+    /// `(layer name, kernel name)` pairs. Fused and spliced convolutions
+    /// report the kernel their compiled chain carries; whole-map singles
+    /// report what the executor dispatches — the session policy's
+    /// resolution for quantized convs, the direct loop for float ones.
+    pub fn conv_kernels(&self) -> Vec<(String, &'static str)> {
+        let nodes = self.graph.nodes();
+        let conv_names = |ids: &[crate::ir::NodeId]| -> Vec<String> {
+            ids.iter()
+                .filter(|id| matches!(nodes[**id].op, NodeOp::Conv { .. }))
+                .map(|id| nodes[*id].name.clone())
+                .collect()
+        };
+        let mut out = Vec::new();
+        for seg in self.exec_plan.segments() {
+            match seg {
+                Segment::Fused { nodes: ids, chain, .. } => {
+                    out.extend(
+                        conv_names(ids).into_iter().zip(chain.convs().map(|b| b.kernel().name())),
+                    );
+                }
+                Segment::Spliced { nodes: ids, pipeline, .. } => {
+                    let kinds =
+                        pipeline.groups().iter().flat_map(|g| g.convs()).map(|b| b.kernel().name());
+                    out.extend(conv_names(ids).into_iter().zip(kinds));
+                }
+                Segment::Single(id) => {
+                    if let NodeOp::Conv { conv, .. } = &nodes[*id].op {
+                        let kind = match self.backend {
+                            Backend::Quantized { .. } => self.kernel.resolve(conv),
+                            _ => bconv_tensor::kernel::KernelKind::Direct,
+                        };
+                        out.push((nodes[*id].name.clone(), kind.name()));
+                    }
+                }
+            }
+        }
+        out
     }
 
     /// Human-readable summary of what this session will execute. The

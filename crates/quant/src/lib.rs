@@ -11,10 +11,15 @@
 //! * [`QTensor`] / [`quantize`] / [`dequantize`] — integer tensors;
 //! * [`fake_quant`] — the QAT forward hook (quantize–dequantize round trip);
 //! * [`calibrate::Calibrator`] — absolute-max range calibration for PTQ;
-//! * [`qconv`] — integer convolution simulation with i64 accumulators:
+//! * [`qconv`] — integer convolution with exact integer accumulators:
 //!   [`qconv::QConv2d`] pads in any block-padding mode (or runs prepadded
 //!   inside fusion groups) and [`qconv::QuantChainOp`] packages one
-//!   quantized fused-chain stage with its calibrated activation range.
+//!   quantized fused-chain stage with its calibrated activation range;
+//! * [`qgemm`] — the integer fast path: `i16` im2col plus a widening
+//!   `i16×i16→i32` GEMM over build-time packed weights, bitwise identical
+//!   to the direct loop;
+//! * [`qlinear`] — quantized fully-connected layers with per-output-row
+//!   weight scales.
 //!
 //! # Example
 //!
@@ -33,6 +38,8 @@
 
 pub mod calibrate;
 pub mod qconv;
+pub mod qgemm;
+pub mod qlinear;
 
 use bconv_tensor::{Tensor, TensorError};
 
@@ -41,8 +48,20 @@ use bconv_tensor::{Tensor, TensorError};
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QParams {
     scale: f32,
+    /// `1 / scale`, precomputed so the hot quantize loop multiplies
+    /// instead of dividing (a vector divide costs ~10x a multiply).
+    inv_scale: f32,
     bits: u8,
 }
+
+/// Bias that lands an integer-valued `f32` in the mantissa window where
+/// its bits read off directly: `1.5 * 2^23`. Adding it also performs the
+/// round-to-nearest (ties-to-even) in the same instruction, which keeps
+/// [`QParams::quantize_value`] a pure mul/clamp/add pipeline the
+/// auto-vectorizer handles — the saturating `as i32` conversion it
+/// replaces defeats vectorization entirely.
+const ROUND_BIAS: f32 = 12_582_912.0;
+const ROUND_BIAS_BITS: i32 = 0x4B40_0000;
 
 impl QParams {
     /// Parameters covering `[-abs_max, abs_max]` at `bits` width.
@@ -55,7 +74,8 @@ impl QParams {
         assert!((2..=16).contains(&bits), "bits must be in 2..=16");
         assert!(abs_max.is_finite() && abs_max > 0.0, "abs_max must be positive and finite");
         let qmax = ((1i32 << (bits - 1)) - 1) as f32;
-        Self { scale: abs_max / qmax, bits }
+        let scale = abs_max / qmax;
+        Self { scale, inv_scale: 1.0 / scale, bits }
     }
 
     /// Scale (the value of one integer step).
@@ -78,10 +98,28 @@ impl QParams {
         self.scale
     }
 
-    /// Quantizes one value (round-to-nearest, saturating).
+    /// Quantizes one value (round-to-nearest ties-to-even, saturating).
+    ///
+    /// Clamping before rounding is equivalent to rounding first (both maps
+    /// are monotone and `±qmax` are exact), and the post-clamp magnitude
+    /// is far below the `2^22` limit of the `ROUND_BIAS` trick, so the
+    /// bit extraction is exact.
     pub fn quantize_value(&self, v: f32) -> i32 {
-        let q = (v / self.scale).round() as i64;
-        q.clamp(-(self.qmax() as i64), self.qmax() as i64) as i32
+        let qm = self.qmax() as f32;
+        let x = (v * self.inv_scale).clamp(-qm, qm);
+        ((x + ROUND_BIAS).to_bits() as i32).wrapping_sub(ROUND_BIAS_BITS)
+    }
+
+    /// [`quantize_value`](Self::quantize_value) returning the quantized
+    /// integer **as an `f32`** (e.g. `-3.0` for quantized level `-3`) —
+    /// the activation format of the exact-f32 plane kernel in [`qgemm`].
+    /// Same mul/clamp/bias pipeline, minus the bit extraction: subtracting
+    /// `ROUND_BIAS` back out is exact, so this equals
+    /// `self.quantize_value(v) as f32` bit for bit.
+    pub fn quantize_value_f32(&self, v: f32) -> f32 {
+        let qm = self.qmax() as f32;
+        let x = (v * self.inv_scale).clamp(-qm, qm);
+        (x + ROUND_BIAS) - ROUND_BIAS
     }
 
     /// Dequantizes one integer.

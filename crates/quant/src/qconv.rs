@@ -17,19 +17,31 @@
 //!   [`QParams`] as one quantized chain stage.
 
 use bconv_tensor::conv::{Conv2d, ConvGeom};
+use bconv_tensor::kernel::KernelKind;
 use bconv_tensor::pad::{pad2d_asym_into, PadMode};
 use bconv_tensor::shape::conv_out_dim;
 use bconv_tensor::{Tensor, TensorError};
 
-use crate::{quantize, QParams};
+use crate::qgemm::{qim2col_gemm, QPackedWeights};
+use crate::QParams;
 
-/// Reusable temporaries for quantized convolution: the padded block and the
-/// quantized-activation buffer. One per worker thread; buffers grow to the
-/// largest input seen and are reused across calls.
+/// Reusable temporaries for quantized convolution: the padded block, the
+/// quantized-activation buffers (i32 for the direct loop, i16 for the
+/// integer GEMM) and the GEMM's im2col patch matrix. One per worker
+/// thread; buffers grow to the largest input seen and are reused across
+/// calls.
 #[derive(Debug, Default)]
 pub struct QConvScratch {
     padded: Tensor,
     act_q: Vec<i32>,
+    /// i16 quantized activations for the integer GEMM path.
+    pub(crate) act16: Vec<i16>,
+    /// Position-major `N×K` i16 im2col patch matrix.
+    pub(crate) cols: Vec<i16>,
+    /// Integer-valued f32 activations for the exact-f32 plane kernel.
+    pub(crate) actf: Vec<f32>,
+    /// The plane kernel's padded-width accumulator plane.
+    pub(crate) accf: Vec<f32>,
 }
 
 impl QConvScratch {
@@ -40,40 +52,128 @@ impl QConvScratch {
 }
 
 /// A convolution with quantized weights, executing in integer arithmetic.
+///
+/// Weights are quantized **per output channel** by default (each channel
+/// gets the tightest symmetric scale its own range allows, so narrow
+/// channels stop paying for the widest one) and pre-packed at construction
+/// into the integer GEMM's `i16` matrix ([`QPackedWeights`]) — built once,
+/// never repacked per run. Which kernel executes the layer (direct loop
+/// vs integer im2col+GEMM) is resolved at construction time via
+/// [`KernelKind`], mirroring the float path's plan-time resolution.
 #[derive(Debug, Clone)]
 pub struct QConv2d {
     weight_q: Vec<i32>,
-    weight_dims: [usize; 4],
-    bias: Vec<f32>,
+    pub(crate) weight_dims: [usize; 4],
+    pub(crate) bias: Vec<f32>,
     weight_params: QParams,
-    geom: ConvGeom,
-    groups: usize,
+    /// Per-output-channel weight scales (all equal to the per-tensor scale
+    /// when built via [`from_conv_per_tensor`](Self::from_conv_per_tensor)).
+    pub(crate) wscales: Vec<f32>,
+    /// The integer GEMM's packed weight matrix.
+    pub(crate) packed: QPackedWeights,
+    kernel: KernelKind,
+    pub(crate) geom: ConvGeom,
+    pub(crate) groups: usize,
 }
 
 impl QConv2d {
-    /// Quantizes a float convolution's weights at `weight_bits`.
+    /// Quantizes a float convolution's weights at `weight_bits` with
+    /// per-channel scales, executing through the direct integer loop.
     ///
     /// Returns `None` if the weights are all zero (no meaningful scale).
     pub fn from_conv(conv: &Conv2d, weight_bits: u8) -> Option<Self> {
-        let abs_max = conv.weight().data().iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        Self::build(conv, weight_bits, KernelKind::Direct, true)
+    }
+
+    /// [`from_conv`](Self::from_conv) with an explicit resolved kernel:
+    /// `KernelKind::Im2colGemm` runs the layer through the integer
+    /// im2col+GEMM fast path (bitwise identical to the direct loop).
+    ///
+    /// Returns `None` if the weights are all zero (no meaningful scale).
+    pub fn from_conv_with_kernel(
+        conv: &Conv2d,
+        weight_bits: u8,
+        kernel: KernelKind,
+    ) -> Option<Self> {
+        Self::build(conv, weight_bits, kernel, true)
+    }
+
+    /// [`from_conv_with_kernel`](Self::from_conv_with_kernel) with one
+    /// per-tensor weight scale instead of per-channel scales — the
+    /// pre-per-channel behaviour, kept for error-envelope comparisons.
+    ///
+    /// Returns `None` if the weights are all zero (no meaningful scale).
+    pub fn from_conv_per_tensor(
+        conv: &Conv2d,
+        weight_bits: u8,
+        kernel: KernelKind,
+    ) -> Option<Self> {
+        Self::build(conv, weight_bits, kernel, false)
+    }
+
+    fn build(
+        conv: &Conv2d,
+        weight_bits: u8,
+        kernel: KernelKind,
+        per_channel: bool,
+    ) -> Option<Self> {
+        let wdata = conv.weight().data();
+        let abs_max = wdata.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
         if abs_max == 0.0 {
             return None;
         }
+        // The per-tensor envelope: scale of the widest channel; also the
+        // fallback for all-zero channels (their quantized weights are all
+        // zero, so any finite scale is exact for them).
         let weight_params = QParams::from_abs_max(abs_max, weight_bits);
-        let weight_q = quantize(conv.weight(), weight_params);
+        let dims = conv.weight().shape().dims();
+        let (c_out, per_ch) = (dims[0], dims[1] * dims[2] * dims[3]);
+        let mut wscales = Vec::with_capacity(c_out);
+        let mut weight_q = Vec::with_capacity(wdata.len());
+        for m in 0..c_out {
+            let row = &wdata[m * per_ch..(m + 1) * per_ch];
+            let cmax = row.iter().fold(0.0f32, |mx, &v| mx.max(v.abs()));
+            let params = if per_channel && cmax > 0.0 {
+                QParams::from_abs_max(cmax, weight_bits)
+            } else {
+                weight_params
+            };
+            wscales.push(params.scale());
+            weight_q.extend(row.iter().map(|&v| params.quantize_value(v)));
+        }
+        let packed = QPackedWeights::pack(&weight_q);
         Some(Self {
-            weight_q: weight_q.data,
-            weight_dims: conv.weight().shape().dims(),
+            weight_q,
+            weight_dims: dims,
             bias: conv.bias().to_vec(),
             weight_params,
+            wscales,
+            packed,
+            kernel,
             geom: conv.geom(),
             groups: conv.groups(),
         })
     }
 
-    /// Weight quantization parameters.
+    /// Weight quantization parameters of the per-tensor envelope (the
+    /// widest channel's scale; per-channel scales are at most this).
     pub fn weight_params(&self) -> QParams {
         self.weight_params
+    }
+
+    /// Per-output-channel weight scales.
+    pub fn weight_scales(&self) -> &[f32] {
+        &self.wscales
+    }
+
+    /// The packed integer-GEMM weight matrix.
+    pub fn packed_weights(&self) -> &QPackedWeights {
+        &self.packed
+    }
+
+    /// The kernel this layer executes through.
+    pub fn kernel(&self) -> KernelKind {
+        self.kernel
     }
 
     /// The convolution geometry (shared with the source float convolution).
@@ -97,7 +197,7 @@ impl QConv2d {
     }
 
     /// Validates the input channel count (before any padding work).
-    fn check_channels(&self, context: &str, c_in: usize) -> Result<(), TensorError> {
+    pub(crate) fn check_channels(&self, context: &str, c_in: usize) -> Result<(), TensorError> {
         if c_in != self.c_in() {
             return Err(TensorError::shape_mismatch(
                 context,
@@ -150,9 +250,20 @@ impl QConv2d {
     ) -> Result<(), TensorError> {
         self.check_channels("QConv2d input channels", input.shape().dims()[1])?;
         let p = self.geom.padding;
-        let QConvScratch { padded, act_q } = scratch;
-        pad2d_asym_into(input, p, p, p, p, pad_mode, padded)?;
-        self.conv_prepadded(padded, act_params, out, act_q)
+        // Take the padded buffer out of the scratch for the duration of the
+        // kernel call: the kernel borrows it shared while drawing its other
+        // temporaries from the scratch mutably.
+        let mut padded = std::mem::take(&mut scratch.padded);
+        let result = pad2d_asym_into(input, p, p, p, p, pad_mode, &mut padded).and_then(|()| {
+            match self.kernel {
+                KernelKind::Direct => {
+                    self.conv_prepadded(&padded, act_params, out, &mut scratch.act_q)
+                }
+                KernelKind::Im2colGemm => qim2col_gemm(self, &padded, act_params, out, scratch),
+            }
+        });
+        scratch.padded = padded;
+        result
     }
 
     /// Convolves an input that has **already been padded** by the caller
@@ -171,10 +282,31 @@ impl QConv2d {
         out: &mut Tensor,
         scratch: &mut QConvScratch,
     ) -> Result<(), TensorError> {
+        match self.kernel {
+            KernelKind::Direct => self.conv_prepadded(padded, act_params, out, &mut scratch.act_q),
+            KernelKind::Im2colGemm => qim2col_gemm(self, padded, act_params, out, scratch),
+        }
+    }
+
+    /// [`forward_prepadded_into`](Self::forward_prepadded_into) forced
+    /// through the direct loop regardless of the resolved kernel — the
+    /// reference implementation parity tests compare against.
+    ///
+    /// # Errors
+    ///
+    /// See [`forward_prepadded_into`](Self::forward_prepadded_into).
+    pub fn forward_prepadded_direct_into(
+        &self,
+        padded: &Tensor,
+        act_params: QParams,
+        out: &mut Tensor,
+        scratch: &mut QConvScratch,
+    ) -> Result<(), TensorError> {
         self.conv_prepadded(padded, act_params, out, &mut scratch.act_q)
     }
 
-    /// The integer kernel: quantize activations, MAC in i64, rescale.
+    /// The direct integer kernel: quantize activations, MAC in i64,
+    /// rescale at the per-channel scale.
     fn conv_prepadded(
         &self,
         padded: &Tensor,
@@ -193,7 +325,7 @@ impl QConv2d {
         // Quantize activations once, into the reusable buffer.
         act_q.clear();
         act_q.extend(padded.data().iter().map(|&v| act_params.quantize_value(v)));
-        let out_scale = self.weight_params.scale() * act_params.scale();
+        let act_scale = act_params.scale();
 
         out.reset([n, c_out, oh, ow]);
         let idx_in = |ni: usize, c: usize, h: usize, w: usize| ((ni * c_in + c) * ph + h) * pw + w;
@@ -204,6 +336,7 @@ impl QConv2d {
             for g in 0..self.groups {
                 for mo in 0..cout_per_group {
                     let m = g * cout_per_group + mo;
+                    let out_scale = self.wscales[m] * act_scale;
                     for ohi in 0..oh {
                         for owi in 0..ow {
                             let mut acc: i64 = 0;
@@ -251,6 +384,20 @@ impl QuantChainOp {
     /// Returns `None` if the weights are all zero (no meaningful scale).
     pub fn from_conv(conv: &Conv2d, weight_bits: u8, act_params: QParams) -> Option<Self> {
         QConv2d::from_conv(conv, weight_bits).map(|qconv| Self { qconv, act_params })
+    }
+
+    /// [`from_conv`](Self::from_conv) with an explicit resolved kernel
+    /// (direct loop vs integer im2col+GEMM) for the stage.
+    ///
+    /// Returns `None` if the weights are all zero (no meaningful scale).
+    pub fn from_conv_with_kernel(
+        conv: &Conv2d,
+        weight_bits: u8,
+        act_params: QParams,
+        kernel: KernelKind,
+    ) -> Option<Self> {
+        QConv2d::from_conv_with_kernel(conv, weight_bits, kernel)
+            .map(|qconv| Self { qconv, act_params })
     }
 
     /// The quantized convolution.

@@ -1,0 +1,239 @@
+//! Quantized fully-connected layer: the classifier-head counterpart of
+//! [`crate::qconv::QConv2d`], so FC layers stop running in float inside an
+//! otherwise-integer session.
+//!
+//! Weights are quantized **per output row** (each row is one output
+//! feature's dot product — the FC analogue of per-channel conv scales),
+//! narrowed to `i16` at construction, and multiplied through the same
+//! widening `i16×i16→i32/i64` dot products as [`crate::qgemm`], with the
+//! identical per-layer accumulator-width bound.
+
+use bconv_tensor::linear::Linear;
+use bconv_tensor::{Tensor, TensorError};
+
+use crate::qgemm::{dot_i16_i32, dot_i16_i64};
+use crate::QParams;
+
+/// Reusable temporaries for quantized FC execution: the `i16` quantized
+/// input-activation buffer. One per worker thread.
+#[derive(Debug, Default)]
+pub struct QLinearScratch {
+    act_q: Vec<i16>,
+}
+
+impl QLinearScratch {
+    /// A fresh, empty scratch (the buffer grows on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// A fully-connected layer with quantized weights, executing in integer
+/// arithmetic: `y[o] = dot(w_q[o], x_q) * (w_scale[o] * act_scale) + b[o]`.
+#[derive(Debug, Clone)]
+pub struct QLinear {
+    weight_q: Vec<i16>,
+    wscales: Vec<f32>,
+    bias: Vec<f32>,
+    weight_params: QParams,
+    max_abs: i32,
+    in_features: usize,
+    out_features: usize,
+}
+
+impl QLinear {
+    /// Quantizes a float linear layer's weights at `weight_bits` with
+    /// per-output-row scales.
+    ///
+    /// Returns `None` if the weights are all zero (no meaningful scale).
+    pub fn from_linear(lin: &Linear, weight_bits: u8) -> Option<Self> {
+        let wdata = lin.weight();
+        let abs_max = wdata.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        if abs_max == 0.0 {
+            return None;
+        }
+        let weight_params = QParams::from_abs_max(abs_max, weight_bits);
+        let (flat, rows) = (lin.in_features(), lin.out_features());
+        let mut wscales = Vec::with_capacity(rows);
+        let mut weight_q = Vec::with_capacity(wdata.len());
+        let mut max_abs = 0i32;
+        for o in 0..rows {
+            let row = &wdata[o * flat..(o + 1) * flat];
+            let rmax = row.iter().fold(0.0f32, |mx, &v| mx.max(v.abs()));
+            // All-zero rows quantize to zeros under any finite scale; fall
+            // back to the per-tensor envelope for them.
+            let params =
+                if rmax > 0.0 { QParams::from_abs_max(rmax, weight_bits) } else { weight_params };
+            wscales.push(params.scale());
+            for &v in row {
+                let q = params.quantize_value(v);
+                max_abs = max_abs.max(q.abs());
+                weight_q.push(q as i16);
+            }
+        }
+        Some(Self {
+            weight_q,
+            wscales,
+            bias: lin.bias().to_vec(),
+            weight_params,
+            max_abs,
+            in_features: flat,
+            out_features: rows,
+        })
+    }
+
+    /// Weight quantization parameters of the per-tensor envelope.
+    pub fn weight_params(&self) -> QParams {
+        self.weight_params
+    }
+
+    /// Per-output-row weight scales.
+    pub fn weight_scales(&self) -> &[f32] {
+        &self.wscales
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// Builds the feature-mismatch error (kept out of the hot path).
+    fn feature_mismatch(&self, flat: usize) -> TensorError {
+        TensorError::shape_mismatch(
+            "QLinear input",
+            format!("{} features", self.in_features),
+            format!("{flat} features"),
+        )
+    }
+
+    /// Applies the layer to a flattened input (the `(c, h, w)` dims of
+    /// each batch element flatten to `in_features`), quantizing the
+    /// activations at `act_params` and accumulating in integer lanes;
+    /// output is `[n, out_features, 1, 1]`. Steady-state execution
+    /// performs no allocation once `scratch` has grown.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `c*h*w != in_features`.
+    pub fn forward_into(
+        &self,
+        input: &Tensor,
+        act_params: QParams,
+        out: &mut Tensor,
+        scratch: &mut QLinearScratch,
+    ) -> Result<(), TensorError> {
+        let [n, c, h, w] = input.shape().dims();
+        let flat = c * h * w;
+        if flat != self.in_features {
+            return Err(self.feature_mismatch(flat));
+        }
+        out.reset([n, self.out_features, 1, 1]);
+        scratch.act_q.clear();
+        scratch.act_q.extend(input.data().iter().map(|&v| act_params.quantize_value(v) as i16));
+        // Same exactness bound as the integer GEMM: i32 lanes whenever the
+        // whole reduction (hence any partial sum) fits.
+        let wide = flat as i64 * self.max_abs as i64 * act_params.qmax() as i64 > i32::MAX as i64;
+        let act_scale = act_params.scale();
+        for ni in 0..n {
+            let x = &scratch.act_q[ni * flat..(ni + 1) * flat];
+            for o in 0..self.out_features {
+                let row = &self.weight_q[o * flat..(o + 1) * flat];
+                let acc =
+                    if wide { dot_i16_i64(row, x) as f32 } else { dot_i16_i32(row, x) as f32 };
+                *out.at_mut(ni, o, 0, 0) = acc * (self.wscales[o] * act_scale) + self.bias[o];
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bconv_tensor::init::{seeded_rng, uniform_tensor};
+
+    fn random_linear(inf: usize, outf: usize, seed: u64) -> Linear {
+        let mut rng = seeded_rng(seed);
+        let w = uniform_tensor([1, 1, outf, inf], -1.0, 1.0, &mut rng).data().to_vec();
+        let b = uniform_tensor([1, 1, 1, outf], -0.5, 0.5, &mut rng).data().to_vec();
+        Linear::new(inf, outf, w, b).unwrap()
+    }
+
+    #[test]
+    fn quantized_fc_tracks_float_fc() {
+        let lin = random_linear(48, 10, 1);
+        let input = uniform_tensor([2, 3, 4, 4], -1.0, 1.0, &mut seeded_rng(2));
+        let float_out = lin.forward(&input).unwrap();
+        let q = QLinear::from_linear(&lin, 8).unwrap();
+        let mut out = Tensor::default();
+        let mut scratch = QLinearScratch::new();
+        q.forward_into(&input, QParams::from_abs_max(1.0, 8), &mut out, &mut scratch).unwrap();
+        let mag = float_out.data().iter().fold(1e-6f32, |m, &v| m.max(v.abs()));
+        let err = float_out.max_abs_diff(&out).unwrap() / mag;
+        assert!(err < 0.05, "relative error {err}");
+    }
+
+    #[test]
+    fn per_row_scales_no_worse_than_per_tensor_envelope() {
+        // Scale one row way down: per-row scales keep quantizing it
+        // finely, while the per-tensor envelope would flatten it.
+        let mut lin = random_linear(32, 4, 3);
+        for v in lin.weight_mut()[0..32].iter_mut() {
+            *v *= 0.01;
+        }
+        let q = QLinear::from_linear(&lin, 8).unwrap();
+        let envelope = q.weight_params().scale();
+        for (o, &s) in q.weight_scales().iter().enumerate() {
+            assert!(s <= envelope + f32::EPSILON, "row {o} scale {s} above envelope {envelope}");
+        }
+        assert!(q.weight_scales()[0] < 0.05 * envelope, "shrunk row should get a tighter scale");
+    }
+
+    #[test]
+    fn wide_reduction_uses_exact_i64_lanes() {
+        // in_features large enough that flat*qmax_w*qmax_a overflows i32
+        // at 16-bit activations: output must stay finite and track float.
+        let inf = 4096;
+        let lin = random_linear(inf, 2, 4);
+        let input = uniform_tensor([1, 1, 64, 64], -1.0, 1.0, &mut seeded_rng(5));
+        let q = QLinear::from_linear(&lin, 8).unwrap();
+        let mut out = Tensor::default();
+        let mut scratch = QLinearScratch::new();
+        q.forward_into(&input, QParams::from_abs_max(1.0, 16), &mut out, &mut scratch).unwrap();
+        let float_out = lin.forward(&input).unwrap();
+        let mag = float_out.data().iter().fold(1e-6f32, |m, &v| m.max(v.abs()));
+        assert!(float_out.max_abs_diff(&out).unwrap() / mag < 0.05);
+    }
+
+    #[test]
+    fn zero_weights_yield_none() {
+        assert!(QLinear::from_linear(&Linear::zeros(4, 2).unwrap(), 8).is_none());
+    }
+
+    #[test]
+    fn feature_mismatch_is_an_error() {
+        let lin = random_linear(8, 2, 6);
+        let q = QLinear::from_linear(&lin, 8).unwrap();
+        let input = Tensor::zeros([1, 1, 3, 3]);
+        let mut out = Tensor::default();
+        let mut scratch = QLinearScratch::new();
+        assert!(q
+            .forward_into(&input, QParams::from_abs_max(1.0, 8), &mut out, &mut scratch)
+            .is_err());
+    }
+
+    #[test]
+    fn accessors_report_the_source_layer() {
+        let lin = random_linear(12, 5, 7);
+        let q = QLinear::from_linear(&lin, 8).unwrap();
+        assert_eq!(q.in_features(), 12);
+        assert_eq!(q.out_features(), 5);
+        assert_eq!(q.weight_params().bits(), 8);
+        assert_eq!(q.weight_scales().len(), 5);
+    }
+}

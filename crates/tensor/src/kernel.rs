@@ -19,6 +19,19 @@
 //! implementation property, not an API guarantee; parity tests assert a
 //! 1e-4 relative tolerance.
 //!
+//! Two performance layers sit behind the GEMM:
+//!
+//! * [`PackedWeights`] — a panel-major (BLIS-style "A-packing") copy of
+//!   the weight matrix, built **once** at plan/build time so the sgemm
+//!   inner loop reads `MR` weights contiguously instead of striding `K`
+//!   apart. Packing never happens per run.
+//! * An 8-wide manual lane type (`F32x8`) used by the sgemm microkernels:
+//!   explicit unrolled lanes the auto-vectorizer maps onto SIMD registers.
+//!   With the `simd` cargo feature (nightly) the lanes are
+//!   `core::simd::Simd<f32, 8>` instead. Lane arithmetic is separate
+//!   multiply-then-add — never fused — so both implementations keep the
+//!   bitwise accumulation contract above.
+//!
 //! Kernels write into caller-provided output tensors and draw temporary
 //! storage from a [`ConvScratch`], so a blocked executor can run thousands
 //! of per-block convolutions with zero steady-state allocation.
@@ -43,6 +56,13 @@ pub enum KernelPolicy {
 
 impl KernelPolicy {
     /// Resolves the policy for one layer.
+    ///
+    /// The same resolution governs the integer path: a quantized layer
+    /// shares its float twin's geometry, so `QConv2d` resolves through
+    /// this policy at construction and picks its integer im2col+GEMM
+    /// exactly where the float layer would pick [`KernelKind::Im2colGemm`]
+    /// (the patch-matrix economics are identical — only the element type
+    /// changes).
     pub fn resolve(self, conv: &Conv2d) -> KernelKind {
         match self {
             Self::Direct => KernelKind::Direct,
@@ -244,76 +264,251 @@ impl ConvKernel for Im2colGemmKernel {
         out: &mut Tensor,
         scratch: &mut ConvScratch,
     ) -> Result<(), TensorError> {
-        let (n, oh, ow) = prepare_out(conv, padded, out)?;
+        im2col_gemm(conv, None, padded, out, scratch)
+    }
+}
+
+/// The layer's weight matrix repacked panel-major for the sgemm: per
+/// group, `ceil(M/MR)` panels of `MR × K` laid out `panel[l*MR + i]`, so
+/// the microkernel's step over `l` reads `MR` weights contiguously
+/// (tail panels are zero-padded). Built **once** — at session build or via
+/// `BlockConv2d::with_packed_weights` — and shared by every run; the hot
+/// path never repacks.
+#[derive(Debug, Clone)]
+pub struct PackedWeights {
+    data: Vec<f32>,
+    per_group: usize,
+}
+
+impl PackedWeights {
+    /// Packs `conv`'s weights. Allocation happens here, at build time.
+    pub fn pack(conv: &Conv2d) -> Self {
         let g = conv.geom();
-        let (k, s) = (g.kernel, g.stride);
         let groups = conv.groups();
-        let cin_per_group = conv.c_in() / groups;
-        let cout_per_group = conv.c_out() / groups;
-        let kk = cin_per_group * k * k; // GEMM reduction length K
-        let nn = oh * ow; // GEMM width N
-
-        // 1×1 stride-1 (pointwise): the patch matrix would be bit-for-bit
-        // the input's channel planes, so skip im2col and feed the input
-        // slice to the GEMM directly (same layout, same result).
-        let pointwise = k == 1 && s == 1;
-        if !pointwise {
-            scratch.cols.resize(kk * nn, 0.0);
-        }
-        let ishape = padded.shape();
-        let idata = padded.data();
+        let mg = conv.c_out() / groups;
+        let kk = (conv.c_in() / groups) * g.kernel * g.kernel;
+        let per_group = mg.div_ceil(MR) * MR * kk;
+        let mut data = vec![0.0f32; groups * per_group];
         let wdata = conv.weight().data();
-        let oshape = out.shape();
-        let odata = out.data_mut();
+        for grp in 0..groups {
+            let a = &wdata[grp * mg * kk..(grp + 1) * mg * kk];
+            let dst = &mut data[grp * per_group..(grp + 1) * per_group];
+            for (p, panel) in dst.chunks_exact_mut(MR * kk).enumerate() {
+                let it = p * MR;
+                for i in 0..MR.min(mg - it) {
+                    for l in 0..kk {
+                        panel[l * MR + i] = a[(it + i) * kk + l];
+                    }
+                }
+            }
+        }
+        Self { data, per_group }
+    }
 
-        for ni in 0..n {
-            for grp in 0..groups {
-                let b: &[f32] = if pointwise {
-                    let i0 = ishape.index(ni, grp * cin_per_group, 0, 0);
-                    &idata[i0..i0 + kk * nn]
-                } else {
-                    // im2col: row l = (ci, khi, kwi) of the patch at each
-                    // output position, matching the direct loop's tap order
-                    // so the sequential GEMM accumulation reproduces it
-                    // exactly.
-                    for ci in 0..cin_per_group {
-                        let c = grp * cin_per_group + ci;
-                        for khi in 0..k {
-                            for kwi in 0..k {
-                                let row = (ci * k + khi) * k + kwi;
-                                let dst = &mut scratch.cols[row * nn..(row + 1) * nn];
-                                for ohi in 0..oh {
-                                    let src = &idata[ishape.index(ni, c, ohi * s + khi, 0)..];
-                                    let drow = &mut dst[ohi * ow..(ohi + 1) * ow];
-                                    if s == 1 {
-                                        drow.copy_from_slice(&src[kwi..kwi + ow]);
-                                    } else {
-                                        for (owi, d) in drow.iter_mut().enumerate() {
-                                            *d = src[owi * s + kwi];
-                                        }
+    /// The packed panels of one group.
+    pub(crate) fn group_panels(&self, grp: usize) -> &[f32] {
+        &self.data[grp * self.per_group..(grp + 1) * self.per_group]
+    }
+
+    /// Packed element count (includes zero-padded tail rows).
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when no weights are packed.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Evaluates `conv` on a pre-padded input through the im2col+GEMM
+    /// kernel using these packed panels — bitwise identical to
+    /// [`Im2colGemmKernel`], faster weight streaming. Hot path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError`] on channel/shape mismatch.
+    pub fn forward_prepadded_into(
+        &self,
+        conv: &Conv2d,
+        padded: &Tensor,
+        out: &mut Tensor,
+        scratch: &mut ConvScratch,
+    ) -> Result<(), TensorError> {
+        im2col_gemm(conv, Some(self), padded, out, scratch)
+    }
+}
+
+/// Shared im2col+GEMM driver: lower each (batch, group) to a patch matrix
+/// and multiply with the weight matrix — packed panels when available,
+/// the layer's row-major weights otherwise. Hot path — no allocation once
+/// `scratch` has grown.
+fn im2col_gemm(
+    conv: &Conv2d,
+    packed: Option<&PackedWeights>,
+    padded: &Tensor,
+    out: &mut Tensor,
+    scratch: &mut ConvScratch,
+) -> Result<(), TensorError> {
+    let (n, oh, ow) = prepare_out(conv, padded, out)?;
+    let g = conv.geom();
+    let (k, s) = (g.kernel, g.stride);
+    let groups = conv.groups();
+    let cin_per_group = conv.c_in() / groups;
+    let cout_per_group = conv.c_out() / groups;
+    let kk = cin_per_group * k * k; // GEMM reduction length K
+    let nn = oh * ow; // GEMM width N
+
+    // 1×1 stride-1 (pointwise): the patch matrix would be bit-for-bit
+    // the input's channel planes, so skip im2col and feed the input
+    // slice to the GEMM directly (same layout, same result).
+    let pointwise = k == 1 && s == 1;
+    if !pointwise {
+        scratch.cols.resize(kk * nn, 0.0);
+    }
+    let ishape = padded.shape();
+    let idata = padded.data();
+    let wdata = conv.weight().data();
+    let oshape = out.shape();
+    let odata = out.data_mut();
+
+    for ni in 0..n {
+        for grp in 0..groups {
+            let b: &[f32] = if pointwise {
+                let i0 = ishape.index(ni, grp * cin_per_group, 0, 0);
+                &idata[i0..i0 + kk * nn]
+            } else {
+                // im2col: row l = (ci, khi, kwi) of the patch at each
+                // output position, matching the direct loop's tap order
+                // so the sequential GEMM accumulation reproduces it
+                // exactly.
+                for ci in 0..cin_per_group {
+                    let c = grp * cin_per_group + ci;
+                    for khi in 0..k {
+                        for kwi in 0..k {
+                            let row = (ci * k + khi) * k + kwi;
+                            let dst = &mut scratch.cols[row * nn..(row + 1) * nn];
+                            for ohi in 0..oh {
+                                let src = &idata[ishape.index(ni, c, ohi * s + khi, 0)..];
+                                let drow = &mut dst[ohi * ow..(ohi + 1) * ow];
+                                if s == 1 {
+                                    drow.copy_from_slice(&src[kwi..kwi + ow]);
+                                } else {
+                                    for (owi, d) in drow.iter_mut().enumerate() {
+                                        *d = src[owi * s + kwi];
                                     }
                                 }
                             }
                         }
                     }
-                    &scratch.cols
-                };
-                // GEMM: out[g] = bias[g] + W[g] (M×K) · B (K×N).
-                let a = &wdata[grp * cout_per_group * kk..(grp + 1) * cout_per_group * kk];
-                let bias = &conv.bias()[grp * cout_per_group..(grp + 1) * cout_per_group];
-                let c0 = oshape.index(ni, grp * cout_per_group, 0, 0);
-                let cdst = &mut odata[c0..c0 + cout_per_group * nn];
-                gemm_bias(a, b, bias, cdst, cout_per_group, kk, nn);
+                }
+                &scratch.cols
+            };
+            // GEMM: out[g] = bias[g] + W[g] (M×K) · B (K×N).
+            let bias = &conv.bias()[grp * cout_per_group..(grp + 1) * cout_per_group];
+            let c0 = oshape.index(ni, grp * cout_per_group, 0, 0);
+            let cdst = &mut odata[c0..c0 + cout_per_group * nn];
+            match packed {
+                Some(p) => {
+                    gemm_bias_packed(p.group_panels(grp), b, bias, cdst, cout_per_group, kk, nn);
+                }
+                None => {
+                    let a = &wdata[grp * cout_per_group * kk..(grp + 1) * cout_per_group * kk];
+                    gemm_bias(a, b, bias, cdst, cout_per_group, kk, nn);
+                }
             }
         }
-        Ok(())
     }
+    Ok(())
 }
 
 /// Microkernel tile height (output channels per register block).
 const MR: usize = 4;
 /// Microkernel tile width (output positions per register block).
 const NR: usize = 8;
+
+/// Manual 8-wide f32 lanes for the sgemm microkernels.
+///
+/// The default implementation is a plain `[f32; 8]` with fully unrolled
+/// element-wise ops — the shape LLVM reliably auto-vectorizes into one
+/// 256-bit (or two 128-bit) register per lane. With the `simd` cargo
+/// feature (nightly only) the same API is backed by
+/// `core::simd::Simd<f32, 8>`.
+///
+/// `add_scaled` is deliberately a separate multiply then add — **never**
+/// `mul_add`/FMA — because fusing the rounding step would break the
+/// bitwise parity between [`DirectKernel`] and the GEMM kernels.
+mod lanes {
+    #[cfg(not(feature = "simd"))]
+    #[derive(Debug, Clone, Copy)]
+    pub(super) struct F32x8([f32; 8]);
+
+    #[cfg(not(feature = "simd"))]
+    impl F32x8 {
+        /// All eight lanes set to `v`.
+        #[inline]
+        pub(super) fn splat(v: f32) -> Self {
+            Self([v; 8])
+        }
+
+        /// Loads the first eight elements of `s`.
+        #[inline]
+        pub(super) fn load(s: &[f32]) -> Self {
+            let mut a = [0.0f32; 8];
+            a.copy_from_slice(&s[..8]);
+            Self(a)
+        }
+
+        /// `self + a * b`, lane-wise, as separate multiply then add.
+        #[inline]
+        pub(super) fn add_scaled(self, a: Self, b: Self) -> Self {
+            let mut out = self.0;
+            for (o, (&x, &y)) in out.iter_mut().zip(a.0.iter().zip(&b.0)) {
+                *o += x * y;
+            }
+            Self(out)
+        }
+
+        /// Stores the lanes into the first eight elements of `d`.
+        #[inline]
+        pub(super) fn store(self, d: &mut [f32]) {
+            d[..8].copy_from_slice(&self.0);
+        }
+    }
+
+    #[cfg(feature = "simd")]
+    #[derive(Debug, Clone, Copy)]
+    pub(super) struct F32x8(core::simd::Simd<f32, 8>);
+
+    #[cfg(feature = "simd")]
+    impl F32x8 {
+        /// All eight lanes set to `v`.
+        #[inline]
+        pub(super) fn splat(v: f32) -> Self {
+            Self(core::simd::Simd::splat(v))
+        }
+
+        /// Loads the first eight elements of `s`.
+        #[inline]
+        pub(super) fn load(s: &[f32]) -> Self {
+            Self(core::simd::Simd::from_slice(s))
+        }
+
+        /// `self + a * b`, lane-wise (separate `Simd` mul and add — no
+        /// FMA contraction).
+        #[inline]
+        pub(super) fn add_scaled(self, a: Self, b: Self) -> Self {
+            Self(self.0 + a.0 * b.0)
+        }
+
+        /// Stores the lanes into the first eight elements of `d`.
+        #[inline]
+        pub(super) fn store(self, d: &mut [f32]) {
+            self.0.copy_to_slice(&mut d[..8]);
+        }
+    }
+}
+
+use lanes::F32x8;
 
 /// `c[i][j] = bias[i] + Σ_l a[i][l]·b[l][j]` with an `MR×NR` register
 /// tile. Each output element uses one accumulator updated sequentially
@@ -328,23 +523,20 @@ fn gemm_bias(a: &[f32], b: &[f32], bias: &[f32], c: &mut [f32], m: usize, k: usi
         while it < m {
             let mr = MR.min(m - it);
             if mr == MR && nr == NR {
-                // Full tile: fixed-size accumulators the compiler keeps in
-                // registers; the b-row slice is reused by all MR rows.
-                let mut acc = [[0.0f32; NR]; MR];
+                // Full tile: one 8-wide lane accumulator per row, kept in
+                // registers; the b-row lane is reused by all MR rows.
+                let mut acc = [F32x8::splat(0.0); MR];
                 for (i, row) in acc.iter_mut().enumerate() {
-                    *row = [bias[it + i]; NR];
+                    *row = F32x8::splat(bias[it + i]);
                 }
                 for l in 0..k {
-                    let brow = &b[l * n + jt..l * n + jt + NR];
+                    let brow = F32x8::load(&b[l * n + jt..]);
                     for (i, row) in acc.iter_mut().enumerate() {
-                        let a_il = a[(it + i) * k + l];
-                        for (j, acc_ij) in row.iter_mut().enumerate() {
-                            *acc_ij += a_il * brow[j];
-                        }
+                        *row = row.add_scaled(F32x8::splat(a[(it + i) * k + l]), brow);
                     }
                 }
                 for (i, row) in acc.iter().enumerate() {
-                    c[(it + i) * n + jt..(it + i) * n + jt + NR].copy_from_slice(row);
+                    row.store(&mut c[(it + i) * n + jt..]);
                 }
             } else {
                 // Remainder tile: same accumulation order, variable size.
@@ -362,6 +554,65 @@ fn gemm_bias(a: &[f32], b: &[f32], bias: &[f32], c: &mut [f32], m: usize, k: usi
                 }
             }
             it += MR;
+        }
+        jt += NR;
+    }
+}
+
+/// [`gemm_bias`] over panel-major packed weights: `A(i, l)` lives at
+/// `panel[l*MR + i]`, so the lane step over `l` reads `MR` contiguous
+/// weights. Identical accumulation order (and therefore identical f32
+/// bits) to the unpacked GEMM — tail panels carry zero rows that are
+/// computed in lanes but never stored.
+fn gemm_bias_packed(
+    ap: &[f32],
+    b: &[f32],
+    bias: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    debug_assert_eq!(ap.len(), m.div_ceil(MR) * MR * k);
+    debug_assert_eq!(c.len(), m * n);
+    let mut jt = 0;
+    while jt < n {
+        let nr = NR.min(n - jt);
+        for (p, panel) in ap.chunks_exact(MR * k).enumerate() {
+            let it = p * MR;
+            let mr = MR.min(m - it);
+            if nr == NR {
+                // Full-width tile: lane accumulators for all MR panel rows
+                // (zero-padded tail rows cost lanes but no stores).
+                let mut acc = [F32x8::splat(0.0); MR];
+                for (i, row) in acc.iter_mut().take(mr).enumerate() {
+                    *row = F32x8::splat(bias[it + i]);
+                }
+                for l in 0..k {
+                    let brow = F32x8::load(&b[l * n + jt..]);
+                    let al = &panel[l * MR..(l + 1) * MR];
+                    for (i, row) in acc.iter_mut().enumerate() {
+                        *row = row.add_scaled(F32x8::splat(al[i]), brow);
+                    }
+                }
+                for (i, row) in acc.iter().take(mr).enumerate() {
+                    row.store(&mut c[(it + i) * n + jt..]);
+                }
+            } else {
+                // Remainder columns: same accumulation order, narrow tile.
+                for i in 0..mr {
+                    let mut acc = [0.0f32; NR];
+                    acc[..nr].fill(bias[it + i]);
+                    for l in 0..k {
+                        let a_il = panel[l * MR + i];
+                        let brow = &b[l * n + jt..l * n + jt + nr];
+                        for (j, &b_lj) in brow.iter().enumerate() {
+                            acc[j] += a_il * b_lj;
+                        }
+                    }
+                    c[(it + i) * n + jt..(it + i) * n + jt + nr].copy_from_slice(&acc[..nr]);
+                }
+            }
         }
         jt += NR;
     }
@@ -445,6 +696,68 @@ mod tests {
                 .forward_prepadded_into(&conv, &bad, &mut out, &mut scratch)
                 .is_err());
         }
+    }
+
+    #[test]
+    fn packed_weights_match_unpacked_bitwise() {
+        let mut rng = seeded_rng(17);
+        let cases = [
+            he_conv2d(3, 8, ConvGeom::same(3), 1, &mut rng).unwrap(),
+            he_conv2d(4, 6, ConvGeom::new(3, 2, 1), 2, &mut rng).unwrap(),
+            he_conv2d(5, 5, ConvGeom::same(3), 5, &mut rng).unwrap(),
+            he_conv2d(5, 7, ConvGeom::new(1, 1, 0), 1, &mut rng).unwrap(),
+        ];
+        for conv in &cases {
+            let input = uniform_tensor([1, conv.c_in(), 9, 9], -1.0, 1.0, &mut rng);
+            let padded =
+                pad2d(&input, conv.geom().padding, conv.geom().padding, PadMode::Zero).unwrap();
+            let mut scratch = ConvScratch::new();
+            let mut plain = Tensor::default();
+            Im2colGemmKernel
+                .forward_prepadded_into(conv, &padded, &mut plain, &mut scratch)
+                .unwrap();
+            let packed = PackedWeights::pack(conv);
+            let mut fast = Tensor::default();
+            packed.forward_prepadded_into(conv, &padded, &mut fast, &mut scratch).unwrap();
+            assert_eq!(plain.data(), fast.data(), "packing must not change a single bit");
+        }
+    }
+
+    #[test]
+    fn packed_panels_zero_pad_the_tail() {
+        let mut rng = seeded_rng(19);
+        // c_out = 6 with MR = 4: one full panel + a 2-row tail panel.
+        let conv = he_conv2d(2, 6, ConvGeom::same(3), 1, &mut rng).unwrap();
+        let packed = PackedWeights::pack(&conv);
+        let kk = 2 * 9;
+        assert_eq!(packed.len(), 8 * kk);
+        assert!(!packed.is_empty());
+        let tail = &packed.group_panels(0)[MR * kk..];
+        for l in 0..kk {
+            assert_eq!(tail[l * MR + 2], 0.0);
+            assert_eq!(tail[l * MR + 3], 0.0);
+        }
+    }
+
+    #[test]
+    fn gemm_bias_packed_remainder_tiles() {
+        // m=5, n=9, k=3: full 4x8 tile, tail panel, and column remainder.
+        let (m, k, n) = (5usize, 3usize, 9usize);
+        let a: Vec<f32> = (0..m * k).map(|i| i as f32 * 0.5 - 3.0).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| (i % 7) as f32 - 2.0).collect();
+        let bias: Vec<f32> = (0..m).map(|i| i as f32).collect();
+        let mut plain = vec![0.0f32; m * n];
+        gemm_bias(&a, &b, &bias, &mut plain, m, k, n);
+        // Pack `a` panel-major by hand.
+        let mut ap = vec![0.0f32; m.div_ceil(MR) * MR * k];
+        for i in 0..m {
+            for l in 0..k {
+                ap[(i / MR) * MR * k + l * MR + i % MR] = a[i * k + l];
+            }
+        }
+        let mut fast = vec![0.0f32; m * n];
+        gemm_bias_packed(&ap, &b, &bias, &mut fast, m, k, n);
+        assert_eq!(plain, fast);
     }
 
     #[test]

@@ -33,6 +33,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![cfg_attr(feature = "simd", feature(portable_simd))]
 
 pub mod activation;
 pub mod conv;

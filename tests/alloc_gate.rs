@@ -31,6 +31,7 @@ use bconv_graph::{Backend, ExecScratch, ServeConfig, Session};
 use bconv_models::small::vgg16_small;
 use bconv_models::Network;
 use bconv_tensor::init::{seeded_rng, uniform_tensor};
+use bconv_tensor::kernel::KernelPolicy;
 use bconv_tensor::Tensor;
 
 /// Wraps the system allocator, counting allocations and bytes. `dealloc`
@@ -150,6 +151,50 @@ fn run_with_is_allocation_free_blocked() {
 #[test]
 fn run_with_is_allocation_free_quantized() {
     assert_zero_steady_state(QUANT);
+}
+
+/// The integer im2col+GEMM backend holds the strict-zero bar too: the
+/// i16 patch matrix and quantized-activation buffers live in the session
+/// scratch and the packed weight panels are built at compile time, so
+/// forcing every quantized layer onto the GEMM kernel adds no warm-path
+/// allocations.
+#[test]
+fn run_with_is_allocation_free_quantized_gemm_kernel() {
+    let _lock = GATE.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let session = Session::builder()
+        .network(net())
+        .backend(QUANT)
+        .kernel(KernelPolicy::Im2colGemm)
+        .seed(2018)
+        .threads(1)
+        .build()
+        .expect("session builds");
+    assert!(
+        session.conv_kernels().iter().all(|(_, k)| *k == "im2col-gemm"),
+        "forcing the policy must route every conv through the integer GEMM: {:?}",
+        session.conv_kernels()
+    );
+    let input = input(7);
+    let mut scratch = ExecScratch::new();
+    for _ in 0..4 {
+        let report = session.run_with(&input, &mut scratch).expect("warm-up run");
+        scratch.recycle(report.output);
+    }
+    let before = snapshot();
+    let mut checksum = 0.0f32;
+    for _ in 0..8 {
+        let report = session.run_with(&input, &mut scratch).expect("measured run");
+        checksum += report.output.data()[0];
+        scratch.recycle(report.output);
+    }
+    let (allocs, bytes) = delta(before);
+    assert_eq!(
+        (allocs, bytes),
+        (0, 0),
+        "steady-state quantized-GEMM run_with must not allocate: \
+         {allocs} allocation(s), {bytes} byte(s) across 8 requests"
+    );
+    assert!(checksum.is_finite());
 }
 
 /// Bounded tier: a serve request may allocate its departing output tensor
