@@ -1,12 +1,15 @@
 //! `bconv-analyze`: workspace invariant analyzer for the block-convolution
 //! workspace. Enforces, in CI (`cargo run -p bconv-analyze`):
 //!
-//! - **L1 no-hot-path-alloc** — the per-request execution paths
-//!   (`run_fused_into`, `run_block_scratch`, `eval_node_into`,
-//!   `forward_into`, `forward_prepadded_into`, serve `worker_loop`) must
-//!   not allocate: `Vec::new`, `vec![]`, `with_capacity`, `to_vec`,
-//!   `collect()`, `Tensor::zeros`, `Box::new`, and `format!` are banned
-//!   except at sites carried by the committed allowlist.
+//! - **L1 no-hot-path-alloc** — *allocation reachability*: a call graph
+//!   built from every file's symbols is seeded with the true hot entry
+//!   points (`Session::run_with`, `ServeEngine::submit`/`wait`,
+//!   `worker_loop`, executor `run_scratch` impls) and hotness propagates
+//!   to every reachable function, where `Vec::new`, `vec![]`,
+//!   `with_capacity`, `to_vec`, `collect()`, `Tensor::zeros`, `Box::new`,
+//!   and `format!` are banned except at allowlisted sites. Callees the
+//!   resolver cannot match are reported as **frontier** nodes so the
+//!   analysis's blind spots stay visible.
 //! - **L2 no-weight-deep-clone** — `.clone()` on conv-weight-like
 //!   receivers outside `Arc::clone`, so weights stay shared, not copied.
 //! - **L3 no-unordered-iteration** — `HashMap`/`HashSet` in planning,
@@ -15,17 +18,30 @@
 //! - **L4 panic-ratchet** — `unwrap()`/`expect()`/`panic!` in non-test
 //!   code, counted per file against a committed baseline that may only
 //!   decrease.
+//! - **L5 lock-order** — locks held across blocking calls (`recv`/`send`/
+//!   `wait`/`join`, directly or through the call graph), relocks, and
+//!   pairwise lock-order conflicts across the workspace.
+//! - **L6 float-determinism** — order/contraction-sensitive float
+//!   constructs (`mul_add`, `powf`, float `sum()`/`product()` turbofish
+//!   reductions, float atomics) in kernel/exec/serve modules, so
+//!   `target-cpu=native` can never silently change bits.
 //!
 //! The analyzer is self-contained (hand-written lexer, no `syn`) and
-//! analyzes its own source too. Policy data lives in `analyze/`:
-//! `allowlist.txt` (justified L1–L3 sites, exact-count matched) and
-//! `panic_ratchet.txt` (L4 baseline, regenerated with `--write-ratchet`).
+//! analyzes its own source too. Each file is lexed exactly once; the
+//! token stream feeds both the per-file lints and the symbol resolver.
+//! Policy data lives in `analyze/`: `allowlist.txt` (justified L1–L3/
+//! L5/L6 sites, exact-count matched) and `panic_ratchet.txt` (L4
+//! baseline, regenerated with `--write-ratchet`). `--json <path>` writes
+//! a machine-readable report that CI uploads as an artifact.
 
 #![forbid(unsafe_code)]
 
+pub mod graph;
 pub mod lexer;
 pub mod lints;
+pub mod resolve;
 
+use graph::{CallGraph, FrontierEdge};
 use lints::{Config, FileReport, Finding, Lint};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -213,12 +229,24 @@ pub fn check_ratchet(
 /// Everything the workspace scan produced, pre-gating.
 #[derive(Debug, Default)]
 pub struct WorkspaceReport {
-    /// L1–L3 findings across all files.
+    /// L1–L3/L5/L6 findings across all files.
     pub findings: Vec<Finding>,
     /// L4 sites per file (only files with at least one site).
     pub panic_sites: BTreeMap<String, Vec<Finding>>,
     /// Number of files scanned.
     pub files: usize,
+    /// Number of definitions matched by the configured entry points.
+    pub entry_matches: usize,
+    /// Qualified names of every function the reachability walk marked hot
+    /// (sorted, deduplicated) — the derived replacement for the old
+    /// hand-maintained hot-fn list.
+    pub hot_fns: Vec<String>,
+    /// Unresolved callees reachable from the entry points. Not gated —
+    /// surfaced so the analysis's conservatism gaps are visible.
+    pub frontier: Vec<FrontierEdge>,
+    /// Observed pairwise lock orders `(outer, inner)` across the
+    /// workspace (for the report; conflicts are already L5 findings).
+    pub lock_orders: Vec<(String, String)>,
 }
 
 impl WorkspaceReport {
@@ -226,6 +254,139 @@ impl WorkspaceReport {
     pub fn panic_counts(&self) -> BTreeMap<String, usize> {
         self.panic_sites.iter().map(|(f, sites)| (f.clone(), sites.len())).collect()
     }
+}
+
+/// Analyze a set of in-memory sources (`(workspace-relative path, text)`
+/// pairs). This is the whole pipeline: each file is lexed **once**, the
+/// stream feeds the per-file lints (L2/L3/L4/L6) and the symbol resolver,
+/// then the call graph runs allocation reachability (L1) and the lock
+/// lint (L5) over everything together.
+pub fn analyze_sources(sources: &[(String, String)], cfg: &Config) -> WorkspaceReport {
+    let mut report = WorkspaceReport::default();
+    let mut streams: Vec<Vec<lexer::Token>> = Vec::with_capacity(sources.len());
+    let mut syms: Vec<resolve::FileSyms> = Vec::with_capacity(sources.len());
+    for (file, src) in sources {
+        let toks = lexer::lex(src);
+        let FileReport { findings, panic_sites } = lints::scan_tokens(file, &toks, cfg);
+        report.findings.extend(findings);
+        if !panic_sites.is_empty() {
+            report.panic_sites.insert(file.clone(), panic_sites);
+        }
+        syms.push(resolve::resolve_file(file, &toks));
+        streams.push(toks);
+        report.files += 1;
+    }
+
+    let cg = CallGraph::build(&syms);
+    let reach = cg.reach(&cfg.entry_points);
+    report.entry_matches = reach.seeds;
+    report.frontier = reach.frontier;
+    for i in 0..cg.len() {
+        if !reach.hot[i] {
+            continue;
+        }
+        let fi = cg.file_index(i);
+        let def = cg.def(i);
+        report.hot_fns.push(def.qualified());
+        report.findings.extend(lints::alloc_sites(&streams[fi], &syms[fi].defs, def));
+    }
+    report.hot_fns.sort();
+    report.hot_fns.dedup();
+
+    let (lock_findings, lock_orders) = cg.lock_lint();
+    report.findings.extend(lock_findings);
+    report.lock_orders = lock_orders;
+    report
+}
+
+/// Minimal JSON string escape (quotes, backslashes, control chars).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render the machine-readable report CI uploads as an artifact. Plain
+/// hand-rolled JSON — the analyzer stays dependency-free on purpose.
+pub fn render_json(report: &WorkspaceReport, gate: &GateResult) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"files\": {},", report.files);
+    let _ = writeln!(out, "  \"entry_matches\": {},", report.entry_matches);
+
+    let items: Vec<String> =
+        report.hot_fns.iter().map(|f| format!("\"{}\"", json_escape(f))).collect();
+    let _ = writeln!(out, "  \"hot_fns\": [{}],", items.join(", "));
+
+    let findings: Vec<String> = report
+        .findings
+        .iter()
+        .map(|f| {
+            format!(
+                "    {{\"lint\": \"{}\", \"file\": \"{}\", \"line\": {}, \"func\": \"{}\", \"construct\": \"{}\"}}",
+                f.lint.id(),
+                json_escape(&f.file),
+                f.line,
+                json_escape(&f.func),
+                json_escape(&f.construct)
+            )
+        })
+        .collect();
+    let _ = writeln!(out, "  \"findings\": [\n{}\n  ],", findings.join(",\n"));
+
+    let counts: Vec<String> = report
+        .panic_counts()
+        .iter()
+        .map(|(f, n)| format!("    {{\"file\": \"{}\", \"count\": {n}}}", json_escape(f)))
+        .collect();
+    let _ = writeln!(out, "  \"panic_counts\": [\n{}\n  ],", counts.join(",\n"));
+
+    let frontier: Vec<String> = report
+        .frontier
+        .iter()
+        .map(|e| {
+            format!(
+                "    {{\"file\": \"{}\", \"func\": \"{}\", \"callee\": \"{}\", \"line\": {}}}",
+                json_escape(&e.file),
+                json_escape(&e.func),
+                json_escape(&e.callee),
+                e.line
+            )
+        })
+        .collect();
+    let _ = writeln!(out, "  \"frontier\": [\n{}\n  ],", frontier.join(",\n"));
+
+    let orders: Vec<String> = report
+        .lock_orders
+        .iter()
+        .map(|(a, b)| format!("[\"{}\", \"{}\"]", json_escape(a), json_escape(b)))
+        .collect();
+    let _ = writeln!(out, "  \"lock_orders\": [{}],", orders.join(", "));
+
+    let violations: Vec<String> =
+        gate.violations.iter().map(|f| format!("\"{}\"", json_escape(&f.to_string()))).collect();
+    let stale: Vec<String> = gate.stale.iter().map(|s| format!("\"{}\"", json_escape(s))).collect();
+    let _ = writeln!(
+        out,
+        "  \"gate\": {{\"clean\": {}, \"violations\": [{}], \"stale\": [{}]}}",
+        gate.is_clean(),
+        violations.join(", "),
+        stale.join(", ")
+    );
+    out.push('}');
+    out.push('\n');
+    out
 }
 
 fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
@@ -269,7 +430,7 @@ pub fn scan_workspace(root: &Path, cfg: &Config) -> Result<WorkspaceReport, Stri
         collect_rs_files(r, &mut files).map_err(|e| format!("walking {}: {e}", r.display()))?;
     }
 
-    let mut report = WorkspaceReport::default();
+    let mut sources: Vec<(String, String)> = Vec::with_capacity(files.len());
     for path in &files {
         let rel = path
             .strip_prefix(root)
@@ -278,12 +439,7 @@ pub fn scan_workspace(root: &Path, cfg: &Config) -> Result<WorkspaceReport, Stri
             .replace(std::path::MAIN_SEPARATOR, "/");
         let src = std::fs::read_to_string(path)
             .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-        let FileReport { findings, panic_sites } = lints::scan_source(&rel, &src, cfg);
-        report.findings.extend(findings);
-        if !panic_sites.is_empty() {
-            report.panic_sites.insert(rel, panic_sites);
-        }
-        report.files += 1;
+        sources.push((rel, src));
     }
-    Ok(report)
+    Ok(analyze_sources(&sources, cfg))
 }

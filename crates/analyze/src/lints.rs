@@ -1,25 +1,33 @@
-//! The four workspace lints, run over the token stream from
-//! [`crate::lexer`] with a lightweight structural scan (brace depth,
-//! enclosing-function name, `#[cfg(test)]` scope).
+//! The workspace lints, run over the token stream from [`crate::lexer`]
+//! with a lightweight structural scan (brace depth, enclosing-function
+//! name, `#[cfg(test)]` scope).
 //!
-//! | id | name                  | scope                               |
-//! |----|-----------------------|-------------------------------------|
-//! | L1 | no-hot-path-alloc     | bodies of the hot-path functions    |
-//! | L2 | no-weight-deep-clone  | all non-test code                   |
-//! | L3 | no-unordered-iteration| restricted (plan/exec/serve) files  |
-//! | L4 | panic-ratchet         | all non-test code, counted per file |
+//! | id | name                   | scope                                  |
+//! |----|------------------------|----------------------------------------|
+//! | L1 | no-hot-path-alloc      | every fn reachable from an entry point |
+//! | L2 | no-weight-deep-clone   | all non-test code                      |
+//! | L3 | no-unordered-iteration | restricted (plan/exec/serve) files     |
+//! | L4 | panic-ratchet          | all non-test code, counted per file    |
+//! | L5 | lock-order             | whole-workspace call graph             |
+//! | L6 | float-determinism      | kernel/exec/serve modules              |
 //!
-//! L1–L3 produce [`Finding`]s that must be covered by the committed
-//! allowlist (`analyze/allowlist.txt`); L4 produces a per-file count that
-//! is compared against the committed baseline (`analyze/panic_ratchet.txt`)
-//! and may only go down.
+//! L2/L3/L4/L6 are per-file token walks living here. L1 and L5 are
+//! *interprocedural*: they run over the call graph in [`crate::graph`],
+//! fed by the symbols from [`crate::resolve`] — the hot set is derived
+//! from entry-point reachability, never hand-listed. All of L1–L3, L5,
+//! and L6 produce [`Finding`]s that must be covered by the committed
+//! allowlist (`analyze/allowlist.txt`); L4 produces a per-file count
+//! compared against the committed baseline (`analyze/panic_ratchet.txt`)
+//! that may only go down.
 
+use crate::graph::EntryPoint;
 use crate::lexer::{lex, Tok, Token};
+use crate::resolve::FnDef;
 
 /// Lint identifiers, in severity-agnostic declaration order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Lint {
-    /// L1: banned allocating constructs inside hot-path function bodies.
+    /// L1: banned allocating constructs in any entry-point-reachable fn.
     HotPathAlloc,
     /// L2: `.clone()` on a conv-weight-like receiver outside `Arc::clone`.
     WeightDeepClone,
@@ -27,6 +35,11 @@ pub enum Lint {
     UnorderedIteration,
     /// L4: `unwrap()`/`expect()`/`panic!` in non-test code (ratcheted).
     PanicRatchet,
+    /// L5: lock held across a blocking call, relocked, or acquired in an
+    /// order that conflicts with another site in the workspace.
+    LockOrder,
+    /// L6: order/contraction-sensitive float constructs in kernel code.
+    FloatDeterminism,
 }
 
 impl Lint {
@@ -37,16 +50,20 @@ impl Lint {
             Lint::WeightDeepClone => "L2",
             Lint::UnorderedIteration => "L3",
             Lint::PanicRatchet => "L4",
+            Lint::LockOrder => "L5",
+            Lint::FloatDeterminism => "L6",
         }
     }
 
-    /// Parse an allowlist lint id (`L1`..`L3`; L4 uses the ratchet file).
+    /// Parse an allowlist lint id (L4 uses the ratchet file instead).
     pub fn from_id(s: &str) -> Option<Lint> {
         match s {
             "L1" => Some(Lint::HotPathAlloc),
             "L2" => Some(Lint::WeightDeepClone),
             "L3" => Some(Lint::UnorderedIteration),
             "L4" => Some(Lint::PanicRatchet),
+            "L5" => Some(Lint::LockOrder),
+            "L6" => Some(Lint::FloatDeterminism),
             _ => None,
         }
     }
@@ -61,7 +78,8 @@ pub struct Finding {
     pub line: u32,
     /// Enclosing named function, or `-` at item scope.
     pub func: String,
-    /// The banned construct, e.g. `vec!`, `Tensor::zeros`, `clone:weights`.
+    /// The banned construct, e.g. `vec!`, `Tensor::zeros`, `clone:weights`,
+    /// `results->recv`, `order:a->b`, `mul_add`.
     pub construct: String,
 }
 
@@ -83,12 +101,17 @@ impl std::fmt::Display for Finding {
 /// [`Config::workspace`] are the committed policy; tests construct custom
 /// configs to exercise each lint in isolation.
 pub struct Config {
-    /// Function names whose bodies are allocation-free hot paths (L1).
-    pub hot_fns: Vec<String>,
+    /// Hot-path entry points (L1). Reachability from these — through the
+    /// call graph — defines the hot set; there is no function-name list
+    /// to keep in sync with the code.
+    pub entry_points: Vec<EntryPoint>,
     /// Path suffixes of modules where unordered containers are banned (L3).
     pub restricted_files: Vec<String>,
     /// Substrings that mark a `.clone()` receiver as weight-like (L2).
     pub weight_receivers: Vec<String>,
+    /// Path suffixes of kernel/exec/serve modules where float results must
+    /// be bitwise deterministic (L6).
+    pub float_files: Vec<String>,
 }
 
 impl Config {
@@ -96,21 +119,16 @@ impl Config {
     pub fn workspace() -> Config {
         let s = |v: &[&str]| v.iter().map(|s| (*s).to_string()).collect();
         Config {
-            hot_fns: s(&[
-                "run_fused_into",
-                "run_block_scratch",
-                "eval_node_into",
-                "forward_into",
-                "forward_prepadded_into",
-                "worker_loop",
-                // Integer/float GEMM entry points: steady-state zero-alloc
-                // (scratch buffers grow once, then are reused).
-                "qim2col_gemm",
-                "qplane_conv",
-                "qgemm",
-                "im2col_gemm",
-                "gemm_bias_packed",
-            ]),
+            entry_points: vec![
+                // The public inference spine…
+                EntryPoint::new("run_with", Some("Session")),
+                // …the serving front door…
+                EntryPoint::new("submit", Some("ServeEngine")),
+                EntryPoint::new("wait", Some("ServeEngine")),
+                EntryPoint::new("worker_loop", None),
+                // …and every executor's scratch-path impl.
+                EntryPoint::new("run_scratch", None),
+            ],
             restricted_files: s(&[
                 "crates/graph/src/plan.rs",
                 "crates/graph/src/exec.rs",
@@ -122,18 +140,40 @@ impl Config {
                 "crates/core/src/plan.rs",
             ]),
             weight_receivers: s(&["weight", "conv", "kernel"]),
+            float_files: s(&[
+                "crates/tensor/src/kernel.rs",
+                "crates/tensor/src/conv.rs",
+                "crates/tensor/src/linear.rs",
+                "crates/tensor/src/activation.rs",
+                "crates/tensor/src/elementwise.rs",
+                "crates/tensor/src/pool.rs",
+                "crates/tensor/src/upsample.rs",
+                "crates/tensor/src/pad.rs",
+                "crates/quant/src/qgemm.rs",
+                "crates/quant/src/qconv.rs",
+                "crates/quant/src/qlinear.rs",
+                "crates/core/src/fusion.rs",
+                "crates/graph/src/exec.rs",
+                "crates/graph/src/serve.rs",
+                "crates/graph/src/quantize.rs",
+            ]),
         }
     }
 
     fn is_restricted(&self, file: &str) -> bool {
         self.restricted_files.iter().any(|r| file.ends_with(r.as_str()))
     }
+
+    fn is_float_file(&self, file: &str) -> bool {
+        self.float_files.iter().any(|r| file.ends_with(r.as_str()))
+    }
 }
 
 /// Result of scanning one source file.
 #[derive(Debug, Default)]
 pub struct FileReport {
-    /// L1–L3 findings (allowlist-gated).
+    /// L2/L3/L6 findings (allowlist-gated). L1 and L5 are produced by the
+    /// workspace pass, not per file.
     pub findings: Vec<Finding>,
     /// L4 sites in non-test code (ratchet-gated; `findings` excludes them).
     pub panic_sites: Vec<Finding>,
@@ -175,31 +215,7 @@ impl Scan {
 /// index just past the closing `]` and whether the attribute marks test
 /// code (`test` present, `not` absent — so `#[cfg(not(test))]` is live).
 fn scan_attr(toks: &[Token], i: usize) -> (usize, bool) {
-    let mut j = i + 1;
-    if toks.get(j).is_some_and(|t| t.is_punct('!')) {
-        j += 1; // inner attribute `#![...]`
-    }
-    if !toks.get(j).is_some_and(|t| t.is_punct('[')) {
-        return (i + 1, false); // stray `#`; treat as plain punct
-    }
-    let mut brackets = 0i32;
-    let (mut has_test, mut has_not) = (false, false);
-    while let Some(t) = toks.get(j) {
-        match &t.tok {
-            Tok::Punct('[') => brackets += 1,
-            Tok::Punct(']') => {
-                brackets -= 1;
-                if brackets == 0 {
-                    return (j + 1, has_test && !has_not);
-                }
-            }
-            Tok::Ident(s) if s == "test" => has_test = true,
-            Tok::Ident(s) if s == "not" => has_not = true,
-            _ => {}
-        }
-        j += 1;
-    }
-    (toks.len(), false) // unterminated attribute at EOF
+    crate::resolve::scan_attr(toks, i)
 }
 
 /// Match an L1 banned construct ending/starting at index `i`.
@@ -231,6 +247,33 @@ fn hot_alloc_at(toks: &[Token], i: usize) -> Option<&'static str> {
     }
 }
 
+/// The L1 pass for one *reachable* definition: banned allocating
+/// constructs anywhere in its body, skipping nested named definitions
+/// (they have their own reachability) but keeping closures (they run on
+/// the enclosing function's path).
+pub fn alloc_sites(toks: &[Token], defs: &[FnDef], def: &FnDef) -> Vec<Finding> {
+    if def.is_test {
+        return Vec::new();
+    }
+    let skip = crate::resolve::child_spans(defs, def);
+    let mut out = Vec::new();
+    for i in def.body.0..def.body.1.min(toks.len()) {
+        if crate::resolve::in_spans(&skip, i) {
+            continue;
+        }
+        if let Some(construct) = hot_alloc_at(toks, i) {
+            out.push(Finding {
+                lint: Lint::HotPathAlloc,
+                file: def.file.clone(),
+                line: toks[i].line,
+                func: def.name.clone(),
+                construct: construct.to_string(),
+            });
+        }
+    }
+    out
+}
+
 /// Match an L4 panic construct at index `i`; returns its display name.
 fn panic_site_at(toks: &[Token], i: usize) -> Option<&'static str> {
     let id = toks[i].ident()?;
@@ -245,11 +288,43 @@ fn panic_site_at(toks: &[Token], i: usize) -> Option<&'static str> {
     }
 }
 
-/// Scan one source file and apply every lint. `file` is the
-/// workspace-relative path used in findings and for L3 file matching.
-pub fn scan_source(file: &str, src: &str, cfg: &Config) -> FileReport {
-    let toks = lex(src);
+/// Match an L6 float-determinism construct at index `i`. Bans, inside
+/// kernel modules: fused `mul_add` (contraction differs per target),
+/// `powf` (libm varies), float `sum::<f32/f64>()`/`product` turbofish
+/// reductions (order-sensitive), and float atomics.
+fn float_det_at(toks: &[Token], i: usize) -> Option<String> {
+    let id = toks[i].ident()?;
+    let prev = |k: usize| i.checked_sub(k).map(|j| &toks[j]);
+    let next = |k: usize| toks.get(i + k);
+    let after_dot = prev(1).is_some_and(|t| t.is_punct('.'));
+    let before_call = next(1).is_some_and(|t| t.is_punct('('));
+    match id {
+        "mul_add" | "powf" if after_dot && before_call => Some(id.to_string()),
+        "sum" | "product" if after_dot => {
+            // `.sum::<f32>()` turbofish: `sum :: < f32 > (`
+            let turbofish_float = next(1).is_some_and(|t| t.is_punct(':'))
+                && next(2).is_some_and(|t| t.is_punct(':'))
+                && next(3).is_some_and(|t| t.is_punct('<'))
+                && matches!(next(4).and_then(Token::ident), Some("f32" | "f64"));
+            if turbofish_float {
+                let ty = next(4).and_then(Token::ident).unwrap_or("f32");
+                Some(format!("{id}::<{ty}>"))
+            } else {
+                None
+            }
+        }
+        "AtomicF32" | "AtomicF64" => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+/// Scan one source file's tokens and apply the per-file lints (L2, L3,
+/// L4, L6). `file` is the workspace-relative path used in findings and
+/// for the L3/L6 module matching. The interprocedural lints (L1, L5) run
+/// in [`crate::analyze_sources`] over the same token streams.
+pub fn scan_tokens(file: &str, toks: &[Token], cfg: &Config) -> FileReport {
     let restricted = cfg.is_restricted(file);
+    let float_file = cfg.is_float_file(file);
     let mut scan = Scan {
         depth: 0,
         test_open: Vec::new(),
@@ -259,13 +334,16 @@ pub fn scan_source(file: &str, src: &str, cfg: &Config) -> FileReport {
         expect_fn_name: false,
     };
     let mut report = FileReport::default();
+    // `[`-nesting: a `;` inside an array type (`[usize; 4]`) is not a
+    // statement terminator and must not cancel a pending fn name.
+    let mut brackets = 0i32;
     let mut i = 0usize;
     while i < toks.len() {
         let t = &toks[i];
 
         // --- structure: attributes, braces, fn names -------------------
         if t.is_punct('#') {
-            let (next_i, is_test) = scan_attr(&toks, i);
+            let (next_i, is_test) = scan_attr(toks, i);
             if next_i > i + 1 {
                 scan.pending_test |= is_test;
                 i = next_i;
@@ -292,7 +370,9 @@ pub fn scan_source(file: &str, src: &str, cfg: &Config) -> FileReport {
                 }
                 scan.depth = scan.depth.saturating_sub(1);
             }
-            Tok::Punct(';') => {
+            Tok::Punct('[') => brackets += 1,
+            Tok::Punct(']') => brackets -= 1,
+            Tok::Punct(';') if brackets == 0 => {
                 // `#[cfg(test)] use x;` or a trait method declaration:
                 // the pending marker never found a body.
                 scan.pending_test = false;
@@ -332,20 +412,6 @@ pub fn scan_source(file: &str, src: &str, cfg: &Config) -> FileReport {
         }
 
         if !in_test {
-            // L1: only inside hot-path function bodies (closures within
-            // them are attributed to the enclosing named fn on purpose).
-            if cfg.hot_fns.iter().any(|h| h == func) {
-                if let Some(construct) = hot_alloc_at(&toks, i) {
-                    report.findings.push(Finding {
-                        lint: Lint::HotPathAlloc,
-                        file: file.to_string(),
-                        line: t.line,
-                        func: func.to_string(),
-                        construct: construct.to_string(),
-                    });
-                }
-            }
-
             // L2: `.clone()` whose receiver ident looks weight-like.
             // `Arc::clone(&x)` has no `.` so it never matches.
             if t.ident() == Some("clone")
@@ -368,7 +434,7 @@ pub fn scan_source(file: &str, src: &str, cfg: &Config) -> FileReport {
             }
 
             // L4: panic-ratchet sites.
-            if let Some(construct) = panic_site_at(&toks, i) {
+            if let Some(construct) = panic_site_at(toks, i) {
                 report.panic_sites.push(Finding {
                     lint: Lint::PanicRatchet,
                     file: file.to_string(),
@@ -377,8 +443,29 @@ pub fn scan_source(file: &str, src: &str, cfg: &Config) -> FileReport {
                     construct: construct.to_string(),
                 });
             }
+
+            // L6: order/contraction-sensitive float constructs.
+            if float_file {
+                if let Some(construct) = float_det_at(toks, i) {
+                    report.findings.push(Finding {
+                        lint: Lint::FloatDeterminism,
+                        file: file.to_string(),
+                        line: t.line,
+                        func: func.to_string(),
+                        construct,
+                    });
+                }
+            }
         }
         i += 1;
     }
     report
+}
+
+/// Lex one file and apply the per-file lints. Convenience wrapper over
+/// [`scan_tokens`] for single-file callers (tests); the workspace driver
+/// lexes each file exactly once and shares the stream between this walk
+/// and symbol resolution.
+pub fn scan_source(file: &str, src: &str, cfg: &Config) -> FileReport {
+    scan_tokens(file, &lex(src), cfg)
 }

@@ -1,11 +1,13 @@
-//! CLI entry point: `cargo run -p bconv-analyze [-- --write-ratchet]`.
+//! CLI entry point:
+//! `cargo run -p bconv-analyze [-- --write-ratchet] [--json <path>]`.
 //!
 //! Exit codes: 0 clean, 1 lint violations / ratchet regressions / stale
 //! policy entries, 2 usage or I/O errors.
 
 use bconv_analyze::lints::Config;
 use bconv_analyze::{
-    apply_allowlist, check_ratchet, parse_allowlist, parse_ratchet, render_ratchet, scan_workspace,
+    apply_allowlist, check_ratchet, parse_allowlist, parse_ratchet, render_json, render_ratchet,
+    scan_workspace,
 };
 use std::path::PathBuf;
 
@@ -19,12 +21,18 @@ fn run() -> Result<bool, String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut write_ratchet = false;
     let mut root = default_root();
+    let mut json_path: Option<PathBuf> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--write-ratchet" => write_ratchet = true,
             "--root" => {
                 root = PathBuf::from(it.next().ok_or_else(|| "--root takes a path".to_string())?);
+            }
+            "--json" => {
+                json_path = Some(PathBuf::from(
+                    it.next().ok_or_else(|| "--json takes a path".to_string())?,
+                ));
             }
             other => return Err(format!("unknown argument {other:?}")),
         }
@@ -100,11 +108,31 @@ fn run() -> Result<bool, String> {
         }
     }
 
+    // Frontier summary: callees the resolver could not match, reachable
+    // from the entry points. Informational (never gates) — printed so
+    // conservatism gaps show up in CI logs instead of staying silent.
+    if report.frontier.is_empty() {
+        println!("frontier: none — every reachable callee resolved");
+    } else {
+        println!("frontier ({} unresolved callee(s) on hot paths):", report.frontier.len());
+        for e in &report.frontier {
+            println!("  {}:{} in `{}`: `{}`", e.file, e.line, e.func, e.callee);
+        }
+    }
+
+    if let Some(path) = &json_path {
+        std::fs::write(path, render_json(&report, &gate))
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        println!("bconv-analyze: wrote JSON report to {}", path.display());
+    }
+
     let total_l4: usize = counts.values().sum();
     println!(
-        "bconv-analyze: {} file(s), {} finding(s) ({} allowlisted), {} L4 site(s) \
-         across {} file(s) — {}",
+        "bconv-analyze: {} file(s), {} hot fn(s) from {} entry match(es), {} finding(s) \
+         ({} allowlisted), {} L4 site(s) across {} file(s) — {}",
         report.files,
+        report.hot_fns.len(),
+        report.entry_matches,
         report.findings.len(),
         report.findings.len() - gate.violations.len(),
         total_l4,

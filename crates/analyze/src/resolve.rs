@@ -1,0 +1,592 @@
+//! Symbol resolution over the token stream from [`crate::lexer`]: finds
+//! every function definition (free functions, inherent and trait-impl
+//! methods, trait default methods), the call sites inside each body, and
+//! the lock-acquisition regions the L5 lint reasons about.
+//!
+//! Resolution is deliberately *conservative and syntactic* — there is no
+//! type information (no `syn`, no compiler). A method call matches every
+//! workspace method of that name unless a receiver hint narrows the
+//! candidate set; an unresolvable callee is surfaced as a **frontier**
+//! edge by [`crate::graph`] rather than silently dropped, so the
+//! analysis over-approximates reachability instead of missing it.
+
+use crate::lexer::{Tok, Token};
+
+/// A function definition discovered in a file.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    pub name: String,
+    /// The type this function is defined on: `impl Ty` / `impl Tr for Ty`
+    /// both record `Ty`; a trait declaration's default method records the
+    /// trait name. `None` for free functions.
+    pub owner: Option<String>,
+    /// The trait being implemented (`impl Tr for Ty` → `Tr`), or the
+    /// declaring trait for a default method.
+    pub trait_name: Option<String>,
+    pub file: String,
+    pub line: u32,
+    /// Token range of the body: `[open brace, one past close brace)`.
+    pub body: (usize, usize),
+    /// Defined under `#[cfg(test)]` / `#[test]`.
+    pub is_test: bool,
+}
+
+impl FnDef {
+    /// `Owner::name` or bare `name`, for reports.
+    pub fn qualified(&self) -> String {
+        match &self.owner {
+            Some(o) => format!("{o}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// How a call site names its callee.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Callee {
+    /// `foo(..)` — a free function (or a local closure, which resolution
+    /// cannot distinguish; unresolved names become frontier edges).
+    Free { name: String },
+    /// `recv.foo(..)` — a method call; `hint` is the receiver-chain ident
+    /// closest to the call (`self.shared.lock()` → `shared`), used to
+    /// narrow same-named candidates by type-name similarity.
+    Method { name: String, hint: Option<String> },
+    /// `Ty::foo(..)` or a bare `Ty::foo` function reference.
+    Path { ty: String, name: String },
+}
+
+impl Callee {
+    /// The bare callee name.
+    pub fn name(&self) -> &str {
+        match self {
+            Callee::Free { name } | Callee::Method { name, .. } | Callee::Path { name, .. } => name,
+        }
+    }
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    pub callee: Callee,
+    pub line: u32,
+    /// Token index of the callee name (used to place the call inside or
+    /// outside lock regions).
+    pub tok: usize,
+}
+
+/// One blocking-primitive invocation (`recv`/`send`/`wait`/`join`…).
+#[derive(Debug, Clone)]
+pub struct BlockingOp {
+    pub op: String,
+    pub line: u32,
+    pub tok: usize,
+    /// Idents appearing in the call's argument list — a `Condvar::wait`
+    /// that is *passed* the held guard releases it atomically, so such a
+    /// wait is exempt for that guard's region.
+    pub args: Vec<String>,
+}
+
+/// A lock acquisition and the token span its guard stays live for.
+#[derive(Debug, Clone)]
+pub struct LockRegion {
+    /// Lock identity: the receiver ident of `.lock()` (`results.lock()`
+    /// → `results`) or the suffix of a `lock_*` guard-returning helper
+    /// (`lock_results()` → `results`).
+    pub lock: String,
+    pub line: u32,
+    /// The guard's `let` binding, when the acquisition is bound.
+    pub binding: Option<String>,
+    /// Token span `[acquisition, release)` the guard is held for.
+    pub span: (usize, usize),
+}
+
+/// Everything extracted from one function body.
+#[derive(Debug, Clone, Default)]
+pub struct FnFacts {
+    pub calls: Vec<CallSite>,
+    pub blocking: Vec<BlockingOp>,
+    pub locks: Vec<LockRegion>,
+}
+
+/// All symbols of one file: definitions plus per-definition facts
+/// (`facts[i]` belongs to `defs[i]`).
+#[derive(Debug, Default)]
+pub struct FileSyms {
+    pub file: String,
+    pub defs: Vec<FnDef>,
+    pub facts: Vec<FnFacts>,
+}
+
+/// Keywords that can be followed by `(` without being calls.
+fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "if" | "else"
+            | "while"
+            | "for"
+            | "in"
+            | "match"
+            | "loop"
+            | "return"
+            | "break"
+            | "continue"
+            | "let"
+            | "move"
+            | "as"
+            | "where"
+            | "unsafe"
+            | "await"
+            | "fn"
+            | "impl"
+            | "dyn"
+            | "pub"
+            | "use"
+            | "mod"
+            | "ref"
+            | "mut"
+            | "const"
+            | "static"
+    )
+}
+
+/// `impl`/`trait` context captured while walking a file.
+#[derive(Debug, Clone)]
+struct OwnerCtx {
+    owner: Option<String>,
+    trait_name: Option<String>,
+    /// Brace depth of the context's block body.
+    depth: u32,
+}
+
+/// Parse the header of an `impl` item starting at `toks[i]` (the `impl`
+/// ident). Returns `(index of the opening brace, owner type, trait)`;
+/// `impl Tr for Ty` yields owner `Ty` and trait `Tr`, `impl Ty` yields
+/// owner `Ty` and no trait. Generic parameters and paths collapse to
+/// their final segment.
+fn parse_impl_header(toks: &[Token], i: usize) -> (usize, Option<String>, Option<String>) {
+    let mut j = i + 1;
+    let mut angle = 0i32;
+    let mut first: Option<String> = None;
+    let mut second: Option<String> = None;
+    let mut saw_for = false;
+    let mut saw_where = false;
+    while let Some(t) = toks.get(j) {
+        match &t.tok {
+            Tok::Punct('<') => angle += 1,
+            Tok::Punct('>') => angle -= 1,
+            Tok::Punct('{') => {
+                let (owner, trait_name) = if saw_for { (second, first) } else { (first, None) };
+                return (j, owner, trait_name);
+            }
+            Tok::Punct(';') => return (j, None, None), // `impl Trait for Ty;`-like degenerate
+            Tok::Ident(s) if angle == 0 && !saw_where => {
+                if s == "for" {
+                    saw_for = true;
+                } else if s == "where" {
+                    saw_where = true; // bounds follow; types already captured
+                } else if saw_for {
+                    second = Some(s.clone()); // last path segment wins
+                } else {
+                    first = Some(s.clone());
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    (toks.len(), None, None)
+}
+
+/// Scan an attribute starting at `toks[i]` (`#`). Returns the index past
+/// the closing `]` and whether it marks test code (`test` present and
+/// `not` absent, so `#[cfg(not(test))]` stays live).
+pub(crate) fn scan_attr(toks: &[Token], i: usize) -> (usize, bool) {
+    let mut j = i + 1;
+    if toks.get(j).is_some_and(|t| t.is_punct('!')) {
+        j += 1;
+    }
+    if !toks.get(j).is_some_and(|t| t.is_punct('[')) {
+        return (i + 1, false);
+    }
+    let mut brackets = 0i32;
+    let (mut has_test, mut has_not) = (false, false);
+    while let Some(t) = toks.get(j) {
+        match &t.tok {
+            Tok::Punct('[') => brackets += 1,
+            Tok::Punct(']') => {
+                brackets -= 1;
+                if brackets == 0 {
+                    return (j + 1, has_test && !has_not);
+                }
+            }
+            Tok::Ident(s) if s == "test" => has_test = true,
+            Tok::Ident(s) if s == "not" => has_not = true,
+            _ => {}
+        }
+        j += 1;
+    }
+    (toks.len(), false)
+}
+
+/// A function definition in mid-flight during the walk.
+struct OpenDef {
+    def: FnDef,
+    /// Brace depth of the body block.
+    depth: u32,
+}
+
+/// Walk a file's tokens and return every function definition with its
+/// body span, owner context, and test-scope flag. Also returns, per def,
+/// the index ranges of *nested* named functions, so fact extraction can
+/// attribute constructs to the innermost definition (closures stay with
+/// their enclosing function on purpose — they run on its path).
+pub fn find_defs(file: &str, toks: &[Token]) -> Vec<FnDef> {
+    let mut defs: Vec<FnDef> = Vec::new();
+    let mut open: Vec<OpenDef> = Vec::new();
+    let mut owners: Vec<OwnerCtx> = Vec::new();
+    let mut depth: u32 = 0;
+    let mut test_open: Vec<u32> = Vec::new();
+    let mut pending_test = false;
+    let mut pending_fn: Option<(String, u32)> = None; // (name, line)
+    let mut expect_fn_name = false;
+    // `[`-nesting: a `;` inside an array type (`[usize; 4]`) or array
+    // expression is not a statement terminator and must not cancel a
+    // pending fn between its signature and its body.
+    let mut brackets = 0i32;
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct('#') {
+            let (next_i, is_test) = scan_attr(toks, i);
+            if next_i > i + 1 {
+                pending_test |= is_test;
+                i = next_i;
+                continue;
+            }
+        }
+        match &t.tok {
+            Tok::Ident(s) if (s == "impl" || s == "trait") && pending_fn.is_none() => {
+                // Guarded on `pending_fn`: `impl` between a function's
+                // name and its body (`-> impl Iterator`, `x: impl Fn()`)
+                // is a type position, not an item header.
+                let is_trait = s == "trait";
+                let (brace, owner, trait_name) = if is_trait {
+                    // `trait Name { … }`: the name is the next ident; the
+                    // block may declare default methods (owner = trait).
+                    let name = toks.get(i + 1).and_then(Token::ident).map(str::to_string);
+                    let mut j = i + 1;
+                    while j < toks.len() && !toks[j].is_punct('{') && !toks[j].is_punct(';') {
+                        j += 1;
+                    }
+                    (j, name.clone(), name)
+                } else {
+                    parse_impl_header(toks, i)
+                };
+                if toks.get(brace).is_some_and(|t| t.is_punct('{')) {
+                    depth += 1;
+                    if pending_test {
+                        test_open.push(depth);
+                        pending_test = false;
+                    }
+                    owners.push(OwnerCtx { owner, trait_name, depth });
+                }
+                i = brace + 1;
+                continue;
+            }
+            Tok::Punct('{') => {
+                depth += 1;
+                if pending_test {
+                    test_open.push(depth);
+                    pending_test = false;
+                }
+                if let Some((name, line)) = pending_fn.take() {
+                    let ctx = owners.last();
+                    open.push(OpenDef {
+                        def: FnDef {
+                            name,
+                            owner: ctx.and_then(|c| c.owner.clone()),
+                            trait_name: ctx.and_then(|c| c.trait_name.clone()),
+                            file: file.to_string(),
+                            line,
+                            body: (i, i + 1), // end patched at close
+                            is_test: !test_open.is_empty(),
+                        },
+                        depth,
+                    });
+                }
+            }
+            Tok::Punct('}') => {
+                if test_open.last() == Some(&depth) {
+                    test_open.pop();
+                }
+                if open.last().map(|o| o.depth) == Some(depth) {
+                    if let Some(mut done) = open.pop() {
+                        done.def.body.1 = i + 1;
+                        defs.push(done.def);
+                    }
+                }
+                if owners.last().map(|o| o.depth) == Some(depth) {
+                    owners.pop();
+                }
+                depth = depth.saturating_sub(1);
+            }
+            Tok::Punct('[') => brackets += 1,
+            Tok::Punct(']') => brackets -= 1,
+            Tok::Punct(';') if brackets == 0 => {
+                pending_test = false;
+                pending_fn = None;
+            }
+            Tok::Ident(s) if s == "fn" => {
+                expect_fn_name = true;
+                i += 1;
+                continue;
+            }
+            Tok::Ident(name) if expect_fn_name => {
+                pending_fn = Some((name.clone(), t.line));
+                expect_fn_name = false;
+            }
+            _ => {}
+        }
+        if expect_fn_name && t.ident().is_none() {
+            expect_fn_name = false; // `fn(` pointer type
+        }
+        i += 1;
+    }
+    // Close unterminated defs at EOF (tolerated, like the lexer).
+    while let Some(mut o) = open.pop() {
+        o.def.body.1 = toks.len();
+        defs.push(o.def);
+    }
+    defs.sort_by_key(|d| d.body.0);
+    defs
+}
+
+/// True when token index `k` falls inside any of `spans`.
+pub(crate) fn in_spans(spans: &[(usize, usize)], k: usize) -> bool {
+    spans.iter().any(|&(a, b)| k >= a && k < b)
+}
+
+/// The token spans of definitions nested strictly inside `outer`.
+pub(crate) fn child_spans(defs: &[FnDef], outer: &FnDef) -> Vec<(usize, usize)> {
+    defs.iter()
+        .filter(|d| d.body.0 > outer.body.0 && d.body.1 <= outer.body.1)
+        .map(|d| d.body)
+        .collect()
+}
+
+/// Blocking primitives for the L5 lock lint: calls that can park the
+/// thread indefinitely while a held lock starves every peer.
+pub fn is_blocking_name(name: &str) -> bool {
+    matches!(name, "recv" | "send" | "wait" | "join" | "recv_timeout" | "wait_timeout")
+}
+
+/// Collect idents inside the parenthesized argument list that starts at
+/// `toks[open]` (which must be `(`).
+fn paren_idents(toks: &[Token], open: usize) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut bal = 0i32;
+    let mut j = open;
+    while let Some(t) = toks.get(j) {
+        match &t.tok {
+            Tok::Punct('(') => bal += 1,
+            Tok::Punct(')') => {
+                bal -= 1;
+                if bal == 0 {
+                    break;
+                }
+            }
+            Tok::Ident(s) => out.push(s.clone()),
+            _ => {}
+        }
+        j += 1;
+    }
+    out
+}
+
+/// Extract calls, blocking ops, and lock regions from `def`'s body,
+/// skipping nested named definitions.
+pub fn extract_facts(toks: &[Token], defs: &[FnDef], def: &FnDef) -> FnFacts {
+    let skip = child_spans(defs, def);
+    let (start, end) = def.body;
+    let mut facts = FnFacts::default();
+    // Open lock regions: indices into facts.locks awaiting release.
+    let mut open_locks: Vec<(usize, u32)> = Vec::new(); // (lock idx, depth)
+    let mut depth: u32 = 0;
+    let mut stmt_start = start;
+    let mut i = start;
+    while i < end {
+        if in_spans(&skip, i) {
+            i += 1;
+            continue;
+        }
+        let t = &toks[i];
+        match &t.tok {
+            Tok::Punct('{') => {
+                depth += 1;
+                stmt_start = i + 1;
+            }
+            Tok::Punct('}') => {
+                depth = depth.saturating_sub(1);
+                // Guards die with their enclosing block.
+                for &(li, ld) in &open_locks {
+                    if ld > depth {
+                        facts.locks[li].span.1 = i;
+                    }
+                }
+                open_locks.retain(|&(_, ld)| ld <= depth);
+                stmt_start = i + 1;
+            }
+            Tok::Punct(';') => {
+                // Unbound guard temporaries die at end of statement.
+                for &(li, ld) in &open_locks {
+                    if ld == depth && facts.locks[li].binding.is_none() {
+                        facts.locks[li].span.1 = i;
+                    }
+                }
+                let locks = &mut facts.locks;
+                open_locks.retain(|&(li, ld)| !(ld == depth && locks[li].binding.is_none()));
+                stmt_start = i + 1;
+            }
+            Tok::Ident(name) => {
+                let prev_dot = i > start && toks[i - 1].is_punct('.');
+                let next_paren = toks.get(i + 1).is_some_and(|t| t.is_punct('('));
+                // `drop(guard)` releases a bound guard early.
+                if name == "drop" && !prev_dot && next_paren {
+                    let args = paren_idents(toks, i + 1);
+                    for &(li, _) in &open_locks {
+                        if facts.locks[li]
+                            .binding
+                            .as_deref()
+                            .is_some_and(|b| args.iter().any(|a| a == b))
+                        {
+                            facts.locks[li].span.1 = i;
+                        }
+                    }
+                    let locks = &facts.locks;
+                    open_locks.retain(|&(li, _)| locks[li].span.1 > i);
+                }
+                // Lock acquisition: `recv.lock()` or a `lock_*` helper.
+                let lock_id = if name == "lock" && prev_dot && next_paren {
+                    i.checked_sub(2)
+                        .and_then(|j| toks[j].ident())
+                        .map(str::to_string)
+                        .or_else(|| Some("lock".to_string()))
+                } else if let Some(suffix) = name.strip_prefix("lock_") {
+                    if next_paren && !suffix.is_empty() {
+                        Some(suffix.to_string())
+                    } else {
+                        None
+                    }
+                } else {
+                    None
+                };
+                if let Some(lock) = lock_id {
+                    // The guard's binding: `let [mut] NAME = …` at the
+                    // head of the current statement.
+                    let binding = match toks.get(stmt_start).and_then(Token::ident) {
+                        Some("let") => {
+                            let mut j = stmt_start + 1;
+                            if toks.get(j).and_then(Token::ident) == Some("mut") {
+                                j += 1;
+                            }
+                            toks.get(j).and_then(Token::ident).map(str::to_string)
+                        }
+                        _ => None,
+                    };
+                    facts.locks.push(LockRegion { lock, line: t.line, binding, span: (i, end) });
+                    open_locks.push((facts.locks.len() - 1, depth));
+                }
+                // Blocking primitives (method position only).
+                if prev_dot && next_paren && is_blocking_name(name) {
+                    facts.blocking.push(BlockingOp {
+                        op: name.clone(),
+                        line: t.line,
+                        tok: i,
+                        args: paren_idents(toks, i + 1),
+                    });
+                }
+                // Call sites.
+                if let Some(site) = call_site_at(toks, i, start) {
+                    facts.calls.push(site);
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    facts
+}
+
+/// Classify the token at `i` as a call site, if it is one.
+fn call_site_at(toks: &[Token], i: usize, lo: usize) -> Option<CallSite> {
+    let name = toks[i].ident()?;
+    if is_keyword(name) {
+        return None;
+    }
+    let next = toks.get(i + 1);
+    let next_paren = next.is_some_and(|t| t.is_punct('('));
+    let next_bang = next.is_some_and(|t| t.is_punct('!'));
+    if next_bang {
+        return None; // macros are matched by the construct lints, not the graph
+    }
+    let prev = |k: usize| i.checked_sub(k).filter(|j| *j >= lo).map(|j| &toks[j]);
+    let after_dot = prev(1).is_some_and(|t| t.is_punct('.'));
+    let after_path =
+        prev(1).is_some_and(|t| t.is_punct(':')) && prev(2).is_some_and(|t| t.is_punct(':'));
+    let uppercase = name.chars().next().is_some_and(char::is_uppercase);
+    let line = toks[i].line;
+    if after_dot && next_paren {
+        // `recv.name(..)`: hint is the ident before the dot; a `self`
+        // receiver is resolved by the caller against its own impl type.
+        let hint = prev(2).and_then(Token::ident).map(str::to_string);
+        return Some(CallSite {
+            callee: Callee::Method { name: name.to_string(), hint },
+            line,
+            tok: i,
+        });
+    }
+    if after_path {
+        // `Ty::name(..)` call or bare `Ty::name` function reference
+        // (e.g. `.map(Job::samples)`). Uppercase names are enum variants
+        // or tuple-struct constructors (`Slot::Done(..)`), never fns.
+        let ty = prev(3).and_then(Token::ident)?;
+        if uppercase {
+            return None;
+        }
+        // Skip deeper paths' middle segments (`a::b::c` matches only `c`).
+        if toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+        {
+            return None;
+        }
+        if ty.chars().next().is_some_and(char::is_uppercase) || ty == "self" {
+            return Some(CallSite {
+                callee: Callee::Path { ty: ty.to_string(), name: name.to_string() },
+                line,
+                tok: i,
+            });
+        }
+        // `module::func(..)`: treat as a free-function call by name.
+        if next_paren {
+            return Some(CallSite {
+                callee: Callee::Free { name: name.to_string() },
+                line,
+                tok: i,
+            });
+        }
+        return None;
+    }
+    if next_paren && !uppercase {
+        // Plain `name(..)` — free function (or a local closure; unresolved
+        // names surface as frontier edges).
+        return Some(CallSite { callee: Callee::Free { name: name.to_string() }, line, tok: i });
+    }
+    None
+}
+
+/// Resolve a whole file: definitions plus per-definition facts.
+pub fn resolve_file(file: &str, toks: &[Token]) -> FileSyms {
+    let defs = find_defs(file, toks);
+    let facts = defs.iter().map(|d| extract_facts(toks, &defs, d)).collect();
+    FileSyms { file: file.to_string(), defs, facts }
+}

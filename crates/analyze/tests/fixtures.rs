@@ -5,7 +5,8 @@
 
 use bconv_analyze::lints::{scan_source, Config, Lint};
 use bconv_analyze::{
-    apply_allowlist, check_ratchet, parse_allowlist, parse_ratchet, render_ratchet,
+    analyze_sources, apply_allowlist, check_ratchet, parse_allowlist, parse_ratchet,
+    render_ratchet, WorkspaceReport,
 };
 use std::collections::BTreeMap;
 
@@ -16,6 +17,14 @@ fn cfg() -> Config {
 /// Scan under a hot-path-relevant filename with the workspace config.
 fn scan(file: &str, src: &str) -> bconv_analyze::lints::FileReport {
     scan_source(file, src, &cfg())
+}
+
+/// Run the whole pipeline (per-file lints + call graph) over in-memory
+/// sources with the workspace config — same code path CI takes.
+fn ws(files: &[(&str, &str)]) -> WorkspaceReport {
+    let sources: Vec<(String, String)> =
+        files.iter().map(|(f, s)| ((*f).to_string(), (*s).to_string())).collect();
+    analyze_sources(&sources, &cfg())
 }
 
 // --- lexer robustness -------------------------------------------------------
@@ -45,12 +54,12 @@ fn lifetimes_do_not_confuse_char_literals() {
     assert!(rep.findings.is_empty());
 }
 
-// --- L1 no-hot-path-alloc ---------------------------------------------------
+// --- L1 allocation reachability ---------------------------------------------
 
 #[test]
-fn l1_fires_on_every_banned_construct_in_hot_fn() {
+fn l1_fires_on_every_banned_construct_in_reachable_fn() {
     let src = r#"
-        fn run_fused_into(&self) {
+        fn worker_loop(&self) {
             let a = Vec::new();
             let b = vec![0u8; 4];
             let c = Vec::with_capacity(4);
@@ -61,7 +70,7 @@ fn l1_fires_on_every_banned_construct_in_hot_fn() {
             let h = format!("{}", 1);
         }
     "#;
-    let rep = scan("crates/core/src/whatever.rs", src);
+    let rep = ws(&[("crates/core/src/whatever.rs", src)]);
     let constructs: Vec<&str> = rep.findings.iter().map(|f| f.construct.as_str()).collect();
     for want in [
         "Vec::new",
@@ -76,31 +85,353 @@ fn l1_fires_on_every_banned_construct_in_hot_fn() {
         assert!(constructs.contains(&want), "missing {want}: {constructs:?}");
     }
     assert!(rep.findings.iter().all(|f| f.lint == Lint::HotPathAlloc));
-    assert!(rep.findings.iter().all(|f| f.func == "run_fused_into"));
+    assert!(rep.findings.iter().all(|f| f.func == "worker_loop"));
+}
+
+/// The acceptance criterion for the reachability rework: a brand-new
+/// helper called (transitively) from `run_fused_into` is flagged with no
+/// analyzer change and no config edit — hotness comes from the graph.
+#[test]
+fn l1_flags_new_helper_reachable_from_run_fused_into() {
+    let spine = r#"
+        struct Session;
+        impl Session {
+            fn run_with(&self, x: u32) -> u32 { self.executor.run_scratch(x) }
+        }
+        struct BlockedExecutor;
+        impl BlockedExecutor {
+            fn run_scratch(&self, x: u32) -> u32 { run_fused_into(x) }
+        }
+        fn run_fused_into(x: u32) -> u32 { freshly_added_helper(x) }
+    "#;
+    let helper = r#"
+        fn freshly_added_helper(x: u32) -> u32 {
+            let staging = vec![x];
+            staging[0]
+        }
+        fn cold_path() { let v = Vec::new(); }
+    "#;
+    let rep = ws(&[("crates/core/src/spine.rs", spine), ("crates/core/src/helper.rs", helper)]);
+    let l1: Vec<_> = rep.findings.iter().filter(|f| f.lint == Lint::HotPathAlloc).collect();
+    assert_eq!(l1.len(), 1, "{l1:?}");
+    assert_eq!(l1[0].func, "freshly_added_helper");
+    assert_eq!(l1[0].construct, "vec!");
+    assert!(rep.hot_fns.iter().any(|f| f == "freshly_added_helper"), "{:?}", rep.hot_fns);
+    assert!(!rep.hot_fns.iter().any(|f| f == "cold_path"));
 }
 
 #[test]
-fn l1_silent_outside_hot_fns_and_in_tests() {
+fn l1_silent_in_unreachable_fns_and_in_tests() {
     let cold = "fn plan() { let v = vec![1]; let s = x.collect(); }";
-    assert!(scan("crates/core/src/x.rs", cold).findings.is_empty());
+    assert!(ws(&[("crates/core/src/x.rs", cold)]).findings.is_empty());
 
+    // A test-scoped fn named like an entry point neither seeds the walk
+    // nor contributes edges to the graph.
     let test_mod = r#"
         #[cfg(test)]
         mod tests {
-            fn run_fused_into() { let v = vec![1]; }
+            fn worker_loop() { let v = vec![1]; run_fused_into(); }
         }
+        fn run_fused_into() { let w = Vec::new(); }
     "#;
-    assert!(scan("crates/core/src/x.rs", test_mod).findings.is_empty());
+    assert!(ws(&[("crates/core/src/x.rs", test_mod)]).findings.is_empty());
 
-    let test_fn = "#[test]\nfn run_fused_into() { let v = Vec::new(); }";
-    assert!(scan("crates/core/src/x.rs", test_fn).findings.is_empty());
+    let test_fn = "#[test]\nfn worker_loop() { let v = Vec::new(); }";
+    assert!(ws(&[("crates/core/src/x.rs", test_fn)]).findings.is_empty());
 }
 
 #[test]
-fn l1_covers_closures_inside_hot_fn() {
+fn l1_covers_closures_inside_reachable_fn() {
     let src = "fn worker_loop() { let f = || inner.iter().collect(); }";
-    let rep = scan("crates/graph/src/serve.rs", src);
+    let rep = ws(&[("crates/graph/src/serve.rs", src)]);
     assert_eq!(rep.findings.iter().filter(|f| f.construct == "collect").count(), 1);
+    assert_eq!(rep.findings[0].func, "worker_loop");
+}
+
+// --- call-graph resolution ---------------------------------------------------
+
+#[test]
+fn graph_resolves_direct_method_and_trait_calls() {
+    let src = r#"
+        struct Session;
+        impl Session {
+            fn run_with(&self) {
+                direct_helper();
+                self.chain.splice_stage();
+            }
+        }
+        struct FusedChain;
+        impl FusedChain {
+            fn splice_stage(&self) { Self::stage_cost(); }
+            fn stage_cost() {}
+        }
+        trait Executor {
+            fn run_scratch(&self) { self.default_body_helper(); }
+            fn default_body_helper(&self);
+        }
+        struct RefExec;
+        impl Executor for RefExec {
+            fn default_body_helper(&self) { trait_leaf(); }
+        }
+        fn direct_helper() {}
+        fn trait_leaf() {}
+    "#;
+    let rep = ws(&[("crates/core/src/g.rs", src)]);
+    for want in [
+        "direct_helper",                // free fn, direct call
+        "FusedChain::splice_stage",     // method call narrowed by receiver hint
+        "FusedChain::stage_cost",       // Self:: path call
+        "Executor::run_scratch",        // entry point (trait default method)
+        "RefExec::default_body_helper", // trait-impl dispatch (conservative)
+        "trait_leaf",
+    ] {
+        assert!(rep.hot_fns.iter().any(|f| f == want), "missing {want}: {:?}", rep.hot_fns);
+    }
+}
+
+#[test]
+fn graph_attributes_closure_bodies_to_enclosing_fn() {
+    // The closure's call is an edge out of `worker_loop`, not out of some
+    // anonymous scope: `spawned_helper` must be reachable.
+    let src = r#"
+        fn worker_loop() {
+            let work = || spawned_helper();
+            work();
+        }
+        fn spawned_helper() { let v = vec![1]; }
+    "#;
+    let rep = ws(&[("crates/graph/src/serve.rs", src)]);
+    assert!(rep.hot_fns.iter().any(|f| f == "spawned_helper"), "{:?}", rep.hot_fns);
+    assert_eq!(rep.findings.iter().filter(|f| f.construct == "vec!").count(), 1);
+}
+
+#[test]
+fn graph_reports_unknown_callees_as_frontier() {
+    let src = r#"
+        fn worker_loop(f: impl Fn()) {
+            mystery_dispatch();
+            f();
+        }
+        fn unreferenced() { also_unknown(); }
+    "#;
+    let rep = ws(&[("crates/graph/src/serve.rs", src)]);
+    let callees: Vec<&str> = rep.frontier.iter().map(|e| e.callee.as_str()).collect();
+    assert!(callees.contains(&"mystery_dispatch"), "{callees:?}");
+    assert!(callees.contains(&"f"), "{callees:?}");
+    // Frontier reporting is scoped to hot paths: unresolved callees in
+    // unreachable code stay out of the report.
+    assert!(!callees.contains(&"also_unknown"), "{callees:?}");
+    assert!(rep.frontier.iter().all(|e| e.func == "worker_loop"));
+}
+
+// --- L5 lock-order -----------------------------------------------------------
+
+#[test]
+fn l5_fires_on_lock_held_across_blocking_call() {
+    let src = r#"
+        fn worker_loop(&self) {
+            let guard = self.receiver.lock();
+            let job = guard.recv();
+        }
+    "#;
+    let rep = ws(&[("crates/graph/src/serve.rs", src)]);
+    let l5: Vec<_> = rep.findings.iter().filter(|f| f.lint == Lint::LockOrder).collect();
+    assert_eq!(l5.len(), 1, "{l5:?}");
+    assert_eq!(l5[0].construct, "receiver->recv");
+    assert_eq!(l5[0].func, "worker_loop");
+}
+
+#[test]
+fn l5_respects_guard_scope_and_drop() {
+    // Guard released by block scope or explicit drop() before the
+    // blocking call: no overlap, no finding.
+    let src = r#"
+        fn worker_loop(&self) {
+            {
+                let guard = self.receiver.lock();
+                guard.len();
+            }
+            let job = self.chan.recv();
+            let g2 = self.receiver.lock();
+            drop(g2);
+            self.chan.recv();
+        }
+    "#;
+    let rep = ws(&[("crates/graph/src/serve.rs", src)]);
+    assert!(rep.findings.iter().all(|f| f.lint != Lint::LockOrder), "{:?}", rep.findings);
+}
+
+#[test]
+fn l5_exempts_condvar_wait_on_the_held_guard() {
+    // Condvar::wait(guard) atomically releases the guard it is handed —
+    // exempt for that region. A *different* lock held across the same
+    // wait still fires.
+    let clean = r#"
+        fn wait(&self) {
+            let mut results = self.lock_results();
+            while !done {
+                results = self.shared.done.wait(results);
+            }
+        }
+    "#;
+    let rep = ws(&[("crates/graph/src/serve.rs", clean)]);
+    assert!(rep.findings.iter().all(|f| f.lint != Lint::LockOrder), "{:?}", rep.findings);
+
+    let dirty = r#"
+        fn wait(&self) {
+            let other = self.registry.lock();
+            let mut results = self.lock_results();
+            loop {
+                results = self.shared.done.wait(results);
+            }
+        }
+    "#;
+    let rep = ws(&[("crates/graph/src/serve.rs", dirty)]);
+    let l5: Vec<_> = rep.findings.iter().filter(|f| f.lint == Lint::LockOrder).collect();
+    assert_eq!(l5.len(), 1, "{l5:?}");
+    assert_eq!(l5[0].construct, "registry->wait");
+}
+
+#[test]
+fn l5_fires_on_blocking_call_reached_through_the_graph() {
+    // The lock holder never blocks directly; the callee does. The
+    // may-block closure has to carry that fact across the edge.
+    let src = r#"
+        struct ServeEngine;
+        impl ServeEngine {
+            fn submit(&self) {
+                let guard = self.state.lock();
+                self.drain_jobs();
+            }
+            fn drain_jobs(&self) {
+                let x = self.chan.recv();
+            }
+        }
+    "#;
+    let rep = ws(&[("crates/graph/src/serve.rs", src)]);
+    let l5: Vec<_> = rep.findings.iter().filter(|f| f.lint == Lint::LockOrder).collect();
+    // drain_jobs blocks but holds no lock itself — the one finding is the
+    // transitive overlap at submit's call site.
+    assert_eq!(l5.len(), 1, "{l5:?}");
+    assert_eq!(l5[0].construct, "state->call:drain_jobs");
+    assert_eq!(l5[0].func, "submit");
+}
+
+#[test]
+fn l5_fires_on_inconsistent_pairwise_lock_order() {
+    let src = r#"
+        fn forward_path(&self) {
+            let a = self.alpha.lock();
+            let b = self.beta.lock();
+        }
+        fn reverse_path(&self) {
+            let b = self.beta.lock();
+            let a = self.alpha.lock();
+        }
+    "#;
+    let rep = ws(&[("crates/graph/src/serve.rs", src)]);
+    let l5: Vec<_> = rep.findings.iter().filter(|f| f.lint == Lint::LockOrder).collect();
+    assert!(l5.iter().any(|f| f.construct == "order:alpha->beta" && f.func == "forward_path"));
+    assert!(l5.iter().any(|f| f.construct == "order:beta->alpha" && f.func == "reverse_path"));
+
+    // Consistent order everywhere: pairs recorded, nothing fires.
+    let consistent = r#"
+        fn one(&self) { let a = self.alpha.lock(); let b = self.beta.lock(); }
+        fn two(&self) { let a = self.alpha.lock(); let b = self.beta.lock(); }
+    "#;
+    let rep = ws(&[("crates/graph/src/serve.rs", consistent)]);
+    assert!(rep.findings.iter().all(|f| f.lint != Lint::LockOrder), "{:?}", rep.findings);
+    assert!(rep.lock_orders.contains(&("alpha".to_string(), "beta".to_string())));
+}
+
+#[test]
+fn l5_fires_on_relock_of_the_same_lock() {
+    let src = r#"
+        fn worker_loop(&self) {
+            let a = self.results.lock();
+            let b = self.results.lock();
+        }
+    "#;
+    let rep = ws(&[("crates/graph/src/serve.rs", src)]);
+    assert!(
+        rep.findings.iter().any(|f| f.lint == Lint::LockOrder && f.construct == "relock:results"),
+        "{:?}",
+        rep.findings
+    );
+}
+
+#[test]
+fn l5_ignores_comments_strings_and_tests() {
+    let src = r##"
+        fn worker_loop(&self) {
+            // let g = self.receiver.lock(); g.recv();
+            let s = "receiver.lock() then recv()";
+            let r = r#"x.lock(); y.recv()"#;
+            let _ = (s, r);
+        }
+        #[cfg(test)]
+        mod tests {
+            fn t(&self) { let g = self.receiver.lock(); g.recv(); }
+        }
+    "##;
+    let rep = ws(&[("crates/graph/src/serve.rs", src)]);
+    assert!(rep.findings.iter().all(|f| f.lint != Lint::LockOrder), "{:?}", rep.findings);
+}
+
+// --- L6 float-determinism ----------------------------------------------------
+
+#[test]
+fn l6_fires_on_order_sensitive_float_constructs_in_kernel_files() {
+    let src = r#"
+        fn micro_kernel(acc: f32, x: f32, y: f32) -> f32 {
+            let fused = acc.mul_add(x, y);
+            let powed = x.powf(2.5);
+            let s = values.iter().sum::<f32>();
+            let p = values.iter().product::<f64>();
+            let a = AtomicF32::new(0.0);
+            fused + powed + s
+        }
+    "#;
+    let rep = scan("crates/tensor/src/kernel.rs", src);
+    let l6: Vec<&str> = rep
+        .findings
+        .iter()
+        .filter(|f| f.lint == Lint::FloatDeterminism)
+        .map(|f| f.construct.as_str())
+        .collect();
+    assert_eq!(l6, ["mul_add", "powf", "sum::<f32>", "product::<f64>", "AtomicF32"]);
+}
+
+#[test]
+fn l6_silent_on_integer_reductions_and_outside_kernel_files() {
+    // usize sums are exact; only float turbofish reductions are banned.
+    let ints = "fn tally(xs: &[usize]) -> usize { xs.iter().sum::<usize>() }";
+    assert!(scan("crates/graph/src/serve.rs", ints).findings.is_empty());
+
+    // The same constructs in a non-kernel module (e.g. training) are fine.
+    let train = "fn step(x: f32) -> f32 { x.mul_add(2.0, 1.0).powf(0.5) }";
+    assert!(scan("crates/train/src/trainer.rs", train)
+        .findings
+        .iter()
+        .all(|f| f.lint != Lint::FloatDeterminism));
+}
+
+#[test]
+fn l6_ignores_comments_strings_and_tests() {
+    let src = r#"
+        fn kernel_body(x: f32) -> f32 {
+            // could use x.mul_add(a, b) and powf here, but determinism
+            let doc = "sum::<f32>() and AtomicF32 in a string";
+            let _ = doc;
+            x
+        }
+        #[cfg(test)]
+        mod tests {
+            fn t(x: f32) -> f32 { x.mul_add(1.0, 0.0).powf(2.0) }
+        }
+    "#;
+    let rep = scan("crates/tensor/src/kernel.rs", src);
+    assert!(rep.findings.iter().all(|f| f.lint != Lint::FloatDeterminism), "{:?}", rep.findings);
 }
 
 // --- L2 no-weight-deep-clone ------------------------------------------------
@@ -204,18 +535,18 @@ fn cfg_not_test_is_live_code() {
 
 #[test]
 fn allowlist_absorbs_exact_counts_and_flags_drift() {
-    let src = "fn run_fused_into() { let a = vec![1]; let b = vec![2]; }";
-    let rep = scan("crates/core/src/f.rs", src);
+    let src = "fn worker_loop() { let a = vec![1]; let b = vec![2]; }";
+    let rep = ws(&[("crates/core/src/f.rs", src)]);
 
     let exact =
-        parse_allowlist("L1 crates/core/src/f.rs run_fused_into vec! 2 -- bounded bookkeeping")
+        parse_allowlist("L1 crates/core/src/f.rs worker_loop vec! 2 -- bounded bookkeeping")
             .unwrap();
     let gate = apply_allowlist(&rep.findings, &exact);
     assert!(gate.is_clean(), "{gate:?}");
 
     // Wrong count -> stale entry AND the findings stay violations.
     let drifted =
-        parse_allowlist("L1 crates/core/src/f.rs run_fused_into vec! 1 -- bounded bookkeeping")
+        parse_allowlist("L1 crates/core/src/f.rs worker_loop vec! 1 -- bounded bookkeeping")
             .unwrap();
     let gate = apply_allowlist(&rep.findings, &drifted);
     assert_eq!(gate.stale.len(), 1);
@@ -233,6 +564,8 @@ fn allowlist_requires_justification() {
     assert!(parse_allowlist("L9 f.rs f vec! 1 -- why").is_err());
     assert!(parse_allowlist("L4 f.rs f unwrap() 1 -- L4 uses the ratchet").is_err());
     assert!(parse_allowlist("# comment\n\nL2 f.rs f clone:w 1 -- ok").is_ok());
+    assert!(parse_allowlist("L5 f.rs f receiver->recv 1 -- intentional park").is_ok());
+    assert!(parse_allowlist("L6 f.rs f mul_add 1 -- bit-audited kernel").is_ok());
 }
 
 // --- ratchet ----------------------------------------------------------------

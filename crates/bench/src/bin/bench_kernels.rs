@@ -12,6 +12,7 @@ use bconv_bench::session_times;
 use bconv_core::BlockingPattern;
 use bconv_graph::{KernelPolicy, Segment, Session};
 use bconv_models::small::vgg16_small;
+use bconv_tensor::error::TensorError;
 use bconv_tensor::init::{seeded_rng, uniform_tensor};
 
 struct Config {
@@ -31,7 +32,7 @@ struct Measurement {
     output_matches_baseline: bool,
 }
 
-fn build(kernel: KernelPolicy, threads: usize) -> Session {
+fn build(kernel: KernelPolicy, threads: usize) -> Result<Session, TensorError> {
     Session::builder()
         .network(vgg16_small(32))
         .pattern(BlockingPattern::hierarchical(2))
@@ -39,10 +40,9 @@ fn build(kernel: KernelPolicy, threads: usize) -> Session {
         .threads(threads)
         .seed(2018)
         .build()
-        .expect("vgg16_small session builds")
 }
 
-fn main() {
+fn run() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let out_path = args
@@ -73,8 +73,8 @@ fn main() {
     }
 
     let input = uniform_tensor([1, 3, 32, 32], -1.0, 1.0, &mut seeded_rng(7));
-    let baseline_session = build(configs[0].kernel, configs[0].threads);
-    let baseline_out = baseline_session.run(&input).expect("baseline run").output;
+    let baseline_session = build(configs[0].kernel, configs[0].threads)?;
+    let baseline_out = baseline_session.run(&input)?.output;
     let baseline_times = session_times(&baseline_session, &input, reps);
 
     if threaded_configs_skipped {
@@ -84,13 +84,13 @@ fn main() {
     }
     let mut results = Vec::new();
     for cfg in &configs {
-        let session = build(cfg.kernel, cfg.threads);
+        let session = build(cfg.kernel, cfg.threads)?;
         let (us, min_us) = if cfg.name == "direct_t1" {
             baseline_times
         } else {
             session_times(&session, &input, reps)
         };
-        let out = session.run(&input).expect("bench run").output;
+        let out = session.run(&input)?.output;
         let matches = out.data() == baseline_out.data();
         let speedup = baseline_times.0 / us;
         // Requested = what the config asks the session for; effective =
@@ -161,11 +161,16 @@ fn main() {
         ));
     }
     json.push_str("  ]\n}\n");
-    std::fs::write(&out_path, json).expect("write bench json");
+    std::fs::write(&out_path, json)?;
     println!("wrote {out_path}");
 
     assert!(
         results.iter().all(|m| m.output_matches_baseline),
         "kernel/thread configurations must agree bitwise"
     );
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    run()
 }

@@ -62,7 +62,7 @@ fn workloads() -> Vec<Workload> {
     ]
 }
 
-fn main() {
+fn run() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let out_path = args
@@ -94,14 +94,13 @@ fn main() {
                 b.on_chip_budget(w.budget_elems)
             }
             .build()
-            .expect("session builds")
         };
-        let element = build(false);
-        let accel = build(true);
-        let baseline_out = element.run(&w.input).expect("element run").output;
+        let element = build(false)?;
+        let accel = build(true)?;
+        let baseline_out = element.run(&w.input)?.output;
 
         for (model, session) in [("element-budget", &element), ("accel-cost", &accel)] {
-            let report = session.run(&w.input).expect("bench run");
+            let report = session.run(&w.input)?;
             let (us, min_us) = session_times(session, &w.input, reps);
             let pr = session.plan().report();
             let m = Measurement {
@@ -179,6 +178,11 @@ fn main() {
         ));
     }
     json.push_str("  ]\n}\n");
-    std::fs::write(&out_path, json).expect("write bench json");
+    std::fs::write(&out_path, json)?;
     println!("wrote {out_path}");
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    run()
 }

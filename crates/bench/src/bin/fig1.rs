@@ -6,8 +6,9 @@ use bconv_accel::platform::{ultra96, zc706};
 use bconv_bench::{header, hline};
 use bconv_models::analysis::feature_map_series;
 use bconv_models::{vdsr::vdsr, vgg::vgg16};
+use bconv_tensor::error::TensorError;
 
-fn main() {
+fn run() -> Result<(), TensorError> {
     let zc = zc706();
     let u96 = ultra96();
     println!("Figure 1: volume of intermediate feature maps (16-bit activations)");
@@ -22,7 +23,7 @@ fn main() {
     for net in [vgg16(224), vdsr(256, 256)] {
         header(&format!("{} output feature maps (Mbits)", net.name));
         hline(44);
-        let series = feature_map_series(&net, 16).expect("trace");
+        let series = feature_map_series(&net, 16)?;
         let mut total = 0.0;
         for p in &series {
             let over = if p.mbits > zc.bram_mbits() { " > ZC706" } else { "" };
@@ -32,4 +33,9 @@ fn main() {
         hline(44);
         println!("{:<12} {:>10.2}", "total", total);
     }
+    Ok(())
+}
+
+fn main() -> Result<(), TensorError> {
+    run()
 }

@@ -7,12 +7,13 @@
 
 use bconv_bench::{classifier_config, header, hline, EVAL_SAMPLES};
 use bconv_core::BlockingPattern;
+use bconv_tensor::error::TensorError;
 use bconv_tensor::init::seeded_rng;
 use bconv_tensor::pad::PadMode;
 use bconv_train::models::{NetStyle, SmallClassifier};
 use bconv_train::trainer::{eval_classifier, train_classifier, TrainConfig};
 
-fn main() {
+fn run() -> Result<(), TensorError> {
     header("Figure 5: accuracy vs blocking ratio (F = fixed, H = hierarchical)");
     // Patterns ordered by increasing aggressiveness. F32 blocks only the
     // 32-res layers; F16 also the 16-res ones; H2/H4 block everything.
@@ -38,12 +39,12 @@ fn main() {
             classifier_config()
         };
         for (name, rule) in &patterns {
-            let mut net = SmallClassifier::new(style, 8, 4, &mut seeded_rng(11)).expect("net");
+            let mut net = SmallClassifier::new(style, 8, 4, &mut seeded_rng(11))?;
             let ratio = net.blocking_ratio(rule.as_ref());
             net.apply_blocking(rule.as_ref());
             let exp = format!("fig5-{style:?}");
-            train_classifier(&mut net, &exp, &cfg).expect("train");
-            let acc = eval_classifier(&mut net, &exp, EVAL_SAMPLES).expect("eval");
+            train_classifier(&mut net, &exp, &cfg)?;
+            let acc = eval_classifier(&mut net, &exp, EVAL_SAMPLES)?;
             println!(
                 "{:<14} {:<8} {:>15.1}% {:>11.1}%",
                 style.name(),
@@ -55,4 +56,9 @@ fn main() {
         hline(70);
     }
     println!("paper: accuracy decreases with blocking ratio; F consistently beats H");
+    Ok(())
+}
+
+fn main() -> Result<(), TensorError> {
+    run()
 }

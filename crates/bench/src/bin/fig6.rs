@@ -3,12 +3,13 @@
 
 use bconv_bench::{classifier_config, header, hline, EVAL_SAMPLES};
 use bconv_core::BlockingPattern;
+use bconv_tensor::error::TensorError;
 use bconv_tensor::init::seeded_rng;
 use bconv_tensor::pad::PadMode;
 use bconv_train::models::{NetStyle, SmallClassifier};
 use bconv_train::trainer::{eval_classifier, train_classifier, TrainConfig};
 
-fn main() {
+fn run() -> Result<(), TensorError> {
     header("Figure 6: block padding mode vs accuracy (F16 fixed blocking)");
     hline(58);
     print!("{:<16}", "network");
@@ -25,17 +26,22 @@ fn main() {
         };
         print!("{:<16}", style.name());
         for mode in PadMode::ALL {
-            let mut net = SmallClassifier::new(style, 8, 4, &mut seeded_rng(31)).expect("net");
+            let mut net = SmallClassifier::new(style, 8, 4, &mut seeded_rng(31))?;
             net.apply_blocking(&move |res| {
                 (res >= 16).then_some((BlockingPattern::fixed(16), mode))
             });
             let exp = format!("fig6-{style:?}");
-            train_classifier(&mut net, &exp, &cfg).expect("train");
-            let acc = eval_classifier(&mut net, &exp, EVAL_SAMPLES).expect("eval");
+            train_classifier(&mut net, &exp, &cfg)?;
+            let acc = eval_classifier(&mut net, &exp, EVAL_SAMPLES)?;
             print!("{:>11.1}%", acc * 100.0);
         }
         println!();
     }
     hline(58);
     println!("paper: no single best mode — zero wins on some nets, replicate on others");
+    Ok(())
+}
+
+fn main() -> Result<(), TensorError> {
+    run()
 }

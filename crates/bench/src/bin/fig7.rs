@@ -4,17 +4,23 @@
 //! model's weights).
 
 use bconv_bench::{classifier_config, header, hline, EVAL_SAMPLES};
+use bconv_tensor::error::TensorError;
 use bconv_tensor::init::seeded_rng;
 use bconv_train::models::{fixed_rule, NetStyle, SmallClassifier};
 use bconv_train::trainer::{eval_classifier, train_classifier, TrainConfig};
 
-fn train_and_eval(style: NetStyle, blocked: bool, qat: bool, ptq: bool) -> f64 {
+fn train_and_eval(
+    style: NetStyle,
+    blocked: bool,
+    qat: bool,
+    ptq: bool,
+) -> Result<f64, TensorError> {
     let cfg = if style == NetStyle::MobileNet {
         TrainConfig { steps: 600, ..classifier_config() }
     } else {
         classifier_config()
     };
-    let mut net = SmallClassifier::new(style, 8, 4, &mut seeded_rng(33)).expect("net");
+    let mut net = SmallClassifier::new(style, 8, 4, &mut seeded_rng(33))?;
     if blocked {
         net.apply_blocking(&fixed_rule(16));
     }
@@ -22,15 +28,15 @@ fn train_and_eval(style: NetStyle, blocked: bool, qat: bool, ptq: bool) -> f64 {
         net.set_fake_quant(Some(8));
     }
     let exp = format!("fig7-{style:?}-{blocked}");
-    train_classifier(&mut net, &exp, &cfg).expect("train");
+    train_classifier(&mut net, &exp, &cfg)?;
     if ptq {
         // Post-training: quantize the float-trained weights at inference.
         net.set_fake_quant(Some(8));
     }
-    eval_classifier(&mut net, &exp, EVAL_SAMPLES).expect("eval")
+    eval_classifier(&mut net, &exp, EVAL_SAMPLES)
 }
 
-fn main() {
+fn run() -> Result<(), TensorError> {
     header("Figure 7: 8-bit quantization (baseline vs F16-blocked)");
     hline(86);
     println!(
@@ -39,11 +45,11 @@ fn main() {
     );
     hline(86);
     for style in [NetStyle::Vgg, NetStyle::ResNet, NetStyle::MobileNet] {
-        let float_base = train_and_eval(style, false, false, false);
-        let float_blocked = train_and_eval(style, true, false, false);
-        let qat_base = train_and_eval(style, false, true, false);
-        let qat_blocked = train_and_eval(style, true, true, false);
-        let ptq_blocked = train_and_eval(style, true, false, true);
+        let float_base = train_and_eval(style, false, false, false)?;
+        let float_blocked = train_and_eval(style, true, false, false)?;
+        let qat_base = train_and_eval(style, false, true, false)?;
+        let qat_blocked = train_and_eval(style, true, true, false)?;
+        let ptq_blocked = train_and_eval(style, true, false, true)?;
         println!(
             "{:<16} {:>11.1}% {:>11.1}% {:>13.1}% {:>13.1}% {:>11.1}%",
             style.name(),
@@ -56,4 +62,9 @@ fn main() {
     }
     hline(86);
     println!("paper: with QAT, 8-bit blocked networks match or beat non-blocked ones");
+    Ok(())
+}
+
+fn main() -> Result<(), TensorError> {
+    run()
 }

@@ -5,11 +5,12 @@
 //! and blocking the heads costs extra AP on top of backbone blocking.
 
 use bconv_bench::{detector_config, header, hline, DET_EVAL_SAMPLES};
+use bconv_tensor::error::TensorError;
 use bconv_tensor::init::seeded_rng;
 use bconv_train::models::{hierarchical_rule, SmallDetector};
 use bconv_train::trainer::{eval_detector, train_detector};
 
-fn main() {
+fn run() -> Result<(), TensorError> {
     header("Figure 8: AP vs blocking granularity and scope");
     hline(70);
     println!("{:<34} {:>8} {:>8} {:>8}", "configuration", "AP", "AP@0.5", "AP@0.75");
@@ -23,17 +24,22 @@ fn main() {
         ("backbone+heads H4", 4, true),
     ];
     for (name, g, heads) in runs {
-        let mut det = SmallDetector::new(8, &mut seeded_rng(71)).expect("net");
+        let mut det = SmallDetector::new(8, &mut seeded_rng(71))?;
         if g > 0 {
             det.apply_backbone_blocking(&hierarchical_rule(g));
             if heads {
                 det.apply_head_blocking(&hierarchical_rule(g));
             }
         }
-        train_detector(&mut det, "fig8", &cfg).expect("train");
-        let ap = eval_detector(&mut det, "fig8", DET_EVAL_SAMPLES).expect("eval");
+        train_detector(&mut det, "fig8", &cfg)?;
+        let ap = eval_detector(&mut det, "fig8", DET_EVAL_SAMPLES)?;
         println!("{:<34} {:>8.3} {:>8.3} {:>8.3}", name, ap.ap, ap.ap50, ap.ap75);
     }
     hline(70);
     println!("paper: coarser blocking loses less mAP; blocking heads costs extra mAP");
+    Ok(())
+}
+
+fn main() -> Result<(), TensorError> {
+    run()
 }

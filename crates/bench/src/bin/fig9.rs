@@ -8,19 +8,20 @@ use bconv_bench::{header, hline};
 use bconv_models::analysis::{feature_map_series, fusion_depth};
 use bconv_models::mobilenet::mobilenet_v1;
 use bconv_models::resnet::{resnet18, resnet50};
+use bconv_tensor::error::TensorError;
 
-fn main() {
+fn run() -> Result<(), TensorError> {
     let budget = ultra96().bram_mbits();
     println!("Figure 9: feature map size per conv layer (16-bit), ZU3EG budget {budget:.1} Mbits");
     for net in [mobilenet_v1(224, false), resnet18(224, false), resnet50(224, false)] {
         header(&net.name.clone());
         hline(52);
-        let series = feature_map_series(&net, 16).expect("trace");
+        let series = feature_map_series(&net, 16)?;
         for p in &series {
             let mark = if p.residual_first { " *residual-first" } else { "" };
             println!("{:<24} {:>8.2}{mark}", p.name, p.mbits);
         }
-        let depth = fusion_depth(&net, 16, budget).expect("trace");
+        let depth = fusion_depth(&net, 16, budget)?;
         match depth {
             Some(d) => println!(
                 "fusion depth for {budget:.1} Mbits budget: fuse first {} layers ({})",
@@ -30,4 +31,9 @@ fn main() {
             None => println!("no fusion depth fits {budget:.1} Mbits"),
         }
     }
+    Ok(())
+}
+
+fn main() -> Result<(), TensorError> {
+    run()
 }

@@ -13,6 +13,7 @@ use bconv_models::analysis::plan_for;
 use bconv_models::mobilenet::mobilenet_v1;
 use bconv_models::resnet::{resnet18, resnet50};
 use bconv_models::vgg::vgg16;
+use bconv_tensor::error::TensorError;
 use bconv_tensor::init::seeded_rng;
 use bconv_train::models::{fixed_rule, NetStyle, SmallClassifier};
 use bconv_train::trainer::{eval_classifier, train_classifier, TrainConfig};
@@ -21,31 +22,31 @@ use bconv_train::trainer::{eval_classifier, train_classifier, TrainConfig};
 /// (half the 32² input, as 28 is half-ish of 224² stage resolutions).
 const BLOCK: usize = 16;
 
-fn run(style: NetStyle, seed: u64) -> (f64, f64, f64) {
+fn eval_style(style: NetStyle, seed: u64) -> Result<(f64, f64, f64), TensorError> {
     let cfg = classifier_config();
     let steps = if style == NetStyle::MobileNet { TrainConfig { steps: 600, ..cfg } } else { cfg };
     let exp = format!("table1-{style:?}");
 
     // Baseline.
-    let mut baseline = SmallClassifier::new(style, 8, 4, &mut seeded_rng(seed)).expect("net");
-    train_classifier(&mut baseline, &exp, &steps).expect("train");
-    let base_acc = eval_classifier(&mut baseline, &exp, EVAL_SAMPLES).expect("eval");
+    let mut baseline = SmallClassifier::new(style, 8, 4, &mut seeded_rng(seed))?;
+    train_classifier(&mut baseline, &exp, &steps)?;
+    let base_acc = eval_classifier(&mut baseline, &exp, EVAL_SAMPLES)?;
 
     // Block convolution, trained from scratch (same init, same data).
-    let mut scratch = SmallClassifier::new(style, 8, 4, &mut seeded_rng(seed)).expect("net");
+    let mut scratch = SmallClassifier::new(style, 8, 4, &mut seeded_rng(seed))?;
     scratch.apply_blocking(&fixed_rule(BLOCK));
-    train_classifier(&mut scratch, &exp, &steps).expect("train");
-    let scratch_acc = eval_classifier(&mut scratch, &exp, EVAL_SAMPLES).expect("eval");
+    train_classifier(&mut scratch, &exp, &steps)?;
+    let scratch_acc = eval_classifier(&mut scratch, &exp, EVAL_SAMPLES)?;
 
     // Block convolution, fine-tuned from the trained baseline.
     baseline.apply_blocking(&fixed_rule(BLOCK));
-    train_classifier(&mut baseline, &exp, &finetune_config()).expect("finetune");
-    let ft_acc = eval_classifier(&mut baseline, &exp, EVAL_SAMPLES).expect("eval");
+    train_classifier(&mut baseline, &exp, &finetune_config())?;
+    let ft_acc = eval_classifier(&mut baseline, &exp, EVAL_SAMPLES)?;
 
-    (base_acc, scratch_acc, ft_acc)
+    Ok((base_acc, scratch_acc, ft_acc))
 }
 
-fn main() {
+fn run() -> Result<(), TensorError> {
     header("Table I: top-1 accuracy (synthetic task, small-scale analogues)");
     hline(88);
     println!(
@@ -56,14 +57,14 @@ fn main() {
 
     // Exact blocking ratios from the full-size architectures under F28
     // with the paper's stride-to-pooling rewrite.
-    let full_ratio = |net: &bconv_models::Network| -> f64 {
-        plan_for(net, BlockingPattern::fixed(28)).expect("plan").blocking_ratio()
+    let full_ratio = |net: &bconv_models::Network| -> Result<f64, TensorError> {
+        Ok(plan_for(net, BlockingPattern::fixed(28))?.blocking_ratio())
     };
     let ratios = [
-        ("VGG-16", full_ratio(&vgg16(224)), 76.92),
-        ("ResNet-18", full_ratio(&resnet18(224, true)), 76.47),
-        ("ResNet-50", full_ratio(&resnet50(224, true)), 81.63),
-        ("MobileNet-V1", full_ratio(&mobilenet_v1(224, true)), 44.44),
+        ("VGG-16", full_ratio(&vgg16(224))?, 76.92),
+        ("ResNet-18", full_ratio(&resnet18(224, true))?, 76.47),
+        ("ResNet-50", full_ratio(&resnet50(224, true))?, 81.63),
+        ("MobileNet-V1", full_ratio(&mobilenet_v1(224, true))?, 44.44),
     ];
 
     for (style, (name, ratio, paper_ratio)) in [
@@ -73,7 +74,7 @@ fn main() {
         (NetStyle::MobileNet, ratios[3]),
     ] {
         let seed = name.len() as u64; // distinct fixed seeds per row
-        let (base, scratch, ft) = run(style, seed);
+        let (base, scratch, ft) = eval_style(style, seed)?;
         println!(
             "{:<22} {:>9.1}% {:>15.1}% {:>15.1}% {:>7.2}% (paper {paper_ratio:.2}%)",
             name,
@@ -85,4 +86,9 @@ fn main() {
     }
     hline(88);
     println!("paper: blocked accuracy within ~1% of baseline; fine-tuning can exceed baseline");
+    Ok(())
+}
+
+fn main() -> Result<(), TensorError> {
+    run()
 }

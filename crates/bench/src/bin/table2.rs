@@ -3,12 +3,13 @@
 
 use bconv_bench::{classifier_config, header, hline, EVAL_SAMPLES};
 use bconv_core::BlockingPattern;
+use bconv_tensor::error::TensorError;
 use bconv_tensor::init::seeded_rng;
 use bconv_tensor::pad::PadMode;
 use bconv_train::models::{NetStyle, SmallClassifier};
 use bconv_train::trainer::{eval_classifier, train_classifier};
 
-fn main() {
+fn run() -> Result<(), TensorError> {
     header("Table II: non-square blocking on ResNet (small analogue)");
     let configs: [(&str, Option<BlockingPattern>); 4] = [
         ("baseline", None),
@@ -21,8 +22,7 @@ fn main() {
     hline(40);
     let cfg = classifier_config();
     for (name, pattern) in configs {
-        let mut net =
-            SmallClassifier::new(NetStyle::ResNet, 8, 4, &mut seeded_rng(21)).expect("net");
+        let mut net = SmallClassifier::new(NetStyle::ResNet, 8, 4, &mut seeded_rng(21))?;
         if let Some(p) = pattern {
             net.apply_blocking(&move |res| {
                 let fits = match p {
@@ -32,10 +32,15 @@ fn main() {
                 fits.then_some((p, PadMode::Zero))
             });
         }
-        train_classifier(&mut net, "table2", &cfg).expect("train");
-        let acc = eval_classifier(&mut net, "table2", EVAL_SAMPLES).expect("eval");
+        train_classifier(&mut net, "table2", &cfg)?;
+        let acc = eval_classifier(&mut net, "table2", EVAL_SAMPLES)?;
         println!("{:<12} {:>11.1}%", name, acc * 100.0);
     }
     hline(40);
     println!("paper: all three non-square configurations stay at or above the baseline");
+    Ok(())
+}
+
+fn main() -> Result<(), TensorError> {
+    run()
 }

@@ -9,6 +9,7 @@
 use bconv_bench::{header, hline, vdsr_config, SR_PATCH};
 use bconv_core::plan::NetworkPlan;
 use bconv_core::BlockingPattern;
+use bconv_tensor::error::TensorError;
 use bconv_tensor::init::seeded_rng;
 use bconv_tensor::pad::PadMode;
 use bconv_train::layers::Blocking;
@@ -18,8 +19,8 @@ use bconv_train::trainer::{eval_vdsr_psnr, train_vdsr};
 const DEPTH: usize = 6;
 const WIDTH: usize = 12;
 
-fn build(config: &str) -> SmallVdsr {
-    let mut net = SmallVdsr::new(DEPTH, WIDTH, &mut seeded_rng(51)).expect("net");
+fn build(config: &str) -> Result<SmallVdsr, TensorError> {
+    let mut net = SmallVdsr::new(DEPTH, WIDTH, &mut seeded_rng(51))?;
     let h22 = BlockingPattern::hierarchical(2);
     match config {
         "baseline" => {}
@@ -38,12 +39,16 @@ fn build(config: &str) -> SmallVdsr {
         "depth4" => {
             net.apply_plan(NetworkPlan::by_blocking_depth(DEPTH, h22, 4).per_layer(), PadMode::Zero)
         }
-        other => panic!("unknown config {other}"),
+        other => {
+            return Err(TensorError::InvalidParameter {
+                context: format!("unknown table4 config {other}"),
+            })
+        }
     }
-    net
+    Ok(net)
 }
 
-fn main() {
+fn run() -> Result<(), TensorError> {
     header("Table IV: PSNR (dB) of VDSR (small analogue) on synthetic SR");
     let configs = ["baseline", "H2x2", "fixed-irregular", "depth2", "depth4"];
     hline(76);
@@ -57,10 +62,10 @@ fn main() {
     for scale in [2usize, 3, 4] {
         print!("x{scale:<7}");
         for config in configs {
-            let mut net = build(config);
+            let mut net = build(config)?;
             let exp = format!("table4-x{scale}");
-            train_vdsr(&mut net, &exp, scale, SR_PATCH, &cfg).expect("train");
-            let psnr = eval_vdsr_psnr(&mut net, &exp, scale, SR_PATCH, 32).expect("eval");
+            train_vdsr(&mut net, &exp, scale, SR_PATCH, &cfg)?;
+            let psnr = eval_vdsr_psnr(&mut net, &exp, scale, SR_PATCH, 32)?;
             print!("{psnr:>14.2}");
         }
         println!();
@@ -68,4 +73,9 @@ fn main() {
     hline(76);
     println!("paper: PSNR loss under blocking <= 0.5 dB; fixed irregular >= H2x2;");
     println!("       deeper fusion points (smaller blocking depth) recover PSNR");
+    Ok(())
+}
+
+fn main() -> Result<(), TensorError> {
+    run()
 }

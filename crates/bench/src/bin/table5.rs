@@ -7,15 +7,16 @@
 
 use bconv_bench::{detector_config, header, hline, DET_EVAL_SAMPLES};
 use bconv_models::{fpn::fpn_resnet50, ssd::ssd300_vgg16};
+use bconv_tensor::error::TensorError;
 use bconv_tensor::init::seeded_rng;
 use bconv_train::models::{hierarchical_rule, SmallDetector};
 use bconv_train::trainer::{eval_detector, train_detector};
 
-fn main() {
+fn run() -> Result<(), TensorError> {
     // Table III: benchmark configuration, from the full-size descriptors.
     header("Table III: detection benchmark configuration");
     for (net, input) in [(ssd300_vgg16(), "300x300"), (fpn_resnet50(800, 1333), "1333x800")] {
-        let info = net.trace().expect("trace");
+        let info = net.trace()?;
         let convs = info.iter().filter(|l| l.is_conv).count();
         let gmacs = info.iter().map(|l| l.macs).sum::<u64>() as f64 / 1e9;
         println!("{:<16} input {input:<10} {convs} convs, {gmacs:.1} GMACs", net.name);
@@ -28,14 +29,19 @@ fn main() {
     hline(64);
     let cfg = detector_config();
     for (name, blocked) in [("SSD-small", false), ("SSD-small+BConv", true)] {
-        let mut det = SmallDetector::new(8, &mut seeded_rng(61)).expect("net");
+        let mut det = SmallDetector::new(8, &mut seeded_rng(61))?;
         if blocked {
             det.apply_backbone_blocking(&hierarchical_rule(2));
         }
-        train_detector(&mut det, "table5", &cfg).expect("train");
-        let ap = eval_detector(&mut det, "table5", DET_EVAL_SAMPLES).expect("eval");
+        train_detector(&mut det, "table5", &cfg)?;
+        let ap = eval_detector(&mut det, "table5", DET_EVAL_SAMPLES)?;
         println!("{:<22} {:>8.3} {:>8.3} {:>8.3}", name, ap.ap, ap.ap50, ap.ap75);
     }
     hline(64);
     println!("paper: mAP drop of 1.0 (FPN) / 1.8 (SSD) points when the backbone is blocked");
+    Ok(())
+}
+
+fn main() -> Result<(), TensorError> {
+    run()
 }

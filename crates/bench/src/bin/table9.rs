@@ -6,12 +6,13 @@ use bconv_accel::platform::{ultra96, EnergyModel};
 use bconv_accel::vdsr_accel::{evaluate_baseline, evaluate_blockconv, VdsrConfig};
 use bconv_bench::{header, hline};
 use bconv_models::vdsr::vdsr;
+use bconv_tensor::error::TensorError;
 
-fn main() {
+fn run() -> Result<(), TensorError> {
     // Table VIII: architecture.
     header("Table VIII: VDSR architecture (1080x1920 input)");
     let net = vdsr(1080, 1920);
-    let info = net.trace().expect("trace");
+    let info = net.trace()?;
     hline(64);
     for l in info.iter().filter(|l| l.is_conv) {
         println!(
@@ -62,4 +63,9 @@ fn main() {
         "DRAM transfer cycles: baseline {} -> BConv {} (compute {} cycles)",
         base.dram_cycles, bconv.dram_cycles, base.compute_cycles
     );
+    Ok(())
+}
+
+fn main() -> Result<(), TensorError> {
+    run()
 }

@@ -105,15 +105,13 @@ pub enum Segment {
 }
 
 impl Segment {
-    /// Id of the node whose output this segment produces.
-    ///
-    /// # Panics
-    ///
-    /// Never: fused segments always cover at least one node.
+    /// Id of the node whose output this segment produces. Fused segments
+    /// always cover at least one node; an empty list would be a
+    /// construction bug and falls back to node 0 rather than panicking.
     pub fn output_node(&self) -> NodeId {
         match self {
             Self::Fused { nodes, .. } | Self::Spliced { nodes, .. } => {
-                *nodes.last().expect("non-empty group")
+                nodes.last().copied().unwrap_or_default()
             }
             Self::Single(id) => *id,
         }
@@ -488,9 +486,8 @@ impl Planner {
                         costs: Some(cur_costs),
                         ..
                     },
-                ) => {
+                ) => last_chain(&prev.seg).and_then(|prev_chain| {
                     let prev_out = prev.seg.output_node();
-                    let prev_chain = last_chain(&prev.seg).expect("fused segments carry costs");
                     // The downstream group must read exactly the upstream
                     // group's output, the boundary must have no other
                     // consumer, and the pipeline must be expressible (maps
@@ -517,14 +514,20 @@ impl Planner {
                         SpliceCost { boundary_elems, peak_extra_elems, bits_per_elem: bits };
                     (compatible && self.model.allow_splice(prev_costs, cur_costs, &boundary))
                         .then_some((prev_out, nodes[0], boundary.boundary_elems))
-                }
+                }),
                 _ => None,
             };
             let Some((from_node, to_node, boundary_elems)) = splice else {
                 out.push(cur);
                 continue;
             };
-            let prev = out.pop().expect("splice requires an upstream segment");
+            // A splice decision implies `out.last()` matched above, so the
+            // pop yields that same upstream segment; an empty stack would
+            // be a walk bug and degrades to the no-splice path.
+            let Some(prev) = out.pop() else {
+                out.push(cur);
+                continue;
+            };
             let (mut groups, mut nodes_all, p_input) = match prev.seg {
                 Segment::Fused { nodes, chain, input } => (vec![chain], nodes, input),
                 Segment::Spliced { nodes, pipeline, input } => {
@@ -550,7 +553,9 @@ impl Planner {
                 saved_offchip_elems: 2 * boundary_elems,
             });
             nodes_all.extend(nodes);
-            let mut costs = prev.costs.expect("fused segments carry costs");
+            // Splice candidates matched `costs: Some(..)` above; an absent
+            // cost vector degrades to empty rather than panicking.
+            let mut costs = prev.costs.unwrap_or_default();
             costs.extend(cur_costs);
             let mut boundaries = prev.boundaries;
             boundaries.push(boundary_elems);

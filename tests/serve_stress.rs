@@ -88,6 +88,35 @@ fn blocked_engine_survives_many_clients_through_a_tiny_queue() {
     engine.shutdown();
 }
 
+/// Deadlock canary: the same 8-clients-through-a-2-deep-queue stress, but
+/// run on a watchdog thread with a hard timeout, so a lock-ordering
+/// regression in the serve engine fails this test in about a minute
+/// instead of hanging CI until the job-level timeout kills it. The static
+/// L5 lock-order lint proves the code as written cannot hold a lock
+/// across recv/wait; this test proves the running engine agrees.
+#[test]
+fn deadlock_canary_fails_fast_instead_of_hanging() {
+    let (done_tx, done_rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let engine = build_session(Backend::Blocked)
+            .into_engine(ServeConfig { workers: 4, queue_depth: 2, max_batch: 3 })
+            .unwrap();
+        let oracle = build_session(Backend::Blocked);
+        hammer(&engine, &oracle, 8, 8);
+        engine.shutdown();
+        let _ = done_tx.send(());
+    });
+    // Generous bound: the stress itself finishes in single-digit seconds;
+    // only a wedged engine (worker parked in recv with a lock held, lost
+    // condvar wakeup, ...) can take this long.
+    if done_rx.recv_timeout(std::time::Duration::from_secs(60)).is_err() {
+        panic!(
+            "serve engine deadlock canary tripped: 8 clients through a 2-deep queue \
+             did not finish within 60s — a lock is likely held across recv/wait"
+        );
+    }
+}
+
 #[test]
 fn quantized_engine_serves_concurrent_clients() {
     let backend = Backend::Quantized { weight_bits: 8, act_bits: 8 };
