@@ -122,10 +122,17 @@ impl Config {
             entry_points: vec![
                 // The public inference spine…
                 EntryPoint::new("run_with", Some("Session")),
-                // …the serving front door…
+                // …the serving front door (blocking, polling, and the
+                // router's sharded equivalents)…
                 EntryPoint::new("submit", Some("ServeEngine")),
                 EntryPoint::new("wait", Some("ServeEngine")),
+                EntryPoint::new("poll", Some("ServeEngine")),
+                EntryPoint::new("submit", Some("Router")),
+                EntryPoint::new("wait", Some("Router")),
+                EntryPoint::new("poll", Some("Router")),
                 EntryPoint::new("worker_loop", None),
+                // …the deadline shed path (runs per dequeue wave)…
+                EntryPoint::new("shed_expired", None),
                 // …and every executor's scratch-path impl.
                 EntryPoint::new("run_scratch", None),
             ],
@@ -133,6 +140,8 @@ impl Config {
                 "crates/graph/src/plan.rs",
                 "crates/graph/src/exec.rs",
                 "crates/graph/src/serve.rs",
+                "crates/graph/src/serve/router.rs",
+                "crates/graph/src/serve/metrics.rs",
                 "crates/graph/src/session.rs",
                 "crates/graph/src/cost.rs",
                 "crates/graph/src/quantize.rs",
@@ -155,6 +164,8 @@ impl Config {
                 "crates/core/src/fusion.rs",
                 "crates/graph/src/exec.rs",
                 "crates/graph/src/serve.rs",
+                "crates/graph/src/serve/router.rs",
+                "crates/graph/src/serve/metrics.rs",
                 "crates/graph/src/quantize.rs",
             ]),
         }

@@ -5,10 +5,18 @@
 //! Writes `BENCH_serve.json` with one entry per (backend, worker count):
 //! closed-loop throughput with one client stream per worker (requests/s,
 //! speedup vs the same backend on 1 worker), plus one batch-amortization
-//! entry per backend (sequential single runs vs one coalesced
-//! `run_batch` on a single worker). Sessions are built with
-//! `.threads(1)` so the scaling axis is the engine's worker pool, not
-//! intra-request block dispatch.
+//! entry per backend — a 1-worker engine serving the same requests
+//! per-request (`submit`/`wait`, batching off) vs pre-coalesced
+//! (`run_batch`), best of several trials each, with a raw
+//! `Session::run_with` loop recorded alongside as `solo_run_ms`. The
+//! amortization rows run on the tiny dedicated `serve_amort` network so
+//! the serving-tier costs under test are a measurable fraction of
+//! request time; `bench_check` holds their `speedup` to an absolute
+//! floor of 1.0 on like hosts. A `serve_metrics` row per backend
+//! (completed/shed counts, dispatch histogram totals, p50/p99 latency)
+//! comes from the engine's own counters.
+//! Sessions are built with `.threads(1)` so the scaling axis is the
+//! engine's worker pool, not intra-request block dispatch.
 //!
 //! On a 1-core host the multi-worker configs cannot run in parallel:
 //! reporting their (contention-only) timings reads as a serving
@@ -25,7 +33,9 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
 use bconv_graph::{Backend, ExecScratch, ServeConfig, ServeEngine, Session};
+use bconv_models::builder::{conv, NetBuilder};
 use bconv_models::small::vgg16_small;
+use bconv_models::{ActShape, Network};
 use bconv_tensor::init::{seeded_rng, uniform_tensor};
 use bconv_tensor::{Tensor, TensorError};
 
@@ -50,9 +60,28 @@ struct Measurement {
 struct Amortization {
     backend: &'static str,
     batch: usize,
+    /// Per-request submit/wait through the same 1-worker engine —
+    /// serving with batching off, the baseline `speedup` compares
+    /// against.
     sequential_ms: f64,
+    /// The same requests pre-coalesced through `run_batch`.
     batched_ms: f64,
+    /// Informational: a raw `Session::run_with` loop with a warm scratch
+    /// (no serving tier at all), for the queue-overhead picture.
+    solo_run_ms: f64,
     speedup: f64,
+}
+
+/// Engine counters recorded after each backend's amortization runs.
+struct MetricsRow {
+    backend: &'static str,
+    submitted: u64,
+    completed: u64,
+    shed: u64,
+    batches: u64,
+    batched_samples: u64,
+    p50_latency_us: u64,
+    p99_latency_us: u64,
 }
 
 fn build(backend: Backend) -> Result<Session, TensorError> {
@@ -61,6 +90,27 @@ fn build(backend: Backend) -> Result<Session, TensorError> {
 
 fn stream_input(stream: usize) -> Tensor {
     uniform_tensor([1, 3, 32, 32], -1.0, 1.0, &mut seeded_rng(0x5E41 + stream as u64))
+}
+
+/// The batch-amortization workload: a deliberately small network, so the
+/// serving-tier costs that batching targets — queue round-trips, dispatch
+/// bookkeeping, coalescing copies — are a measurable fraction of request
+/// time. Under vgg16_small they are all sub-percent of per-request
+/// compute, and the sequential/batched ratio measures host jitter instead
+/// of the serving tier. Closed-loop throughput keeps vgg16_small.
+fn amort_net() -> Network {
+    let mut b = NetBuilder::new("serve_amort", ActShape { c: 2, h: 8, w: 8 });
+    b.push("conv1", conv(3, 1, 1, 2, 4));
+    b.push("conv2", conv(3, 1, 1, 4, 4));
+    b.build()
+}
+
+fn build_amort(backend: Backend) -> Result<Session, TensorError> {
+    Session::builder().network(amort_net()).backend(backend).seed(2018).threads(1).build()
+}
+
+fn amort_input(i: usize) -> Tensor {
+    uniform_tensor([1, 2, 8, 8], -1.0, 1.0, &mut seeded_rng(0xA3027 + (i % 4) as u64))
 }
 
 /// Closed loop: one client thread per stream, each submitting and
@@ -74,7 +124,7 @@ fn closed_loop(
     let streams = oracle.len();
     let inputs: Vec<Tensor> = (0..streams).map(stream_input).collect();
     // Warm up every worker's scratch (and fault in weights) off the clock.
-    engine.run_batch(&inputs)?;
+    engine.run_batch(inputs.clone())?;
     let all_match = AtomicBool::new(true);
     let t = Instant::now();
     std::thread::scope(|scope| {
@@ -130,6 +180,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut results: Vec<Measurement> = Vec::new();
     let mut amortizations: Vec<Amortization> = Vec::new();
+    let mut metrics_rows: Vec<MetricsRow> = Vec::new();
     for (name, backend) in BACKENDS {
         // One serial oracle per backend; its outputs gate every config.
         let oracle_session = build(backend)?;
@@ -146,6 +197,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                 workers,
                 queue_depth: 64,
                 max_batch: 4,
+                ..ServeConfig::default()
             })?;
             let (mut wall_ms, mut ok) = (f64::INFINITY, true);
             for _ in 0..trials {
@@ -177,41 +229,92 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             });
         }
 
-        // Batch amortization on one worker: the same requests issued one
-        // by one vs pre-coalesced through run_batch (max_batch = the full
-        // batch), so block dispatch and scratch traversal are paid once.
-        // The sequential baseline reuses one warm ExecScratch, exactly
-        // like the engine's worker, so the delta isolates coalescing
-        // rather than scratch allocation reuse.
-        let inputs: Vec<Tensor> = (0..amort_batch).map(|i| stream_input(i % 4)).collect();
+        // Batch amortization on one worker: the same engine serving the
+        // same requests with coalescing off (one submit/wait round-trip
+        // per request) vs on (one pre-coalesced run_batch), so the
+        // speedup isolates exactly what batching buys *within* the
+        // serving tier — measured on the small `serve_amort` network
+        // where those costs are visible. A raw run_with loop with a warm
+        // scratch is also recorded (solo_run_ms) as the no-serving-tier
+        // reference point. Each timed window runs the request set several
+        // times, and each side keeps its best of `amort_trials` windows:
+        // host load only ever slows a trial down.
+        let inputs: Vec<Tensor> = (0..amort_batch).map(amort_input).collect();
+        let amort_oracle = build_amort(backend)?;
         let mut seq_scratch = ExecScratch::new();
-        oracle_session.run_with(&inputs[0], &mut seq_scratch)?;
-        let t = Instant::now();
-        for input in &inputs {
-            std::hint::black_box(oracle_session.run_with(input, &mut seq_scratch)?);
+        amort_oracle.run_with(&inputs[0], &mut seq_scratch)?;
+        let cycles = 8;
+        let amort_trials = trials * 3;
+        let mut solo_run_ms = f64::INFINITY;
+        for _ in 0..amort_trials {
+            let t = Instant::now();
+            for _ in 0..cycles {
+                for input in &inputs {
+                    std::hint::black_box(amort_oracle.run_with(input, &mut seq_scratch)?);
+                }
+            }
+            solo_run_ms = solo_run_ms.min(t.elapsed().as_secs_f64() * 1e3 / cycles as f64);
         }
-        let sequential_ms = t.elapsed().as_secs_f64() * 1e3;
-        let engine = build(backend)?.into_engine(ServeConfig {
+        let engine = build_amort(backend)?.into_engine(ServeConfig {
             workers: 1,
             queue_depth: 64,
             max_batch: amort_batch,
+            adaptive_batch: false,
         })?;
-        engine.run_batch(&inputs[..2])?; // grow scratch off the clock
-        let t = Instant::now();
-        std::hint::black_box(engine.run_batch(&inputs)?);
-        let batched_ms = t.elapsed().as_secs_f64() * 1e3;
+        // Grow the worker's batch-sized scratch off the clock — a partial
+        // warm-up would leave the first measured run_batch paying the
+        // full-batch buffer growth.
+        engine.run_batch(inputs.clone())?;
+        let mut sequential_ms = f64::INFINITY;
+        let mut batched_ms = f64::INFINITY;
+        for _ in 0..amort_trials {
+            let t = Instant::now();
+            for _ in 0..cycles {
+                for input in &inputs {
+                    let ticket = engine.submit(input.clone())?;
+                    std::hint::black_box(engine.wait(ticket)?);
+                }
+            }
+            sequential_ms = sequential_ms.min(t.elapsed().as_secs_f64() * 1e3 / cycles as f64);
+            let t = Instant::now();
+            for _ in 0..cycles {
+                std::hint::black_box(engine.run_batch(inputs.clone())?);
+            }
+            batched_ms = batched_ms.min(t.elapsed().as_secs_f64() * 1e3 / cycles as f64);
+        }
+        let metrics = engine.metrics();
         engine.shutdown();
         let speedup = sequential_ms / batched_ms;
         println!(
-            "run_batch({amort_batch}) on 1 worker: sequential {sequential_ms:.1} ms vs batched \
-             {batched_ms:.1} ms = {speedup:.2}x"
+            "run_batch({amort_batch}) on 1 worker (serve_amort net): sequential \
+             {sequential_ms:.2} ms vs batched {batched_ms:.2} ms = {speedup:.2}x (solo run_with \
+             loop {solo_run_ms:.2} ms)"
+        );
+        println!(
+            "engine metrics: {} completed, {} dispatches / {} samples, p50 {} us, p99 {} us",
+            metrics.completed,
+            metrics.batches,
+            metrics.batched_samples,
+            metrics.p50_latency_us,
+            metrics.p99_latency_us
         );
         amortizations.push(Amortization {
             backend: name,
             batch: amort_batch,
             sequential_ms,
             batched_ms,
+            solo_run_ms,
             speedup,
+        });
+        metrics_rows.push(MetricsRow {
+            backend: name,
+            submitted: metrics.submitted,
+            completed: metrics.completed,
+            shed: metrics.shed,
+            batches: metrics.batches,
+            batched_samples: metrics.batched_samples,
+            p50_latency_us: metrics.p50_latency_us,
+            p99_latency_us: metrics.p99_latency_us,
         });
     }
 
@@ -249,14 +352,34 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     json.push_str("  \"batch_amortization\": [\n");
     for (i, a) in amortizations.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"backend\": \"{}\", \"batch\": {}, \"sequential_ms\": {:.2}, \
-             \"batched_ms\": {:.2}, \"speedup\": {:.3}}}{}\n",
+            "    {{\"network\": \"serve_amort\", \"backend\": \"{}\", \"batch\": {}, \
+             \"sequential_ms\": {:.3}, \"batched_ms\": {:.3}, \"solo_run_ms\": {:.3}, \
+             \"speedup\": {:.3}}}{}\n",
             a.backend,
             a.batch,
             a.sequential_ms,
             a.batched_ms,
+            a.solo_run_ms,
             a.speedup,
             if i + 1 == amortizations.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"serve_metrics\": [\n");
+    for (i, m) in metrics_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"backend\": \"{}\", \"submitted\": {}, \"completed\": {}, \"shed\": {}, \
+             \"batches\": {}, \"batched_samples\": {}, \"p50_latency_us\": {}, \
+             \"p99_latency_us\": {}}}{}\n",
+            m.backend,
+            m.submitted,
+            m.completed,
+            m.shed,
+            m.batches,
+            m.batched_samples,
+            m.p50_latency_us,
+            m.p99_latency_us,
+            if i + 1 == metrics_rows.len() { "" } else { "," }
         ));
     }
     json.push_str("  ]\n}\n");

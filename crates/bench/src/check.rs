@@ -370,6 +370,13 @@ fn entry_is_parallel(entry: &Json) -> bool {
 /// documents record a top-level `available_parallelism` and the values
 /// differ, every timing comparison is skipped-and-flagged (one finding
 /// per bench) while the deterministic metrics still gate.
+///
+/// Additionally, every baseline `batch_amortization[]` entry gates the
+/// fresh run's `speedup` against an **absolute** floor of 1.0 on like
+/// hosts: `run_batch` coalescing must never lose to per-request
+/// submit/wait through the same engine. Cross-host the floor is
+/// skipped-and-flagged; a baseline backend with no fresh amortization
+/// entry is [`FindingKind::MissingEntry`] either way.
 pub fn check_bench(bench: &str, baseline: &Json, fresh: &Json, tolerance_pct: f64) -> Vec<Finding> {
     let mut findings = Vec::new();
     let base_results = baseline.get("results").and_then(Json::as_array).unwrap_or(&[]);
@@ -464,6 +471,48 @@ pub fn check_bench(bench: &str, baseline: &Json, fresh: &Json, tolerance_pct: f6
                     ));
                 }
             }
+        }
+    }
+
+    // Batch-amortization floor: unlike the relative gates above, this one
+    // is absolute — a fresh speedup below 1.0 means batching made serving
+    // slower than per-request submit/wait, which is a bug regardless of
+    // what the baseline recorded.
+    let base_amort = baseline.get("batch_amortization").and_then(Json::as_array).unwrap_or(&[]);
+    let fresh_amort = fresh.get("batch_amortization").and_then(Json::as_array).unwrap_or(&[]);
+    for base in base_amort {
+        let key = format!("amortization/{}", entry_key(base));
+        let Some(new) = fresh_amort.iter().find(|e| entry_key(e) == entry_key(base)) else {
+            findings.push(finding(
+                &key,
+                FindingKind::MissingEntry,
+                "no fresh amortization entry for baseline backend".into(),
+            ));
+            continue;
+        };
+        if !timing_comparable {
+            findings.push(finding(
+                &key,
+                FindingKind::Skipped,
+                "amortization floor not gated across unlike hosts".into(),
+            ));
+            continue;
+        }
+        match new.get("speedup").and_then(Json::as_f64) {
+            Some(s) if s >= 1.0 => {}
+            Some(s) => findings.push(finding(
+                &key,
+                FindingKind::Regression,
+                format!(
+                    "run_batch speedup {s:.3} < 1.0 — coalescing must not lose to \
+                     per-request submit/wait"
+                ),
+            )),
+            None => findings.push(finding(
+                &key,
+                FindingKind::MissingEntry,
+                "fresh amortization entry lacks a speedup field".into(),
+            )),
         }
     }
     findings
@@ -629,6 +678,57 @@ mod tests {
         );
         let f = check_bench("t", &base, &same_host, 25.0);
         assert!(f.iter().any(|x| x.kind == FindingKind::Regression));
+    }
+
+    #[test]
+    fn amortization_speedup_below_one_fails_on_like_hosts() {
+        let amort = |speedup: f64| {
+            format!(
+                ", \"available_parallelism\": 1, \"batch_amortization\": \
+                 [{{\"backend\": \"blocked\", \"batch\": 8, \"speedup\": {speedup}}}]"
+            )
+        };
+        let base = doc("", &amort(1.05));
+        let ok = doc("", &amort(1.01));
+        assert!(check_bench("t", &base, &ok, 25.0).is_empty());
+        // The floor is absolute: 0.95 fails even though it is within 25%
+        // of the baseline's own figure.
+        let bad = doc("", &amort(0.95));
+        let f = check_bench("t", &base, &bad, 25.0);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].kind, FindingKind::Regression);
+        assert!(f[0].entry.starts_with("amortization/"), "{}", f[0].entry);
+    }
+
+    #[test]
+    fn amortization_floor_is_skipped_across_unlike_hosts() {
+        let base = doc(
+            "",
+            ", \"available_parallelism\": 1, \"batch_amortization\": \
+             [{\"backend\": \"blocked\", \"batch\": 8, \"speedup\": 1.05}]",
+        );
+        let fresh = doc(
+            "",
+            ", \"available_parallelism\": 8, \"batch_amortization\": \
+             [{\"backend\": \"blocked\", \"batch\": 8, \"speedup\": 0.7}]",
+        );
+        let f = check_bench("t", &base, &fresh, 25.0);
+        assert!(f.iter().all(|x| x.kind == FindingKind::Skipped), "{f:?}");
+        assert!(f.iter().any(|x| x.entry.starts_with("amortization/")));
+    }
+
+    #[test]
+    fn missing_amortization_entry_is_coverage_loss() {
+        let base = doc(
+            "",
+            ", \"batch_amortization\": \
+             [{\"backend\": \"blocked\", \"batch\": 8, \"speedup\": 1.05}]",
+        );
+        let fresh = doc("", ", \"batch_amortization\": []");
+        let f = check_bench("t", &base, &fresh, 25.0);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].kind, FindingKind::MissingEntry);
+        assert!(f[0].kind.is_failure());
     }
 
     #[test]

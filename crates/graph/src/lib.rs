@@ -52,7 +52,9 @@ pub use exec::{BlockedExecutor, ExecScratch, Executor, ReferenceExecutor, RunRep
 pub use ir::{Graph, LowerOptions, Node, NodeId, NodeOp, NodeRef};
 pub use plan::{ExecPlan, PlanReport, Planner, PlannerOptions, Segment, SpliceReport};
 pub use quantize::{GraphQuantSpec, QuantizedExecutor};
-pub use serve::{ServeConfig, ServeEngine, TicketId};
+pub use serve::metrics::ServeMetrics;
+pub use serve::router::{Router, RouterTicket};
+pub use serve::{ServeConfig, ServeEngine, SubmitOptions, TicketId, Waker};
 pub use session::{Backend, Session, SessionBuilder, DEFAULT_CALIBRATION_BATCHES, THREADS_ENV};
 
 // Re-exported so session callers can pick a conv kernel without a direct

@@ -23,6 +23,7 @@
 //!    the activation bitwidth, so `offchip_bits()` reproduces the paper's
 //!    memory accounting.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bconv_quant::calibrate::Calibrator;
@@ -36,6 +37,21 @@ use bconv_tensor::{Tensor, TensorError};
 use crate::exec::{eval_node_into, run_dense, run_plan, ExecScratch, Executor, RunReport};
 use crate::ir::{Graph, NodeId, NodeOp};
 use crate::plan::{ExecPlan, Segment};
+
+/// Process-wide count of completed calibration passes, incremented by
+/// [`GraphQuantSpec::calibrate`].
+static CALIBRATION_PASSES: AtomicU64 = AtomicU64::new(0);
+
+/// Number of calibration passes this process has run. Calibration is the
+/// most expensive build-time step (a dense forward pass per calibration
+/// batch), so deployments that stamp out engine replicas should see this
+/// counter rise **once** per model — replicas built through
+/// [`Session::fork`](crate::Session::fork) or
+/// [`crate::serve::router::Router`] share the calibrated spec instead of
+/// re-calibrating (`tests/serve_router.rs` pins that contract).
+pub fn calibration_passes() -> u64 {
+    CALIBRATION_PASSES.load(Ordering::Relaxed)
+}
 
 /// Validates a bitwidth request before it reaches [`QParams`] (which
 /// panics on out-of-range widths).
@@ -108,6 +124,7 @@ impl GraphQuantSpec {
         }
         let act_params =
             cals.iter().map(|c| c.as_ref().and_then(|c| c.finalize_ema(act_bits))).collect();
+        CALIBRATION_PASSES.fetch_add(1, Ordering::Relaxed);
         Ok(Self { weight_bits, act_bits, act_params })
     }
 }

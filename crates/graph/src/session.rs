@@ -35,6 +35,7 @@ use crate::exec::{BlockedExecutor, ExecScratch, Executor, ReferenceExecutor, Run
 use crate::ir::{Graph, LowerOptions, NodeOp};
 use crate::plan::{ExecPlan, Planner, PlannerOptions, Segment};
 use crate::quantize::{GraphQuantSpec, QuantizedExecutor};
+use crate::serve::router::Router;
 use crate::serve::{ServeConfig, ServeEngine};
 
 /// Which executor backend a session compiles.
@@ -355,9 +356,49 @@ impl Session {
         ServeEngine::new(self, config)
     }
 
+    /// Consumes the session and builds a [`Router`]: `replicas` serving
+    /// engines, each configured with `config`, sharing this session's
+    /// graph, plan, executor (and, for the quantized backend, its one
+    /// calibration pass) through [`fork`](Session::fork). See
+    /// [`crate::serve::router`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidParameter`] when `replicas` is zero or
+    /// `config` is invalid.
+    pub fn into_router(self, replicas: usize, config: ServeConfig) -> Result<Router, TensorError> {
+        Router::new(self, replicas, config)
+    }
+
+    /// A second handle to the same compiled session: the fork shares the
+    /// lowered graph, the fusion plan, and the executor (including conv
+    /// weights — `Arc<Conv2d>` everywhere — and the quantized backend's
+    /// calibrated spec) with `self` by reference count, so forking is a
+    /// few atomic increments. Nothing is re-lowered, re-planned, or
+    /// re-calibrated. This is how [`Router`] stamps out engine replicas
+    /// from one build.
+    pub fn fork(&self) -> Session {
+        Session {
+            graph: Arc::clone(&self.graph),
+            exec_plan: Arc::clone(&self.exec_plan),
+            backend: self.backend,
+            threads: self.threads,
+            kernel: self.kernel,
+            executor: Arc::clone(&self.executor),
+        }
+    }
+
     /// The shared executor and graph, for the serving engine.
     pub(crate) fn shared_parts(&self) -> (Arc<Graph>, Arc<dyn Executor>) {
         (Arc::clone(&self.graph), Arc::clone(&self.executor))
+    }
+
+    /// Test hook: swap the compiled executor (e.g. for one that panics on
+    /// a marker input) so serve-layer failure paths can be driven
+    /// deterministically.
+    #[cfg(test)]
+    pub(crate) fn swap_executor(&mut self, executor: Arc<dyn Executor>) {
+        self.executor = executor;
     }
 
     /// The lowered graph (weights bound).

@@ -25,6 +25,11 @@ pub enum TensorError {
         /// Human-readable description of the offending access.
         context: String,
     },
+    /// A serving request's deadline expired before it was executed; the
+    /// request was shed without reaching a worker. Typed (rather than a
+    /// generic parameter error) so load-shedding callers can match on it
+    /// and retry or degrade without string inspection.
+    DeadlineExpired,
 }
 
 impl TensorError {
@@ -60,6 +65,9 @@ impl fmt::Display for TensorError {
             }
             Self::InvalidParameter { context } => write!(f, "invalid parameter: {context}"),
             Self::OutOfBounds { context } => write!(f, "out of bounds: {context}"),
+            Self::DeadlineExpired => {
+                write!(f, "deadline expired: request shed before execution")
+            }
         }
     }
 }

@@ -27,7 +27,7 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use bconv_graph::{Backend, ExecScratch, ServeConfig, Session};
+use bconv_graph::{Backend, ExecScratch, Router, ServeConfig, Session};
 use bconv_models::small::vgg16_small;
 use bconv_models::Network;
 use bconv_tensor::init::{seeded_rng, uniform_tensor};
@@ -203,7 +203,12 @@ fn run_with_is_allocation_free_quantized_gemm_kernel() {
 fn assert_bounded_serve(backend: Backend, workers: usize) {
     let _lock = GATE.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
     let engine = session(backend, 1)
-        .into_engine(ServeConfig { workers, queue_depth: 64, max_batch: 4 })
+        .into_engine(ServeConfig {
+            workers,
+            queue_depth: 64,
+            max_batch: 4,
+            ..ServeConfig::default()
+        })
         .expect("engine builds");
     // Inputs are cloned *outside* the measured window: submit() takes the
     // tensor by value, so the gate would otherwise charge the request for
@@ -215,7 +220,7 @@ fn assert_bounded_serve(backend: Backend, workers: usize) {
         // spread work across all workers (each blocks on its own ticket).
         let mut out_bytes = 0usize;
         for _ in 0..6 {
-            for report in engine.run_batch(&inputs).expect("warm-up batch") {
+            for report in engine.run_batch(inputs.clone()).expect("warm-up batch") {
                 out_bytes = size_of_val(report.output.data());
             }
         }
@@ -270,4 +275,52 @@ fn serve_is_alloc_bounded_blocked_4_workers() {
 #[test]
 fn serve_is_alloc_bounded_quantized_2_workers() {
     assert_bounded_serve(QUANT, 2);
+}
+
+/// A router in front of the engines holds the same bounded-tier ceiling:
+/// shard picking reads one atomic gauge per replica and the returned
+/// ticket is a plain (shard, ticket) pair, so fronting N replicas must
+/// add no per-request allocation beyond what one engine already funds.
+#[test]
+fn router_fronted_serve_is_alloc_bounded() {
+    let _lock = GATE.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let router: Router = session(Backend::Blocked, 1)
+        .into_router(
+            2,
+            ServeConfig { workers: 1, queue_depth: 64, max_batch: 4, ..ServeConfig::default() },
+        )
+        .expect("router builds");
+    let inputs: Vec<Tensor> = (0..8).map(|i| input(i as u64)).collect();
+    let output_bytes = {
+        let mut out_bytes = 0usize;
+        for _ in 0..6 {
+            for report in router.run_batch(inputs.clone()).expect("warm-up batch") {
+                out_bytes = size_of_val(report.output.data());
+            }
+        }
+        out_bytes
+    };
+
+    let requests = inputs.len();
+    let queue: Vec<Tensor> = inputs.to_vec();
+
+    let before = snapshot();
+    for input in queue {
+        let ticket = router.submit(input).expect("submit");
+        let report = router.wait(ticket).expect("wait");
+        assert_eq!(report.output.shape().dims(), [1, 10, 1, 1]);
+    }
+    let (allocs, bytes) = delta(before);
+    let (per_alloc, per_bytes) = (allocs / requests, bytes / requests);
+    assert!(
+        per_alloc <= 64,
+        "routed serve: {allocs} allocation(s) across {requests} requests \
+         ({per_alloc}/request, ceiling 64)"
+    );
+    assert!(
+        per_bytes <= output_bytes + 8 * 1024,
+        "routed serve: {bytes} byte(s) across {requests} requests \
+         ({per_bytes}/request, ceiling {} = output + 8 KiB)",
+        output_bytes + 8 * 1024
+    );
 }

@@ -79,11 +79,11 @@ proptest! {
                 .collect();
             for workers in [1usize, 2, 8] {
                 let engine = session(&net, backend, mode, seed, 1)
-                    .into_engine(ServeConfig { workers, queue_depth: 4, max_batch })
+                    .into_engine(ServeConfig { workers, queue_depth: 4, max_batch, ..ServeConfig::default() })
                     .expect("engine builds");
 
                 // Batched entry point.
-                let got = engine.run_batch(&inputs).expect("run_batch");
+                let got = engine.run_batch(inputs.clone()).expect("run_batch");
                 prop_assert_eq!(got.len(), want.len());
                 for (i, (g, w)) in got.iter().zip(&want).enumerate() {
                     prop_assert_eq!(
@@ -127,9 +127,9 @@ proptest! {
         let inputs = request_mix(seed ^ 0x7EAD);
         let oracle = session(&net, Backend::Blocked, PadMode::Zero, seed, 1);
         let engine = session(&net, Backend::Blocked, PadMode::Zero, seed, 2)
-            .into_engine(ServeConfig { workers: 2, queue_depth: 4, max_batch: 4 })
+            .into_engine(ServeConfig { workers: 2, queue_depth: 4, max_batch: 4, ..ServeConfig::default() })
             .expect("engine builds");
-        let got = engine.run_batch(&inputs).expect("run_batch");
+        let got = engine.run_batch(inputs.clone()).expect("run_batch");
         for (i, (g, w)) in got.iter().zip(&inputs).enumerate() {
             let want = oracle.run(w).expect("oracle run");
             prop_assert_eq!(

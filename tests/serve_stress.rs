@@ -81,7 +81,12 @@ fn blocked_engine_survives_many_clients_through_a_tiny_queue() {
     // 8 clients x up to 2 in-flight each = 16 outstanding through a
     // 2-deep queue: submissions block (backpressure) most of the time.
     let engine = build_session(Backend::Blocked)
-        .into_engine(ServeConfig { workers: 4, queue_depth: 2, max_batch: 3 })
+        .into_engine(ServeConfig {
+            workers: 4,
+            queue_depth: 2,
+            max_batch: 3,
+            ..ServeConfig::default()
+        })
         .unwrap();
     let oracle = build_session(Backend::Blocked);
     hammer(&engine, &oracle, 8, 16);
@@ -99,7 +104,12 @@ fn deadlock_canary_fails_fast_instead_of_hanging() {
     let (done_tx, done_rx) = std::sync::mpsc::channel();
     std::thread::spawn(move || {
         let engine = build_session(Backend::Blocked)
-            .into_engine(ServeConfig { workers: 4, queue_depth: 2, max_batch: 3 })
+            .into_engine(ServeConfig {
+                workers: 4,
+                queue_depth: 2,
+                max_batch: 3,
+                ..ServeConfig::default()
+            })
             .unwrap();
         let oracle = build_session(Backend::Blocked);
         hammer(&engine, &oracle, 8, 8);
@@ -121,7 +131,12 @@ fn deadlock_canary_fails_fast_instead_of_hanging() {
 fn quantized_engine_serves_concurrent_clients() {
     let backend = Backend::Quantized { weight_bits: 8, act_bits: 8 };
     let engine = build_session(backend)
-        .into_engine(ServeConfig { workers: 2, queue_depth: 2, max_batch: 4 })
+        .into_engine(ServeConfig {
+            workers: 2,
+            queue_depth: 2,
+            max_batch: 4,
+            ..ServeConfig::default()
+        })
         .unwrap();
     let oracle = build_session(backend);
     hammer(&engine, &oracle, 4, 6);
@@ -130,7 +145,12 @@ fn quantized_engine_serves_concurrent_clients() {
 #[test]
 fn reference_engine_serves_concurrent_clients() {
     let engine = build_session(Backend::Reference)
-        .into_engine(ServeConfig { workers: 2, queue_depth: 4, max_batch: 2 })
+        .into_engine(ServeConfig {
+            workers: 2,
+            queue_depth: 4,
+            max_batch: 2,
+            ..ServeConfig::default()
+        })
         .unwrap();
     let oracle = build_session(Backend::Reference);
     hammer(&engine, &oracle, 4, 6);
@@ -140,7 +160,12 @@ fn reference_engine_serves_concurrent_clients() {
 fn mixed_entry_points_share_one_engine() {
     // Ticketed clients and a run_batch caller interleave on one engine.
     let engine = build_session(Backend::Blocked)
-        .into_engine(ServeConfig { workers: 2, queue_depth: 2, max_batch: 3 })
+        .into_engine(ServeConfig {
+            workers: 2,
+            queue_depth: 2,
+            max_batch: 3,
+            ..ServeConfig::default()
+        })
         .unwrap();
     let oracle = build_session(Backend::Blocked);
     let batch_inputs: Vec<Tensor> = (0..6).map(|i| request(99, i)).collect();
@@ -152,7 +177,7 @@ fn mixed_entry_points_share_one_engine() {
         scope.spawn(move || hammer(engine_ref, oracle_ref, 2, 8));
         scope.spawn(move || {
             for _ in 0..4 {
-                let got = engine_ref.run_batch(&batch_inputs).unwrap();
+                let got = engine_ref.run_batch(batch_inputs.clone()).unwrap();
                 for (g, w) in got.iter().zip(&batch_want) {
                     assert_eq!(g.output.data(), w.data(), "run_batch output diverged mid-stress");
                 }
