@@ -145,6 +145,8 @@ impl Config {
                 "crates/graph/src/session.rs",
                 "crates/graph/src/cost.rs",
                 "crates/graph/src/quantize.rs",
+                "crates/graph/src/cache.rs",
+                "crates/graph/src/tune.rs",
                 "crates/core/src/fusion.rs",
                 "crates/core/src/plan.rs",
             ]),
@@ -167,6 +169,8 @@ impl Config {
                 "crates/graph/src/serve/router.rs",
                 "crates/graph/src/serve/metrics.rs",
                 "crates/graph/src/quantize.rs",
+                "crates/graph/src/cache.rs",
+                "crates/graph/src/tune.rs",
             ]),
         }
     }

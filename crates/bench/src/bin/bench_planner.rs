@@ -10,12 +10,13 @@
 //! bitwise identical — the cost model is a schedule policy, not a
 //! numerics change.
 //!
-//! Usage: `bench_planner [--quick] [--out PATH]`
+//! Usage: `bench_planner [--quick] [--out PATH] [--tune-out PATH]`
 
 use bconv_accel::platform::zc706;
 use bconv_bench::session_times;
 use bconv_core::BlockingPattern;
-use bconv_graph::{AccelCost, Session};
+use bconv_graph::{tune, AccelCost, Session, TuneOptions};
+use bconv_models::small::vgg16_small;
 use bconv_models::Network;
 use bconv_tensor::init::{seeded_rng, uniform_tensor};
 use bconv_tensor::Tensor;
@@ -46,7 +47,7 @@ fn workloads() -> Vec<Workload> {
     vec![
         Workload {
             network: "vgg16_small",
-            net: bconv_models::small::vgg16_small(32),
+            net: vgg16_small(32),
             input: uniform_tensor([1, 3, 32, 32], -1.0, 1.0, &mut seeded_rng(7)),
             // Cuts after conv1-1: its successor's ping-pong pair
             // (16x16x4 + 16x16x4 = 2048 elements) exceeds the budget.
@@ -70,6 +71,8 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1).cloned())
         .unwrap_or_else(|| "BENCH_planner.json".to_string());
+    let tune_out =
+        args.iter().position(|a| a == "--tune-out").and_then(|i| args.get(i + 1).cloned());
     let reps = if quick { 9 } else { 30 };
     let avail = std::thread::available_parallelism().map_or(1, |n| n.get());
 
@@ -180,6 +183,20 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     json.push_str("  ]\n}\n");
     std::fs::write(&out_path, json)?;
     println!("wrote {out_path}");
+
+    // `--tune-out PATH`: run the per-host DSE on vgg16_small and dump the
+    // full TuneReport (every point, Pareto front, winner) — CI uploads it
+    // as an artifact next to the analyzer report.
+    if let Some(path) = tune_out {
+        let report = tune(&vgg16_small(32), &TuneOptions::default())?;
+        std::fs::write(&path, report.to_json())?;
+        println!(
+            "wrote {path}: {} points, {} on the Pareto front, winner #{}",
+            report.points.len(),
+            report.pareto.len(),
+            report.winner_index
+        );
+    }
     Ok(())
 }
 

@@ -55,6 +55,18 @@ struct Measurement {
     throughput_rps: f64,
     speedup_vs_1_worker: f64,
     outputs_match_oracle: bool,
+    /// The plan this configuration actually measured: which cost model
+    /// cut its fusion groups, how many splices it took, and where it came
+    /// from (fresh / cache-loaded / tune-selected).
+    cost_model: String,
+    splices: usize,
+    plan_provenance: String,
+}
+
+/// Plan identity of a built session, for the result rows.
+fn plan_fields(session: &Session) -> (String, usize, String) {
+    let report = session.plan().report();
+    (report.cost_model.clone(), report.splices.len(), report.provenance.to_string())
 }
 
 struct Amortization {
@@ -193,7 +205,9 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         println!("\n{name}: {per_stream} requests/stream, streams = workers");
         let mut base_rps = 0.0f64;
         for &workers in &worker_counts {
-            let engine = build(backend)?.into_engine(ServeConfig {
+            let session = build(backend)?;
+            let (cost_model, splices, plan_provenance) = plan_fields(&session);
+            let engine = session.into_engine(ServeConfig {
                 workers,
                 queue_depth: 64,
                 max_batch: 4,
@@ -226,6 +240,9 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                 throughput_rps: rps,
                 speedup_vs_1_worker: speedup,
                 outputs_match_oracle: ok,
+                cost_model,
+                splices,
+                plan_provenance,
             });
         }
 
@@ -335,7 +352,8 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         json.push_str(&format!(
             "    {{\"backend\": \"{}\", \"workers_requested\": {}, \"workers_effective\": {}, \
              \"streams\": {}, \"requests\": {}, \"wall_ms\": {:.2}, \"throughput_rps\": {:.1}, \
-             \"speedup_vs_1_worker\": {:.3}, \"outputs_match_oracle\": {}}}{}\n",
+             \"speedup_vs_1_worker\": {:.3}, \"outputs_match_oracle\": {}, \"cost_model\": \
+             \"{}\", \"splices\": {}, \"plan_provenance\": \"{}\"}}{}\n",
             m.backend,
             m.workers_requested,
             m.workers_effective,
@@ -345,6 +363,9 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             m.throughput_rps,
             m.speedup_vs_1_worker,
             m.outputs_match_oracle,
+            m.cost_model,
+            m.splices,
+            m.plan_provenance,
             if i + 1 == results.len() { "" } else { "," }
         ));
     }

@@ -102,6 +102,15 @@ pub trait CostModel: std::fmt::Debug + Send + Sync {
     /// Model name, echoed in [`crate::plan::PlanReport`].
     fn name(&self) -> &'static str;
 
+    /// Deterministic identity string for [`crate::cache::PlanKey`]: the
+    /// model name plus every parameter that changes its decisions, so two
+    /// models that could plan differently never share a cache entry. The
+    /// default is the bare name — correct only for parameter-free models;
+    /// parameterised models must override.
+    fn cache_param_key(&self) -> String {
+        self.name().to_string()
+    }
+
     /// Whether the open group (`group`, possibly empty) should extend
     /// through `candidate`, or cut right before it. Consulted for conv and
     /// pool stages; ReLU is free and always fuses.
@@ -149,6 +158,13 @@ impl ElementBudget {
 impl CostModel for ElementBudget {
     fn name(&self) -> &'static str {
         "element-budget"
+    }
+
+    fn cache_param_key(&self) -> String {
+        match self.budget_elems {
+            None => "element-budget(unbounded)".to_string(),
+            Some(b) => format!("element-budget(b{b})"),
+        }
     }
 
     fn allow_extend(&self, _group: &[StageCost], candidate: &StageCost) -> bool {
@@ -222,6 +238,24 @@ impl AccelCost {
 impl CostModel for AccelCost {
     fn name(&self) -> &'static str {
         "accel-cost"
+    }
+
+    fn cache_param_key(&self) -> String {
+        // Everything the extend/splice decisions read: the platform's
+        // DRAM model and BRAM capacity, both buffer capacities, and the
+        // PE parallelism. `{}` on f64 prints shortest-roundtrip digits,
+        // so equal platforms always format identically.
+        format!(
+            "accel-cost({},bram{}x{},f{},dram{},ib{},eb{},npe{})",
+            self.platform.name,
+            self.platform.bram18_blocks,
+            self.platform.bram18_bits,
+            self.platform.freq_mhz,
+            self.platform.dram_gbps,
+            self.intermediate_buffer_bits,
+            self.extra_buffer_bits,
+            self.npe
+        )
     }
 
     fn allow_extend(&self, _group: &[StageCost], candidate: &StageCost) -> bool {

@@ -39,6 +39,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod cache;
 pub mod cost;
 pub mod exec;
 pub mod ir;
@@ -46,16 +47,27 @@ pub mod plan;
 pub mod quantize;
 pub mod serve;
 pub mod session;
+pub mod tune;
 
+pub use cache::{graph_content_hash, host_fingerprint, PlanCache, PlanCacheError, PlanKey};
 pub use cost::{AccelCost, CostModel, ElementBudget, SpliceCost, StageCost};
 pub use exec::{BlockedExecutor, ExecScratch, Executor, ReferenceExecutor, RunReport};
 pub use ir::{Graph, LowerOptions, Node, NodeId, NodeOp, NodeRef};
-pub use plan::{ExecPlan, PlanReport, Planner, PlannerOptions, Segment, SpliceReport};
+pub use plan::{
+    planner_invocations, ExecPlan, PlanProvenance, PlanReport, Planner, PlannerOptions, Segment,
+    SpliceReport,
+};
 pub use quantize::{GraphQuantSpec, QuantizedExecutor};
 pub use serve::metrics::ServeMetrics;
 pub use serve::router::{Router, RouterTicket};
 pub use serve::{ServeConfig, ServeEngine, SubmitOptions, TicketId, Waker};
-pub use session::{Backend, Session, SessionBuilder, DEFAULT_CALIBRATION_BATCHES, THREADS_ENV};
+pub use session::{
+    Backend, PlanSpec, Session, SessionBuilder, DEFAULT_CALIBRATION_BATCHES, THREADS_ENV,
+};
+pub use tune::{
+    load_cached_winner, modeled_offchip_elems, tune, tune_lowered, TuneOptions, TunePoint,
+    TuneReport, TuneWinner,
+};
 
 // Re-exported so session callers can pick a conv kernel without a direct
 // bconv-tensor dependency.

@@ -18,6 +18,7 @@
 //! in the plan's [`PlanReport`], so benches and tests can assert the
 //! planner's choices, not just its outputs.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bconv_core::blocking::{BlockGrid, BlockingPattern};
@@ -31,6 +32,20 @@ use bconv_tensor::TensorError;
 use crate::cost::{CostModel, ElementBudget, SpliceCost, StageCost};
 use crate::ir::{Graph, NodeId, NodeOp, NodeRef};
 use crate::quantize::GraphQuantSpec;
+
+/// Process-wide count of full planner walks ([`Planner::plan`] /
+/// [`Planner::plan_quantized`]). A [`crate::cache::PlanCache`] hit rebuilds
+/// the plan from its serialized form without a walk, so tests assert this
+/// counter stays flat across cache-loaded builds — the "skips planning
+/// entirely" guarantee, counted rather than trusted.
+static PLANNER_INVOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Number of full planner walks this process has run. Monotone; a
+/// [`crate::cache::PlanCache`] hit leaves it untouched. Mirrors
+/// [`crate::quantize::calibration_passes`].
+pub fn planner_invocations() -> u64 {
+    PLANNER_INVOCATIONS.load(Ordering::Relaxed)
+}
 
 /// Planner configuration.
 #[derive(Debug, Clone)]
@@ -131,6 +146,51 @@ pub struct SpliceReport {
     pub saved_offchip_elems: usize,
 }
 
+/// Where a compiled plan came from. Recorded in [`PlanReport`] so callers
+/// (and `BENCH_serve.json` rows) can tell a freshly planned session from
+/// one that loaded a pinned plan or a tuned winner.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum PlanProvenance {
+    /// The planner walked the graph in this build.
+    #[default]
+    Fresh,
+    /// Deserialized from a [`crate::cache::PlanCache`] entry; no planner
+    /// walk ran.
+    CacheLoaded {
+        /// Canonical form of the [`crate::cache::PlanKey`] that hit.
+        key: String,
+    },
+    /// Planned under a [`mod@crate::tune`] winner's configuration (the walk
+    /// ran, but its knobs came from the autotuner, not the caller).
+    TuneSelected {
+        /// Canonical form of the per-host tune key the winner was cached
+        /// under.
+        key: String,
+    },
+}
+
+impl std::fmt::Display for PlanProvenance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Fresh => write!(f, "fresh"),
+            Self::CacheLoaded { key } => write!(f, "cache-loaded:{key}"),
+            Self::TuneSelected { key } => write!(f, "tune-selected:{key}"),
+        }
+    }
+}
+
+impl PlanProvenance {
+    /// Short label without the key ("fresh" / "cache-loaded" /
+    /// "tune-selected") for bench rows and summaries.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Self::Fresh => "fresh",
+            Self::CacheLoaded { .. } => "cache-loaded",
+            Self::TuneSelected { .. } => "tune-selected",
+        }
+    }
+}
+
 /// The planner's decisions, segment structure aside: which cost model
 /// ruled, where it cut, and which boundaries it spliced. Benches and
 /// tests assert against this instead of reverse-engineering segments.
@@ -145,6 +205,9 @@ pub struct PlanReport {
     pub cost_cuts: Vec<NodeId>,
     /// Splices taken, in plan order.
     pub splices: Vec<SpliceReport>,
+    /// How the plan reached this session: fresh walk, cache hit, or tuned
+    /// configuration.
+    pub provenance: PlanProvenance,
 }
 
 impl PlanReport {
@@ -167,6 +230,36 @@ pub struct ExecPlan {
 }
 
 impl ExecPlan {
+    /// Reassembles a plan from parts — the deserialization path of
+    /// [`crate::cache::PlanCache`], which rebuilds segments by re-solving
+    /// block plans from stored grids rather than re-running the planner
+    /// walk.
+    pub(crate) fn from_parts(
+        segments: Vec<Segment>,
+        pattern: BlockingPattern,
+        blocked_convs: usize,
+        total_convs: usize,
+        act_bits: Option<u8>,
+        report: PlanReport,
+    ) -> Self {
+        Self { segments, pattern, blocked_convs, total_convs, act_bits, report }
+    }
+
+    /// Mutable decision report, for the build path to stamp provenance.
+    pub(crate) fn report_mut(&mut self) -> &mut PlanReport {
+        &mut self.report
+    }
+
+    /// Blocking pattern the plan was compiled under.
+    pub fn pattern(&self) -> BlockingPattern {
+        self.pattern
+    }
+
+    /// Total convolutions in the source graph (blocked or not).
+    pub fn total_convs(&self) -> usize {
+        self.total_convs
+    }
+
     /// Activation bitwidth the plan was compiled for: `Some` for a
     /// [`Planner::plan_quantized`] plan (whose fused chains carry integer
     /// stages and whose whole-map convs expect quantized dispatch), `None`
@@ -396,6 +489,7 @@ impl Planner {
         graph: &Graph,
         quant: Option<&GraphQuantSpec>,
     ) -> Result<ExecPlan, TensorError> {
+        PLANNER_INVOCATIONS.fetch_add(1, Ordering::Relaxed);
         let decisions = self.decisions(graph)?;
         let bits = quant.map_or(32, |spec| spec.act_bits);
         let mut report =

@@ -19,6 +19,7 @@
 //! # }
 //! ```
 
+use std::path::PathBuf;
 use std::sync::Arc;
 
 use bconv_core::blocking::BlockingPattern;
@@ -30,13 +31,15 @@ use bconv_tensor::{Tensor, TensorError};
 
 use bconv_tensor::init::{seeded_rng, uniform_tensor};
 
+use crate::cache::{PlanCache, PlanKey};
 use crate::cost::CostModel;
 use crate::exec::{BlockedExecutor, ExecScratch, Executor, ReferenceExecutor, RunReport};
 use crate::ir::{Graph, LowerOptions, NodeOp};
-use crate::plan::{ExecPlan, Planner, PlannerOptions, Segment};
+use crate::plan::{ExecPlan, PlanProvenance, Planner, PlannerOptions, Segment};
 use crate::quantize::{GraphQuantSpec, QuantizedExecutor};
 use crate::serve::router::Router;
 use crate::serve::{ServeConfig, ServeEngine};
+use crate::tune::{self, TuneOptions};
 
 /// Which executor backend a session compiles.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -111,21 +114,146 @@ fn resolve_threads(requested: Option<usize>) -> Result<usize, TensorError> {
     Ok(std::thread::available_parallelism().map_or(1, |n| n.get()))
 }
 
+/// The cache-aware planning funnel: on a [`PlanKey`] hit the pinned plan is
+/// rebuilt from its stored decisions and the planner walk never runs (its
+/// provenance is already `CacheLoaded`); otherwise the planner runs, the
+/// given provenance is stamped, and the plan is stored best-effort. Every
+/// cache failure — missing file, corrupt JSON, stale key, incompatible
+/// schema — falls back to fresh planning; none is fatal.
+#[allow(clippy::too_many_arguments)]
+fn plan_or_load(
+    cache: Option<&PlanCache>,
+    key: Option<&PlanKey>,
+    planner: &Planner,
+    graph: &Graph,
+    pad: PadMode,
+    kernel: KernelPolicy,
+    quant: Option<&GraphQuantSpec>,
+    provenance: PlanProvenance,
+) -> Result<Arc<ExecPlan>, TensorError> {
+    if let (Some(cache), Some(key)) = (cache, key) {
+        if let Ok(plan) = cache.load(key, graph, pad, kernel, quant) {
+            return Ok(Arc::new(plan));
+        }
+    }
+    let mut plan = match quant {
+        Some(spec) => planner.plan_quantized(graph, spec)?,
+        None => planner.plan(graph)?,
+    };
+    plan.report_mut().provenance = provenance;
+    if let (Some(cache), Some(key)) = (cache, key) {
+        let _ = cache.store(key, &plan);
+    }
+    Ok(Arc::new(plan))
+}
+
+/// The planning configuration, as one value: everything that decides
+/// *what plan* a session compiles (as opposed to which backend executes
+/// it or how many worker threads run it). [`SessionBuilder::planner`]
+/// consumes a spec wholesale; the builder's individual knobs
+/// ([`SessionBuilder::pattern`], [`SessionBuilder::on_chip_budget`],
+/// [`SessionBuilder::cost_model`], …) are thin conveniences writing into
+/// the same spec, kept for compatibility.
+///
+/// ```
+/// use bconv_graph::session::PlanSpec;
+/// use bconv_core::BlockingPattern;
+///
+/// let spec = PlanSpec::new()
+///     .pattern(BlockingPattern::hierarchical(2))
+///     .on_chip_budget(1500);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PlanSpec {
+    /// Blocking pattern (`None` = the `H2×2` default).
+    pub pattern: Option<BlockingPattern>,
+    /// Explicit per-conv-layer blocking decisions (`None` derives the
+    /// paper's resolution rule).
+    pub network_plan: Option<NetworkPlan>,
+    /// Element budget for the default cost model; mutually exclusive with
+    /// [`Self::cost_model`].
+    pub budget_elems: Option<usize>,
+    /// Fusion cost model (cuts and splices).
+    pub cost_model: Option<Arc<dyn CostModel>>,
+    /// Block-padding mode.
+    pub pad: PadMode,
+    /// Conv kernel policy for blocked convolutions.
+    pub kernel: KernelPolicy,
+    /// Plan-cache directory: when set, `build()` loads a pinned plan on a
+    /// [`PlanKey`] hit (skipping the planner walk entirely) and stores
+    /// freshly planned ones.
+    pub cache_dir: Option<PathBuf>,
+    /// Run the per-host autotuner ([`mod@crate::tune`]) and plan under its
+    /// winner. Knobs the caller pinned explicitly keep their values; only
+    /// unset ones take the winner's.
+    pub tuned: bool,
+}
+
+impl PlanSpec {
+    /// An empty spec (all defaults).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the blocking pattern.
+    pub fn pattern(mut self, pattern: BlockingPattern) -> Self {
+        self.pattern = Some(pattern);
+        self
+    }
+
+    /// Sets explicit per-conv-layer blocking decisions.
+    pub fn network_plan(mut self, plan: NetworkPlan) -> Self {
+        self.network_plan = Some(plan);
+        self
+    }
+
+    /// Caps the per-block on-chip working buffers, in elements.
+    pub fn on_chip_budget(mut self, elems: usize) -> Self {
+        self.budget_elems = Some(elems);
+        self
+    }
+
+    /// Sets the fusion cost model.
+    pub fn cost_model(mut self, model: impl CostModel + 'static) -> Self {
+        self.cost_model = Some(Arc::new(model));
+        self
+    }
+
+    /// Sets the block-padding mode.
+    pub fn pad(mut self, pad: PadMode) -> Self {
+        self.pad = pad;
+        self
+    }
+
+    /// Sets the conv kernel policy.
+    pub fn kernel(mut self, policy: KernelPolicy) -> Self {
+        self.kernel = policy;
+        self
+    }
+
+    /// Enables the plan cache under `dir`.
+    pub fn cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// Enables per-host autotuning.
+    pub fn tuned(mut self) -> Self {
+        self.tuned = true;
+        self
+    }
+}
+
 /// Builder for [`Session`].
 #[derive(Debug, Clone, Default)]
 pub struct SessionBuilder {
     network: Option<Network>,
-    pattern: Option<BlockingPattern>,
-    plan: Option<NetworkPlan>,
-    pad: PadMode,
-    budget_elems: Option<usize>,
+    spec: PlanSpec,
     backend: Backend,
     seed: Option<u64>,
     relu_after_conv: bool,
-    kernel: KernelPolicy,
     threads: Option<usize>,
     calibration: Option<Vec<Tensor>>,
-    cost_model: Option<Arc<dyn CostModel>>,
 }
 
 impl SessionBuilder {
@@ -135,9 +263,40 @@ impl SessionBuilder {
         self
     }
 
+    /// Replaces the whole planning configuration with `spec` — the
+    /// documented way to configure planning. The per-knob builder methods
+    /// below write into the same spec and remain as conveniences.
+    pub fn planner(mut self, spec: PlanSpec) -> Self {
+        self.spec = spec;
+        self
+    }
+
+    /// Enables the plan compilation cache under `dir`: a [`PlanKey`] hit
+    /// loads the pinned plan (bitwise-identical execution, no planner
+    /// walk); a miss plans fresh and stores the result. Equivalent to
+    /// [`PlanSpec::cache_dir`].
+    pub fn plan_cache(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.spec.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// Enables per-host autotuning: `build()` runs (or loads, when a
+    /// plan cache directory is set, from its per-host winner cache) the
+    /// bounded [`mod@crate::tune`] exploration and plans under the winning
+    /// pattern / buffer split / kernel policy / thread count. Knobs set
+    /// explicitly on the builder keep their values. Equivalent to
+    /// [`PlanSpec::tuned`].
+    pub fn tuned(mut self) -> Self {
+        self.spec.tuned = true;
+        self
+    }
+
     /// Sets the blocking pattern (default `H2×2`).
+    ///
+    /// **Note:** convenience delegating to [`PlanSpec::pattern`]; prefer
+    /// [`planner`](Self::planner) for new code.
     pub fn pattern(mut self, pattern: BlockingPattern) -> Self {
-        self.pattern = Some(pattern);
+        self.spec.pattern = Some(pattern);
         self
     }
 
@@ -145,14 +304,20 @@ impl SessionBuilder {
     /// paper's resolution rule under the session pattern). Use
     /// [`NetworkPlan::by_blocking_depth`] for the VDSR fusion-point
     /// schedule or [`NetworkPlan::unblocked`] for a pure dense baseline.
+    ///
+    /// **Note:** convenience delegating to [`PlanSpec::network_plan`];
+    /// prefer [`planner`](Self::planner) for new code.
     pub fn plan(mut self, plan: NetworkPlan) -> Self {
-        self.plan = Some(plan);
+        self.spec.network_plan = Some(plan);
         self
     }
 
     /// Sets the block-padding mode (default zero padding).
+    ///
+    /// **Note:** convenience delegating to [`PlanSpec::pad`]; prefer
+    /// [`planner`](Self::planner) for new code.
     pub fn pad(mut self, pad: PadMode) -> Self {
-        self.pad = pad;
+        self.spec.pad = pad;
         self
     }
 
@@ -160,8 +325,11 @@ impl SessionBuilder {
     /// groups are cut at the boundary where they would exceed the budget
     /// (the default [`crate::cost::ElementBudget`] model; mutually
     /// exclusive with [`cost_model`](Self::cost_model)).
+    ///
+    /// **Note:** convenience delegating to [`PlanSpec::on_chip_budget`];
+    /// prefer [`planner`](Self::planner) for new code.
     pub fn on_chip_budget(mut self, elems: usize) -> Self {
-        self.budget_elems = Some(elems);
+        self.spec.budget_elems = Some(elems);
         self
     }
 
@@ -173,8 +341,11 @@ impl SessionBuilder {
     /// [`crate::cost::AccelCost`] to plan against the `bconv-accel`
     /// cycle/memory model. Setting both a cost model and an element budget
     /// is rejected at build time (ambiguous).
+    ///
+    /// **Note:** convenience delegating to [`PlanSpec::cost_model`];
+    /// prefer [`planner`](Self::planner) for new code.
     pub fn cost_model(mut self, model: impl CostModel + 'static) -> Self {
-        self.cost_model = Some(Arc::new(model));
+        self.spec.cost_model = Some(Arc::new(model));
         self
     }
 
@@ -201,8 +372,11 @@ impl SessionBuilder {
     /// Selects the conv kernel policy for blocked convolutions (default
     /// [`KernelPolicy::Auto`]: im2col+GEMM wherever the patch matrix pays
     /// for itself, the direct loop for degenerate single-tap layers).
+    ///
+    /// **Note:** convenience delegating to [`PlanSpec::kernel`]; prefer
+    /// [`planner`](Self::planner) for new code.
     pub fn kernel(mut self, policy: KernelPolicy) -> Self {
-        self.kernel = policy;
+        self.spec.kernel = policy;
         self
     }
 
@@ -236,7 +410,8 @@ impl SessionBuilder {
         let net = self
             .network
             .ok_or_else(|| TensorError::invalid("SessionBuilder::network is required"))?;
-        if self.cost_model.is_some() && self.budget_elems.is_some() {
+        let mut spec = self.spec;
+        if spec.cost_model.is_some() && spec.budget_elems.is_some() {
             return Err(TensorError::invalid(
                 "SessionBuilder::cost_model and ::on_chip_budget are mutually exclusive; \
                  encode the budget in the model (e.g. ElementBudget::with_budget)",
@@ -245,53 +420,133 @@ impl SessionBuilder {
         let lower_opts =
             LowerOptions { seed: self.seed.unwrap_or(2018), relu_after_conv: self.relu_after_conv };
         let graph = Arc::new(Graph::lower(&net, &lower_opts)?);
+
+        let mut requested_threads = self.threads;
+        let mut provenance = PlanProvenance::Fresh;
+        if spec.tuned {
+            let topts = TuneOptions {
+                seed: lower_opts.seed,
+                relu_after_conv: self.relu_after_conv,
+                cache_dir: spec.cache_dir.clone(),
+                ..TuneOptions::default()
+            };
+            let cached = spec.cache_dir.as_ref().and_then(|d| {
+                tune::load_cached_winner(d, &graph, lower_opts.seed, &topts.platform, topts.npe)
+            });
+            let (winner, key) = match cached {
+                Some(hit) => hit,
+                None => {
+                    let report = tune::tune_lowered(&graph, &topts)?;
+                    if let Some(dir) = spec.cache_dir.as_ref() {
+                        tune::store_winner(dir, &report.key, &report.winner);
+                    }
+                    (report.winner, report.key)
+                }
+            };
+            // The winner only fills knobs the caller left at their
+            // defaults — an explicit pattern/model/kernel/thread choice
+            // on the builder always wins over the tuner.
+            if spec.pattern.is_none() {
+                spec.pattern = Some(winner.pattern);
+            }
+            if spec.cost_model.is_none() && spec.budget_elems.is_none() {
+                spec.cost_model =
+                    Some(Arc::new(winner.cost_model(topts.platform.clone(), topts.npe)));
+            }
+            if spec.kernel == KernelPolicy::default() {
+                spec.kernel = winner.kernel;
+            }
+            if requested_threads.is_none() && std::env::var(THREADS_ENV).is_err() {
+                requested_threads = Some(winner.threads);
+            }
+            provenance = PlanProvenance::TuneSelected { key };
+        }
+
+        let pattern = spec.pattern.unwrap_or(BlockingPattern::hierarchical(2));
+        let kernel = spec.kernel;
+        let pad = spec.pad;
         let planner_opts = PlannerOptions {
-            pattern: self.pattern.unwrap_or(BlockingPattern::hierarchical(2)),
-            plan: self.plan,
-            pad_mode: self.pad,
-            budget_elems: self.budget_elems,
-            kernel: self.kernel,
-            cost_model: self.cost_model,
+            pattern,
+            plan: spec.network_plan.clone(),
+            pad_mode: pad,
+            budget_elems: spec.budget_elems,
+            kernel,
+            cost_model: spec.cost_model.clone(),
         };
         let planner = Planner::new(planner_opts);
-        let threads = resolve_threads(self.threads)?;
+        let cache = spec.cache_dir.as_ref().map(|d| PlanCache::new(d.clone()));
+        let key = cache.as_ref().map(|_| {
+            PlanKey::for_build(
+                &graph,
+                lower_opts.seed,
+                pattern,
+                spec.network_plan.as_ref(),
+                self.backend,
+                planner.cost_model(),
+                kernel,
+                pad,
+            )
+        });
+        let threads = resolve_threads(requested_threads)?;
         let (exec_plan, executor): (Arc<ExecPlan>, Arc<dyn Executor>) = match self.backend {
             Backend::Reference => {
-                let plan = Arc::new(planner.plan(&graph)?);
+                let plan = plan_or_load(
+                    cache.as_ref(),
+                    key.as_ref(),
+                    &planner,
+                    &graph,
+                    pad,
+                    kernel,
+                    None,
+                    provenance,
+                )?;
                 (plan, Arc::new(ReferenceExecutor::new(Arc::clone(&graph))))
             }
             Backend::Blocked => {
-                let plan = Arc::new(planner.plan(&graph)?);
+                let plan = plan_or_load(
+                    cache.as_ref(),
+                    key.as_ref(),
+                    &planner,
+                    &graph,
+                    pad,
+                    kernel,
+                    None,
+                    provenance,
+                )?;
                 let exec =
                     BlockedExecutor::with_threads(Arc::clone(&graph), Arc::clone(&plan), threads);
                 (plan, Arc::new(exec))
             }
             Backend::Quantized { weight_bits, act_bits } => {
+                // Calibration always runs — a cached plan pins the fusion
+                // decisions, not the activation ranges.
                 let inputs = match self.calibration {
                     Some(inputs) => inputs,
                     None => default_calibration(&graph, lower_opts.seed),
                 };
-                let spec =
+                let qspec =
                     Arc::new(GraphQuantSpec::calibrate(&graph, &inputs, weight_bits, act_bits)?);
-                let plan = Arc::new(planner.plan_quantized(&graph, &spec)?);
+                let plan = plan_or_load(
+                    cache.as_ref(),
+                    key.as_ref(),
+                    &planner,
+                    &graph,
+                    pad,
+                    kernel,
+                    Some(&qspec),
+                    provenance,
+                )?;
                 let exec = QuantizedExecutor::new(
                     Arc::clone(&graph),
                     Arc::clone(&plan),
-                    spec,
+                    qspec,
                     threads,
-                    self.kernel,
+                    kernel,
                 )?;
                 (plan, Arc::new(exec))
             }
         };
-        Ok(Session {
-            graph,
-            exec_plan,
-            backend: self.backend,
-            threads,
-            kernel: self.kernel,
-            executor,
-        })
+        Ok(Session { graph, exec_plan, backend: self.backend, threads, kernel, executor })
     }
 }
 
@@ -408,6 +663,13 @@ impl Session {
 
     /// The compiled fusion plan (what the blocked backend executes).
     pub fn plan(&self) -> &ExecPlan {
+        &self.exec_plan
+    }
+
+    /// The shared plan handle itself — [`fork`](Session::fork)s and
+    /// [`Router`] replicas hold clones of this `Arc`, so plan identity
+    /// across handles is checkable with [`Arc::ptr_eq`].
+    pub fn plan_handle(&self) -> &Arc<ExecPlan> {
         &self.exec_plan
     }
 
